@@ -1,0 +1,37 @@
+# Convenience targets for the reproduction workflow.
+
+GO ?= go
+
+.PHONY: all build test race bench figures extensions verify report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./strip/ ./cmd/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure at publication scale (about 10 min).
+figures:
+	$(GO) run ./cmd/stripexp -all -duration 1000 -seeds 2 -o results
+
+extensions:
+	$(GO) run ./cmd/stripexp -extensions -duration 1000 -seeds 2 -o results
+
+# Check every qualitative claim of the paper (a few minutes).
+verify:
+	$(GO) run ./cmd/stripexp -verify -duration 200 -seeds 1
+
+# One self-contained markdown report: figures + claims + extensions.
+report:
+	$(GO) run ./cmd/stripexp -report REPORT.md -duration 1000 -seeds 2
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,203 @@
+// Command stripd runs a strip database as a network server: it
+// ingests an update stream over TCP (one update per line, see
+// strip.ParseUpdateLine) and periodically reports statistics.
+//
+// Server:
+//
+//	stripd -listen 127.0.0.1:7007 -views 100 -policy OD -maxage 1s
+//
+// Built-in synthetic feed (the client side, for trying it out):
+//
+//	stripd -feed 127.0.0.1:7007 -views 100 -rate 400
+//
+// The server also runs a sample read-only transaction each second so
+// the transaction counters move.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/strip"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stripd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stripd", flag.ContinueOnError)
+	listen := fs.String("listen", "", "serve updates on this TCP address")
+	feed := fs.String("feed", "", "act as a synthetic feed client to this address")
+	views := fs.Int("views", 100, "number of view objects (px.000 ... )")
+	policyName := fs.String("policy", "OD", "scheduling policy: UF, TF, SU or OD")
+	maxAge := fs.Duration("maxage", time.Second, "MA staleness bound (0 selects UU)")
+	rate := fs.Float64("rate", 400, "feed mode: updates per second")
+	duration := fs.Duration("duration", 0, "exit after this long (0 = run until signal)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *feed != "":
+		return runFeed(*feed, *views, *rate, *duration)
+	case *listen != "":
+		return runServer(*listen, *views, *policyName, *maxAge, *duration)
+	default:
+		return fmt.Errorf("pass -listen <addr> (server) or -feed <addr> (feed client)")
+	}
+}
+
+func parsePolicy(name string) (strip.Policy, error) {
+	switch name {
+	case "UF", "uf":
+		return strip.UpdatesFirst, nil
+	case "TF", "tf":
+		return strip.TransactionsFirst, nil
+	case "SU", "su":
+		return strip.SplitUpdates, nil
+	case "OD", "od":
+		return strip.OnDemand, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func viewName(i int) string { return fmt.Sprintf("px.%03d", i) }
+
+func runServer(addr string, views int, policyName string, maxAge, duration time.Duration) error {
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	db, err := strip.Open(strip.Config{
+		Policy:   policy,
+		MaxAge:   maxAge,
+		OnStale:  strip.Warn,
+		Coalesce: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	for i := 0; i < views; i++ {
+		// Alternate importance so SplitUpdates has both classes.
+		imp := strip.Low
+		if i%2 == 1 {
+			imp = strip.High
+		}
+		if err := db.DefineView(viewName(i), imp); err != nil {
+			return err
+		}
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stripd serving %d views on %s (policy %s, maxage %v)\n",
+		views, l.Addr(), policy, maxAge)
+	go db.Serve(l)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if duration > 0 {
+		timeout = time.After(duration)
+	}
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	rng := rand.New(rand.NewPCG(1, uint64(time.Now().UnixNano())))
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-timeout:
+			return nil
+		case <-ticker.C:
+			// A sample monitoring transaction: average a few views.
+			idx := rng.IntN(views)
+			res := db.Exec(strip.TxnSpec{
+				Name:     "monitor",
+				Value:    1,
+				Deadline: time.Now().Add(100 * time.Millisecond),
+				Func: func(tx *strip.Tx) error {
+					sum, n := 0.0, 0
+					for i := idx; i < idx+5 && i < views; i++ {
+						e, err := tx.Read(viewName(i))
+						if err != nil {
+							return err
+						}
+						sum += e.Value
+						n++
+					}
+					if n > 0 {
+						tx.Set("monitor.avg", sum/float64(n))
+					}
+					return nil
+				},
+			})
+			s := db.Stats()
+			staleViews, _ := db.Aggregate("SELECT COUNT(*) FROM views WHERE stale")
+			fmt.Printf("recv=%d installed=%d skipped=%d expired=%d queue=%d txns=%d stale-views=%.0f stale-reads=%v\n",
+				s.UpdatesReceived, s.UpdatesInstalled, s.UpdatesSkipped,
+				s.UpdatesExpired, s.QueueLen, s.TxnsCommitted, staleViews, res.StaleReads)
+		}
+	}
+}
+
+func runFeed(addr string, views int, rate float64, duration time.Duration) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("feeding %s with %.0f updates/s across %d views\n", addr, rate, views)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var timeout <-chan time.Time
+	if duration > 0 {
+		timeout = time.After(duration)
+	}
+	rng := rand.New(rand.NewPCG(2, uint64(time.Now().UnixNano())))
+	prices := make([]float64, views)
+	for i := range prices {
+		prices[i] = 50 + rng.Float64()*100
+	}
+	tick := time.NewTicker(time.Duration(float64(time.Second) / rate))
+	defer tick.Stop()
+	sent := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("\nsent %d updates\n", sent)
+			return nil
+		case <-timeout:
+			fmt.Printf("sent %d updates\n", sent)
+			return nil
+		case <-tick.C:
+			i := rng.IntN(views)
+			prices[i] *= 1 + (rng.Float64()-0.5)*0.01
+			err := strip.WriteUpdate(conn, strip.Update{
+				Object:    viewName(i),
+				Value:     prices[i],
+				Generated: time.Now(),
+			})
+			if err != nil {
+				return err
+			}
+			sent++
+		}
+	}
+}

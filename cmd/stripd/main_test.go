@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/strip"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]strip.Policy{
+		"UF": strip.UpdatesFirst, "uf": strip.UpdatesFirst,
+		"TF": strip.TransactionsFirst, "tf": strip.TransactionsFirst,
+		"SU": strip.SplitUpdates, "su": strip.SplitUpdates,
+		"OD": strip.OnDemand, "od": strip.OnDemand,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("parsePolicy(bogus) should fail")
+	}
+}
+
+func TestViewName(t *testing.T) {
+	if got := viewName(7); got != "px.007" {
+		t.Fatalf("viewName = %q", got)
+	}
+}
+
+func TestRunRequiresMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("run without -listen/-feed should fail")
+	}
+	if err := run([]string{"-listen", "addr", "-policy", "bogus"}); err == nil {
+		t.Fatal("bad policy should fail")
+	}
+}
+
+func TestServerAndFeedEndToEnd(t *testing.T) {
+	// Find a free port, then run server and feed briefly.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	serverErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		serverErr <- run([]string{
+			"-listen", addr, "-views", "10", "-duration", "1200ms",
+		})
+	}()
+
+	// Wait for the server to accept connections, then feed it.
+	deadline := time.Now().Add(2 * time.Second)
+	var conn net.Conn
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("server did not come up")
+	}
+	conn.Close()
+
+	feedErr := run([]string{
+		"-feed", addr, "-views", "10", "-rate", "200", "-duration", "600ms",
+	})
+	if feedErr != nil {
+		t.Fatalf("feed failed: %v", feedErr)
+	}
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server failed: %v", err)
+	}
+	_ = fmt.Sprint() // keep fmt imported for future debug output
+}

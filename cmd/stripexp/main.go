@@ -1,0 +1,196 @@
+// Command stripexp regenerates the paper's evaluation figures as text
+// tables (or CSV).
+//
+// Usage:
+//
+//	stripexp -list
+//	stripexp -exp fig5 -duration 1000 -seeds 3
+//	stripexp -all -duration 200 -o results/
+//	stripexp -extensions
+//	stripexp -verify -duration 200    # check every qualitative claim
+//
+// Each figure is a parameter sweep over the four algorithms; the
+// tables print the same series the paper plots. Durations below the
+// paper's 1000 s trade precision for speed; the qualitative shapes are
+// stable from roughly 100 s.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stripexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stripexp", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list known experiments and exit")
+	verify := fs.Bool("verify", false, "regenerate the needed figures and check every qualitative claim of the paper")
+	compare := fs.String("compare", "", "statistically compare two policies, e.g. OD,TF (requires -exp and -metric)")
+	report := fs.String("report", "", "write a full markdown reproduction report (all figures + claims) to this file")
+	metric := fs.String("metric", "psuccess", "metric for -compare")
+	expID := fs.String("exp", "", "run a single experiment by id (e.g. fig5)")
+	all := fs.Bool("all", false, "run every paper figure")
+	extensions := fs.Bool("extensions", false, "run the extension/ablation experiments")
+	duration := fs.Float64("duration", 1000, "simulated seconds per data point")
+	seeds := fs.Int("seeds", 3, "replications per data point")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	outDir := fs.String("o", "", "write one file per experiment into this directory")
+	verbose := fs.Bool("v", true, "print progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, d := range append(experiment.All(), experiment.Extensions()...) {
+			fmt.Fprintf(stdout, "%-12s %s\n", d.ID, d.Title)
+		}
+		return nil
+	}
+
+	if *verify {
+		opts := experiment.Options{Duration: *duration}
+		for s := 1; s <= *seeds; s++ {
+			opts.Seeds = append(opts.Seeds, uint64(s))
+		}
+		var progress io.Writer
+		if *verbose {
+			progress = os.Stderr
+		}
+		results, err := experiment.VerifyClaims(opts, progress)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for _, r := range results {
+			status := "PASS"
+			if !r.Passed {
+				status = "FAIL"
+				failed++
+			}
+			fmt.Fprintf(stdout, "%s  %-28s %s\n      %s\n",
+				status, r.Claim.ID, r.Claim.Statement, r.Detail)
+		}
+		fmt.Fprintf(stdout, "\n%d/%d claims verified\n", len(results)-failed, len(results))
+		if failed > 0 {
+			return fmt.Errorf("%d claims failed", failed)
+		}
+		return nil
+	}
+
+	if *report != "" {
+		opts := experiment.Options{Duration: *duration}
+		for s := 1; s <= *seeds; s++ {
+			opts.Seeds = append(opts.Seeds, uint64(s))
+		}
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		var progress io.Writer
+		if *verbose {
+			progress = os.Stderr
+		}
+		err = experiment.WriteReport(f, opts, progress)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	if *compare != "" {
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 || *expID == "" {
+			return fmt.Errorf("-compare needs two policies (A,B) and -exp")
+		}
+		opts := experiment.Options{Duration: *duration}
+		for s := 1; s <= *seeds; s++ {
+			opts.Seeds = append(opts.Seeds, uint64(s))
+		}
+		cmp, err := experiment.Compare(*expID, parts[0], parts[1], *metric, opts)
+		if err != nil {
+			return err
+		}
+		return cmp.Render(stdout)
+	}
+
+	var defs []*experiment.Definition
+	switch {
+	case *expID != "":
+		d, err := experiment.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		defs = []*experiment.Definition{d}
+	case *all && *extensions:
+		defs = append(experiment.All(), experiment.Extensions()...)
+	case *all:
+		defs = experiment.All()
+	case *extensions:
+		defs = experiment.Extensions()
+	default:
+		return fmt.Errorf("nothing to do: pass -exp <id>, -all, -extensions or -list")
+	}
+
+	opts := experiment.Options{Duration: *duration}
+	for s := 1; s <= *seeds; s++ {
+		opts.Seeds = append(opts.Seeds, uint64(s))
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, d := range defs {
+		start := time.Now()
+		tab, err := d.Run(opts)
+		if err != nil {
+			return err
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%-12s done in %v\n", d.ID, time.Since(start).Round(time.Millisecond))
+		}
+		w := stdout
+		var f *os.File
+		if *outDir != "" {
+			ext := ".txt"
+			if *csv {
+				ext = ".csv"
+			}
+			f, err = os.Create(filepath.Join(*outDir, d.ID+ext))
+			if err != nil {
+				return err
+			}
+			w = f
+		}
+		if *csv {
+			err = tab.CSV(w)
+		} else {
+			err = tab.Render(w)
+			fmt.Fprintln(w)
+		}
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig3", "fig16", "ext-coalesce", "ext-fc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperimentToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig15", "-duration", "5", "-seeds", "1", "-v=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OD:AV") {
+		t.Fatalf("table output missing series header:\n%s", buf.String())
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig15", "-duration", "5", "-seeds", "1",
+		"-o", dir, "-v=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig15.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "pview") {
+		t.Fatalf("file content wrong:\n%s", data)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig15", "-duration", "5", "-seeds", "1",
+		"-o", dir, "-csv", "-v=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig15.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + 6 pview points
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "pview,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunMultiSeedShowsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig15", "-duration", "5", "-seeds", "2", "-v=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatalf("multi-seed table missing error bars:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no action should fail")
+	}
+}
+
+func TestVerifyMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification runs many simulations")
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-verify", "-duration", "60", "-seeds", "1", "-v=false"}, &buf)
+	if err != nil {
+		t.Fatalf("verify failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "claims verified") || strings.Contains(out, "FAIL") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig15", "-compare", "OD,TF", "-metric", "AV",
+		"-duration", "10", "-seeds", "2", "-v=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OD vs TF on AV") {
+		t.Fatalf("compare output:\n%s", buf.String())
+	}
+	// Validation errors.
+	if err := run([]string{"-compare", "OD,TF"}, &buf); err == nil {
+		t.Error("compare without -exp should fail")
+	}
+	if err := run([]string{"-exp", "fig15", "-compare", "OD"}, &buf); err == nil {
+		t.Error("compare with one policy should fail")
+	}
+}

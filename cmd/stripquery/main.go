@@ -1,0 +1,111 @@
+// Command stripquery is a client for a running stripd server: it
+// sends row queries and aggregates over the line protocol and prints
+// the results.
+//
+//	stripquery -addr 127.0.0.1:7007 "SELECT * FROM views WHERE stale LIMIT 5"
+//	stripquery -addr 127.0.0.1:7007 -agg "SELECT COUNT(*) FROM views WHERE stale"
+//
+// The same connection can also feed updates with -put:
+//
+//	stripquery -addr 127.0.0.1:7007 -put "px.003=101.25"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/strip"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stripquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stripquery", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7007", "stripd server address")
+	agg := fs.Bool("agg", false, "treat the query as an aggregate (SELECT COUNT/AVG/... )")
+	put := fs.String("put", "", "send one update instead of a query: object=value")
+	timeout := fs.Duration("timeout", 5*time.Second, "network timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+
+	if *put != "" {
+		object, valueStr, ok := strings.Cut(*put, "=")
+		if !ok {
+			return fmt.Errorf("-put wants object=value, got %q", *put)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad value in -put: %v", err)
+		}
+		return strip.WriteUpdate(conn, strip.Update{
+			Object:    object,
+			Value:     value,
+			Generated: time.Now(),
+		})
+	}
+
+	query := strings.TrimSpace(strings.Join(fs.Args(), " "))
+	if query == "" {
+		return fmt.Errorf("pass a query, e.g. \"SELECT * FROM views LIMIT 5\"")
+	}
+	verb := "QUERY"
+	if *agg {
+		verb = "AGG"
+	}
+	if _, err := fmt.Fprintf(conn, "%s %s\n", verb, query); err != nil {
+		return err
+	}
+
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "ERR "):
+			return fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		case strings.HasPrefix(line, "VAL "):
+			fmt.Fprintln(out, strings.TrimPrefix(line, "VAL "))
+			return nil
+		case strings.HasPrefix(line, "OK "):
+			fmt.Fprintf(out, "(%s rows)\n", strings.TrimPrefix(line, "OK "))
+			return nil
+		case strings.HasPrefix(line, "ROW "):
+			fields := strings.Fields(strings.TrimPrefix(line, "ROW "))
+			if len(fields) == 4 {
+				nanos, _ := strconv.ParseInt(fields[1], 10, 64)
+				age := ""
+				if nanos > 0 {
+					age = fmt.Sprintf(" age=%v", time.Since(time.Unix(0, nanos)).Round(time.Millisecond))
+				}
+				fmt.Fprintf(out, "%-24s %12s  stale=%s%s\n", fields[0], fields[2], fields[3], age)
+			} else {
+				fmt.Fprintln(out, line)
+			}
+		default:
+			fmt.Fprintln(out, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("connection closed before a terminator arrived")
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/strip"
+)
+
+// startServer brings up an in-process strip server for client tests.
+func startServer(t *testing.T) (*strip.DB, string) {
+	t.Helper()
+	db, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for _, name := range []string{"px.000", "px.001"} {
+		if err := db.DefineView(name, strip.High); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go db.Serve(l)
+	return db, l.Addr().String()
+}
+
+func waitInstalled(t *testing.T, db *strip.DB, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if db.Stats().UpdatesInstalled >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("only %d updates installed", db.Stats().UpdatesInstalled)
+}
+
+func TestPutThenQuery(t *testing.T) {
+	db, addr := startServer(t)
+	if err := run([]string{"-addr", addr, "-put", "px.000=42.5"}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	waitInstalled(t, db, 1)
+
+	var buf bytes.Buffer
+	err := run([]string{"-addr", addr, "SELECT * FROM views WHERE value > 40"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "px.000") || !strings.Contains(out, "42.5") ||
+		!strings.Contains(out, "(1 rows)") {
+		t.Fatalf("query output:\n%s", out)
+	}
+}
+
+func TestAggregateQuery(t *testing.T) {
+	db, addr := startServer(t)
+	run([]string{"-addr", addr, "-put", "px.000=10"}, &bytes.Buffer{})
+	run([]string{"-addr", addr, "-put", "px.001=20"}, &bytes.Buffer{})
+	waitInstalled(t, db, 2)
+
+	var buf bytes.Buffer
+	err := run([]string{"-addr", addr, "-agg", "SELECT SUM(value) FROM views"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "30" {
+		t.Fatalf("aggregate output = %q", got)
+	}
+}
+
+func TestServerError(t *testing.T) {
+	_, addr := startServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr, "SELECT gibberish"}, &buf); err == nil {
+		t.Fatal("server parse error should surface")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", "127.0.0.1:1", "-timeout", "100ms", "SELECT * FROM views"}, &buf); err == nil {
+		t.Error("unreachable server should fail")
+	}
+	_, addr := startServer(t)
+	if err := run([]string{"-addr", addr}, &buf); err == nil {
+		t.Error("missing query should fail")
+	}
+	if err := run([]string{"-addr", addr, "-put", "novalue"}, &buf); err == nil {
+		t.Error("malformed -put should fail")
+	}
+	if err := run([]string{"-addr", addr, "-put", "x=notafloat"}, &buf); err == nil {
+		t.Error("bad -put value should fail")
+	}
+}

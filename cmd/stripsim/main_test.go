@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTextReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "OD", "-duration", "5", "-txnrate", "5"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"policy OD", "MA staleness", "rho_t=", "pMD=", "psuccess=",
+		"fold_l=", "installed=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "TF", "-duration", "5", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if _, ok := decoded["PSuccess"]; !ok {
+		t.Fatalf("JSON missing PSuccess: %v", decoded)
+	}
+}
+
+func TestRunAllStalenessAndOrders(t *testing.T) {
+	for _, args := range [][]string{
+		{"-staleness", "uu", "-duration", "3"},
+		{"-staleness", "uustrict", "-duration", "3"},
+		{"-staleness", "mauu", "-duration", "3"},
+		{"-onstale", "abort", "-duration", "3"},
+		{"-order", "lifo", "-duration", "3"},
+		{"-policy", "FC", "-fraction", "0.3", "-duration", "3"},
+		{"-coalesce", "-duration", "3"},
+		{"-partition", "-duration", "3"},
+		{"-periodic", "2", "-duration", "3"},
+		{"-warmup", "1", "-duration", "3"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Errorf("run(%v) failed: %v", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "XX"},
+		{"-staleness", "nope"},
+		{"-onstale", "nope"},
+		{"-order", "nope"},
+		{"-duration", "-1"},
+		{"-txnrate", "-5", "-duration", "3"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/stream.trace"
+	var buf bytes.Buffer
+	if err := run([]string{"-record", trace, "-duration", "5", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The replayed run must match the synthetic run with the same
+	// seed on the update-side metrics.
+	var synth, replay bytes.Buffer
+	if err := run([]string{"-duration", "5", "-seed", "3", "-policy", "TF", "-json"}, &synth); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-duration", "5", "-seed", "3", "-policy", "TF", "-json",
+		"-replay", trace}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	var a, b map[string]any
+	json.Unmarshal(synth.Bytes(), &a)
+	json.Unmarshal(replay.Bytes(), &b)
+	for _, key := range []string{"UpdatesArrived", "UpdatesInstalled", "FOldLow"} {
+		if a[key] != b[key] {
+			t.Errorf("%s: synthetic %v != replay %v", key, a[key], b[key])
+		}
+	}
+	if err := run([]string{"-replay", dir + "/missing.trace"}, &buf); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}

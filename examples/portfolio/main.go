@@ -1,0 +1,155 @@
+// Portfolio: derived views over a live feed — the exact scenario §7
+// gives as On Demand's blind spot ("a database object X represents
+// the average price of stocks in a particular portfolio"). The
+// portfolio value is a derived view recomputed whenever a constituent
+// installs, so any policy that refreshes a constituent — including
+// OD's in-line refresh — refreshes the portfolio too.
+//
+// The example also exercises the query language, per-view history and
+// the write-ahead log for general data.
+//
+//	go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/strip"
+)
+
+var stocks = []string{"AAPL", "MSFT", "GOOG", "AMZN", "META"}
+
+func main() {
+	dir, err := os.MkdirTemp("", "strip-portfolio")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	walPath := filepath.Join(dir, "portfolio.wal")
+
+	runSession(walPath, true)
+	fmt.Println()
+	// Reopen: the WAL restores the realized P&L from the previous
+	// session.
+	runSession(walPath, false)
+}
+
+func runSession(walPath string, first bool) {
+	db, err := strip.Open(strip.Config{
+		Policy:       strip.OnDemand,
+		MaxAge:       2 * time.Second,
+		OnStale:      strip.Warn,
+		HistoryDepth: 64,
+		WALPath:      walPath,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	for _, s := range stocks {
+		if err := db.DefineView(s, strip.High); err != nil {
+			panic(err)
+		}
+	}
+	// The portfolio is an equal-weighted average of its constituents.
+	err = db.DefineDerived("PORTFOLIO", stocks, func(px []float64) float64 {
+		sum := 0.0
+		for _, v := range px {
+			sum += v
+		}
+		return sum / float64(len(px))
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// A trigger watches the derived view — the paper's update-driven
+	// rule mechanism.
+	recomputes := 0
+	db.OnInstall("PORTFOLIO", func(e strip.Entry) { recomputes++ })
+
+	// Feed: random walks per stock.
+	stop := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewPCG(11, uint64(len(walPath))))
+		px := map[string]float64{}
+		for _, s := range stocks {
+			px[s] = 100 + rng.Float64()*100
+		}
+		tick := time.NewTicker(4 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s := stocks[rng.IntN(len(stocks))]
+				px[s] *= 1 + (rng.Float64()-0.5)*0.01
+				db.ApplyUpdate(strip.Update{Object: s, Value: px[s], Generated: time.Now()})
+			}
+		}
+	}()
+
+	// Mark-to-market transactions read the derived view and accrue
+	// realized P&L into durable general data.
+	start := time.Now()
+	marks := 0
+	for time.Now().Before(start.Add(700 * time.Millisecond)) {
+		res := db.Exec(strip.TxnSpec{
+			Name:     "mark",
+			Value:    1,
+			Deadline: time.Now().Add(20 * time.Millisecond),
+			Func: func(tx *strip.Tx) error {
+				nav, err := tx.Read("PORTFOLIO")
+				if err != nil {
+					return err
+				}
+				pnl, _ := tx.Get("realized-pnl")
+				tx.Set("realized-pnl", pnl+nav.Value*0.0001)
+				tx.Set("last-nav", nav.Value)
+				return nil
+			},
+		})
+		if res.Committed() {
+			marks++
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+
+	// Query the freshest constituents.
+	rows, err := db.Query("SELECT * FROM views WHERE NOT stale AND object != 'PORTFOLIO' ORDER BY value DESC LIMIT 3")
+	if err != nil {
+		panic(err)
+	}
+
+	var pnl float64
+	db.Exec(strip.TxnSpec{
+		Deadline: time.Now().Add(time.Second),
+		Func: func(tx *strip.Tx) error {
+			pnl, _ = tx.Get("realized-pnl")
+			return nil
+		},
+	})
+
+	nav, _ := db.Peek("PORTFOLIO")
+	hist, _ := db.History("PORTFOLIO")
+
+	session := "fresh session"
+	if !first {
+		session = "reopened from WAL"
+	}
+	fmt.Printf("%s: NAV=%.2f (recomputed %d times, %d retained versions)\n",
+		session, nav.Value, recomputes, len(hist))
+	fmt.Printf("  marks committed: %d, realized P&L carried in WAL: %.4f\n", marks, pnl)
+	fmt.Printf("  top fresh constituents:")
+	for _, r := range rows {
+		fmt.Printf("  %s=%.2f", r.Object, r.Value)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,132 @@
+// Trading: the paper's motivating application — program trading on a
+// live market feed. A synthetic Reuters-style feed updates currency
+// prices at two venues; arbitrage transactions with firm deadlines
+// compare venue prices and trade when they diverge. The database runs
+// the On Demand policy with a maximum-age staleness bound, so a trader
+// never acts on a quote older than one second when a fresher one is
+// already queued.
+//
+//	go run ./examples/trading
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"repro/strip"
+)
+
+const (
+	venues      = 2
+	instruments = 40
+	feedRate    = 500 // updates/second, the paper's peak Reuters rate
+	runFor      = 2 * time.Second
+)
+
+func symbol(inst, venue int) string {
+	return fmt.Sprintf("FX%02d.V%d", inst, venue)
+}
+
+func main() {
+	db, err := strip.Open(strip.Config{
+		Policy:   strip.OnDemand,
+		MaxAge:   time.Second,
+		OnStale:  strip.Abort, // never trade on stale quotes
+		Coalesce: true,        // only the newest quote per symbol matters
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < instruments; i++ {
+		for v := 0; v < venues; v++ {
+			if err := db.DefineView(symbol(i, v), strip.High); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Synthetic feed: a random walk per instrument, with venue prices
+	// wandering slightly apart — the arbitrage opportunity.
+	stop := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewPCG(7, 7))
+		px := make([]float64, instruments)
+		for i := range px {
+			px[i] = 100 + rng.Float64()*50
+		}
+		tick := time.NewTicker(time.Second / feedRate)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				i := rng.IntN(instruments)
+				v := rng.IntN(venues)
+				px[i] *= 1 + (rng.Float64()-0.5)*0.004
+				quote := px[i] * (1 + (rng.Float64()-0.5)*0.002)
+				db.ApplyUpdate(strip.Update{
+					Object:    symbol(i, v),
+					Value:     quote,
+					Generated: time.Now(),
+				})
+			}
+		}
+	}()
+
+	// Trading loop: scan instruments, fire an arbitrage transaction
+	// when the two venues disagree by more than 10 bps.
+	var trades, aborted, profitBps int
+	deadline := time.Now().Add(runFor)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for time.Now().Before(deadline) {
+		inst := rng.IntN(instruments)
+		res := db.Exec(strip.TxnSpec{
+			Name:     "arb",
+			Value:    2.0,
+			Deadline: time.Now().Add(20 * time.Millisecond),
+			Estimate: time.Millisecond,
+			Func: func(tx *strip.Tx) error {
+				a, err := tx.Read(symbol(inst, 0))
+				if err != nil {
+					return err
+				}
+				b, err := tx.Read(symbol(inst, 1))
+				if err != nil {
+					return err
+				}
+				if a.Value == 0 || b.Value == 0 {
+					return nil // venue not quoted yet
+				}
+				spreadBps := math.Abs(a.Value-b.Value) / a.Value * 10000
+				if spreadBps > 10 {
+					key := fmt.Sprintf("position.%d", inst)
+					pos, _ := tx.Get(key)
+					tx.Set(key, pos+1)
+					tx.Set("last-spread-bps", spreadBps)
+					profitBps += int(spreadBps)
+					trades++
+				}
+				return nil
+			},
+		})
+		if res.State == strip.AbortedStale || res.State == strip.AbortedDeadline {
+			aborted++
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+
+	s := db.Stats()
+	fmt.Printf("ran %v against a %d-symbol feed at %d updates/s\n",
+		runFor, instruments*venues, feedRate)
+	fmt.Printf("updates: received=%d installed=%d coalesced=%d\n",
+		s.UpdatesReceived, s.UpdatesInstalled, s.UpdatesSkipped)
+	fmt.Printf("transactions: committed=%d aborted(stale|deadline)=%d\n",
+		s.TxnsCommitted, aborted)
+	fmt.Printf("trades executed: %d, captured spread: %d bps total\n", trades, profitBps)
+}

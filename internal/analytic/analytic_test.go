@@ -1,0 +1,122 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestUpdateCPUDemandBaseline(t *testing.T) {
+	p := model.DefaultParams()
+	// 400/s * 24000 instr / 50e6 = 0.192 — the Fig 3 plateau.
+	if got, want := UpdateCPUDemand(&p), 0.192; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("demand = %v, want %v", got, want)
+	}
+}
+
+func TestPerObjectUpdateRate(t *testing.T) {
+	p := model.DefaultParams()
+	// 400 * 0.5 / 500 = 0.4/s for both classes at the baseline.
+	if got := PerObjectUpdateRate(&p, model.Low); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("low rate = %v", got)
+	}
+	if got := PerObjectUpdateRate(&p, model.High); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("high rate = %v", got)
+	}
+	p.NLow = 0
+	if got := PerObjectUpdateRate(&p, model.Low); got != 0 {
+		t.Fatalf("empty partition rate = %v", got)
+	}
+}
+
+func TestStaleFractionFormulaLimits(t *testing.T) {
+	p := model.DefaultParams()
+	// Zero network age: pure e^{-mu*Delta}.
+	p.MeanUpdateAge = 0
+	want := math.Exp(-0.4 * 7)
+	if got := StaleFractionImmediateInstall(&p, model.Low); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("a=0 fraction = %v, want %v", got, want)
+	}
+	// The a -> 1/mu limit is continuous.
+	p.MeanUpdateAge = 1/0.4 - 1e-7
+	near := StaleFractionImmediateInstall(&p, model.Low)
+	p.MeanUpdateAge = 1 / 0.4
+	at := StaleFractionImmediateInstall(&p, model.Low)
+	if math.Abs(near-at) > 1e-4 {
+		t.Fatalf("discontinuity at a=1/mu: %v vs %v", near, at)
+	}
+	// No updates: always stale.
+	p.UpdateRate = 0
+	if got := StaleFractionImmediateInstall(&p, model.Low); got != 1 {
+		t.Fatalf("no-update fraction = %v", got)
+	}
+}
+
+// TestSimulatorMatchesAnalyticStaleFraction is the independent
+// validation: under UF (immediate installs) the measured fold must
+// match the closed-form prediction.
+func TestSimulatorMatchesAnalyticStaleFraction(t *testing.T) {
+	for _, delta := range []float64{3, 5, 7} {
+		p := model.DefaultParams()
+		p.MaxAgeDelta = delta
+		p.TxnRate = 1 // light load; UF installs immediately regardless
+		want := StaleFractionImmediateInstall(&p, model.Low)
+		r := sched.MustRun(sched.Config{Params: p, Policy: sched.UF, Seed: 5, Duration: 400})
+		if math.Abs(r.FOldLow-want) > 0.012 {
+			t.Errorf("Delta=%v: measured fold_l = %.4f, analytic %.4f", delta, r.FOldLow, want)
+		}
+		if math.Abs(r.FOldHigh-want) > 0.012 {
+			t.Errorf("Delta=%v: measured fold_h = %.4f, analytic %.4f", delta, r.FOldHigh, want)
+		}
+	}
+}
+
+// TestSimulatorMatchesAnalyticCPUDemand checks the measured rho_u
+// against the closed form across update rates.
+func TestSimulatorMatchesAnalyticCPUDemand(t *testing.T) {
+	for _, rate := range []float64{100, 400, 600} {
+		p := model.DefaultParams()
+		p.UpdateRate = rate
+		p.TxnRate = 1
+		want := UpdateCPUDemand(&p)
+		r := sched.MustRun(sched.Config{Params: p, Policy: sched.UF, Seed: 9, Duration: 100})
+		if math.Abs(r.RhoUpdate-want) > 0.01 {
+			t.Errorf("rate %v: measured rho_u = %.4f, analytic %.4f", rate, r.RhoUpdate, want)
+		}
+	}
+}
+
+func TestSaturationTxnRate(t *testing.T) {
+	p := model.DefaultParams()
+	// (1 - 0.192) / (0.12 + 2*4000/50e6) = 6.72...
+	want := (1 - 0.192) / 0.12016
+	if got := SaturationTxnRate(&p); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("saturation rate = %v, want %v", got, want)
+	}
+	// Beyond saturation, UF's measured rho_t must flatten near
+	// 1 - UpdateCPUDemand.
+	p.TxnRate = 25
+	r := sched.MustRun(sched.Config{Params: p, Policy: sched.UF, Seed: 11, Duration: 60})
+	if math.Abs(r.RhoTxn-(1-0.192)) > 0.02 {
+		t.Fatalf("UF rho_t at overload = %v, want about %v", r.RhoTxn, 1-0.192)
+	}
+}
+
+func TestMeanInstallLatencyMM1(t *testing.T) {
+	p := model.DefaultParams()
+	// Full CPU: mu = 50e6/24000 = 2083/s >> 400/s.
+	w := MeanInstallLatencyMM1(&p, 1.0)
+	if w <= 0 || w > 0.001 {
+		t.Fatalf("full-share latency = %v", w)
+	}
+	// Share below demand: unstable queue.
+	if !math.IsInf(MeanInstallLatencyMM1(&p, 0.1), 1) {
+		t.Fatal("under-provisioned share should be unstable")
+	}
+	p.XLookup, p.XUpdate = 0, 0
+	if MeanInstallLatencyMM1(&p, 1) != 0 {
+		t.Fatal("zero-cost installs should have zero latency")
+	}
+}

@@ -1,0 +1,362 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Claim is one qualitative statement from the paper's evaluation that
+// the reproduction must satisfy — a winner, an ordering, a crossover
+// or a flat-vs-falling response. Claims are checked against the
+// regenerated tables, so the reproduction can certify itself.
+type Claim struct {
+	// ID is a short key, e.g. "fig6-ranking".
+	ID string
+	// Statement is the paper's claim in one sentence.
+	Statement string
+	// Figures lists the experiment IDs the claim reads.
+	Figures []string
+	// Check evaluates the claim; get returns the table for a figure
+	// ID. It returns a pass/fail verdict and a short detail string.
+	Check func(get func(string) *Table) (bool, string)
+}
+
+// ClaimResult is the outcome of checking one claim.
+type ClaimResult struct {
+	Claim  Claim
+	Passed bool
+	Detail string
+}
+
+// at reads one cell, tolerating a missing policy/metric with zero.
+func at(t *Table, x float64, policy, metric string) float64 {
+	return t.Value(x, policy, metric)
+}
+
+// seriesRange returns max-min over a policy's series.
+func seriesRange(t *Table, policy, metric string) float64 {
+	s := t.Series(policy, metric)
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	lo, hi := s[0], s[0]
+	for _, v := range s {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Claims returns every checked claim, in paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:        "fig3-uf-flat",
+			Statement: "UF's update utilization is flat at the stream's CPU demand (~0.19) across loads",
+			Figures:   []string{"fig3"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig3")
+				r := seriesRange(t, "UF", "rho_u")
+				mid := at(t, 10, "UF", "rho_u")
+				ok := r < 0.02 && math.Abs(mid-0.19) < 0.02
+				return ok, fmt.Sprintf("range=%.4f, rho_u(10)=%.3f", r, mid)
+			},
+		},
+		{
+			ID:        "fig3-tf-starves",
+			Statement: "TF's update utilization collapses under transaction overload",
+			Figures:   []string{"fig3"},
+			Check: func(get func(string) *Table) (bool, string) {
+				v := at(get("fig3"), 25, "TF", "rho_u")
+				return v < 0.05, fmt.Sprintf("TF rho_u(25)=%.4f", v)
+			},
+		},
+		{
+			ID:        "fig4-txn-first-wins-deadlines",
+			Statement: "TF and OD miss fewer deadlines and return more value than UF and SU at load",
+			Figures:   []string{"fig4"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig4")
+				ok := true
+				for _, x := range []float64{10, 25} {
+					for _, a := range []string{"TF", "OD"} {
+						for _, b := range []string{"UF", "SU"} {
+							ok = ok && at(t, x, a, "pMD") < at(t, x, b, "pMD")
+							ok = ok && at(t, x, a, "AV") > at(t, x, b, "AV")
+						}
+					}
+				}
+				return ok, fmt.Sprintf("pMD(25): TF=%.3f UF=%.3f; AV(25): TF=%.2f UF=%.2f",
+					at(t, 25, "TF", "pMD"), at(t, 25, "UF", "pMD"),
+					at(t, 25, "TF", "AV"), at(t, 25, "UF", "AV"))
+			},
+		},
+		{
+			ID:        "fig4-value-grows",
+			Statement: "Value returned keeps growing past CPU saturation",
+			Figures:   []string{"fig4"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig4")
+				ok := true
+				for _, pol := range t.Policies {
+					s := t.Series(pol, "AV")
+					for i := 1; i < len(s); i++ {
+						ok = ok && s[i] > s[i-1]
+					}
+				}
+				return ok, fmt.Sprintf("AV(TF) %v", t.Series("TF", "AV"))
+			},
+		},
+		{
+			ID:        "fig5-uf-fresh",
+			Statement: "UF keeps the stale fraction under ~10% at every load",
+			Figures:   []string{"fig5"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig5")
+				ok := true
+				for _, m := range []string{"fold_l", "fold_h"} {
+					for _, v := range t.Series("UF", m) {
+						ok = ok && v <= 0.10
+					}
+				}
+				return ok, fmt.Sprintf("max fold(UF)=%.3f",
+					math.Max(seriesMax(t, "UF", "fold_l"), seriesMax(t, "UF", "fold_h")))
+			},
+		},
+		{
+			ID:        "fig5-su-protects-high",
+			Statement: "SU keeps the high-importance partition fresh while its low partition decays",
+			Figures:   []string{"fig5"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig5")
+				ok := seriesMax(t, "SU", "fold_h") <= 0.10 &&
+					at(t, 25, "SU", "fold_l") >= 0.5
+				return ok, fmt.Sprintf("SU fold_h max=%.3f fold_l(25)=%.3f",
+					seriesMax(t, "SU", "fold_h"), at(t, 25, "SU", "fold_l"))
+			},
+		},
+		{
+			ID:        "fig6-ranking",
+			Statement: "psuccess ranking is OD > UF > SU > TF at moderate load; OD first and TF last everywhere (UF and SU converge at extreme overload, as the paper's curves do)",
+			Figures:   []string{"fig6"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig6")
+				ok := true
+				// Full ordering where the paper's curves separate.
+				for _, x := range []float64{10, 15} {
+					od, uf := at(t, x, "OD", "psuccess"), at(t, x, "UF", "psuccess")
+					su, tf := at(t, x, "SU", "psuccess"), at(t, x, "TF", "psuccess")
+					ok = ok && od > uf && uf > su && su > tf
+				}
+				// Winner and loser everywhere under load.
+				for _, x := range []float64{10, 15, 20, 25} {
+					od, tf := at(t, x, "OD", "psuccess"), at(t, x, "TF", "psuccess")
+					for _, pol := range []string{"UF", "SU"} {
+						v := at(t, x, pol, "psuccess")
+						ok = ok && od > v && v > tf
+					}
+				}
+				return ok, fmt.Sprintf("at 10: OD=%.3f UF=%.3f SU=%.3f TF=%.3f",
+					at(t, 10, "OD", "psuccess"), at(t, 10, "UF", "psuccess"),
+					at(t, 10, "SU", "psuccess"), at(t, 10, "TF", "psuccess"))
+			},
+		},
+		{
+			ID:        "fig6-nontardy",
+			Statement: "Non-tardy transactions almost always read fresh data under OD and UF, rarely under TF",
+			Figures:   []string{"fig6"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig6")
+				ok := at(t, 25, "OD", "psuc|nontardy") >= 0.7 &&
+					at(t, 25, "UF", "psuc|nontardy") >= 0.7 &&
+					at(t, 25, "TF", "psuc|nontardy") <= 0.4
+				return ok, fmt.Sprintf("at 25: OD=%.3f UF=%.3f TF=%.3f",
+					at(t, 25, "OD", "psuc|nontardy"), at(t, 25, "UF", "psuc|nontardy"),
+					at(t, 25, "TF", "psuc|nontardy"))
+			},
+		},
+		{
+			ID:        "fig7a-heavy-updates-sink-uf",
+			Statement: "Heavyweight updates sink UF while TF/OD are insensitive",
+			Figures:   []string{"fig7a"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig7a")
+				ufDrop := at(t, 0, "UF", "AV") - at(t, 50000, "UF", "AV")
+				tfDrop := math.Abs(at(t, 0, "TF", "AV") - at(t, 50000, "TF", "AV"))
+				return ufDrop > 2 && tfDrop < 0.5,
+					fmt.Sprintf("UF drop=%.2f TF drift=%.2f", ufDrop, tfDrop)
+			},
+		},
+		{
+			ID:        "fig8-scan-cost-od-only",
+			Statement: "Only OD pays the queue scan cost under MA",
+			Figures:   []string{"fig8"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig8")
+				odDecline := at(t, t.Xs[0], "OD", "AV") - at(t, t.Xs[len(t.Xs)-1], "OD", "AV")
+				othersFlat := seriesRange(t, "UF", "AV") < 0.2 &&
+					seriesRange(t, "TF", "AV") < 0.2 &&
+					seriesRange(t, "SU", "AV") < 0.2
+				return odDecline > 1 && othersFlat,
+					fmt.Sprintf("OD decline=%.2f", odDecline)
+			},
+		},
+		{
+			ID:        "fig9-od-psuccess-rises",
+			Statement: "OD's psuccess rises with the update rate; TF's value stays flat while UF's falls",
+			Figures:   []string{"fig9"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig9")
+				odRise := at(t, 600, "OD", "psuccess") - at(t, 200, "OD", "psuccess")
+				tfFlat := seriesRange(t, "TF", "AV") < 0.3
+				ufFall := at(t, 200, "UF", "AV") - at(t, 600, "UF", "AV")
+				return odRise > 0.1 && tfFlat && ufFall > 0.5,
+					fmt.Sprintf("OD rise=%.3f UF fall=%.2f", odRise, ufFall)
+			},
+		},
+		{
+			ID:        "fig10-ratio-matters",
+			Statement: "Shrinking Delta alone cuts value; scaling Nl,Nh with Delta leaves it flat",
+			Figures:   []string{"fig10a", "fig10b"},
+			Check: func(get func(string) *Table) (bool, string) {
+				a, b := get("fig10a"), get("fig10b")
+				drop := at(a, 9, "OD", "AV") - at(a, 3, "OD", "AV")
+				flat := seriesRange(b, "OD", "AV") < 0.05*at(b, 7, "OD", "AV")
+				return drop > 1 && flat,
+					fmt.Sprintf("10a drop=%.2f, 10b range=%.3f", drop, seriesRange(b, "OD", "AV"))
+			},
+		},
+		{
+			ID:        "fig11-lifo-fresher",
+			Statement: "FIFO keeps data staler than LIFO for the queue-based policies; UF is unaffected",
+			Figures:   []string{"fig11"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig11")
+				tfRatio := at(t, 10, "TF", "fold_l")
+				ufFlat := seriesRange(t, "UF", "fold_l") < 1e-9 && at(t, 10, "UF", "fold_l") == 1
+				return tfRatio > 1.2 && ufFlat,
+					fmt.Sprintf("TF ratio(10)=%.2f", tfRatio)
+			},
+		},
+		{
+			ID:        "fig12-aborts-freshen-tf",
+			Statement: "Abort-on-stale makes TF's data dramatically fresher",
+			Figures:   []string{"fig12b"},
+			Check: func(get func(string) *Table) (bool, string) {
+				v := at(get("fig12b"), 10, "TF", "fold_h")
+				return v < 0.5, fmt.Sprintf("TF fold_h ratio(10)=%.3f", v)
+			},
+		},
+		{
+			ID:        "fig13-od-wins-under-aborts",
+			Statement: "OD is the clear value winner with abort-on-stale; SU beats both UF and TF",
+			Figures:   []string{"fig13a"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig13a")
+				od := at(t, 25, "OD", "AV")
+				ok := od > at(t, 25, "UF", "AV") && od > at(t, 25, "TF", "AV") &&
+					od > at(t, 25, "SU", "AV") &&
+					at(t, 25, "SU", "AV") > at(t, 25, "UF", "AV") &&
+					at(t, 25, "SU", "AV") > at(t, 25, "TF", "AV")
+				return ok, fmt.Sprintf("AV(25): OD=%.2f SU=%.2f UF=%.2f TF=%.2f",
+					od, at(t, 25, "SU", "AV"), at(t, 25, "UF", "AV"), at(t, 25, "TF", "AV"))
+			},
+		},
+		{
+			ID:        "fig14-od-wins-psuccess-aborts",
+			Statement: "OD wins psuccess at every load with abort-on-stale",
+			Figures:   []string{"fig14"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig14")
+				ok := true
+				for _, x := range t.Xs {
+					od := at(t, x, "OD", "psuccess")
+					for _, pol := range []string{"UF", "TF", "SU"} {
+						ok = ok && od >= at(t, x, pol, "psuccess")
+					}
+				}
+				return ok, fmt.Sprintf("OD(10)=%.3f", at(t, 10, "OD", "psuccess"))
+			},
+		},
+		{
+			ID:        "fig15-read-early",
+			Statement: "Deferring view reads wastes work under aborts; every policy degrades, TF worst",
+			Figures:   []string{"fig15"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig15")
+				ok := true
+				worstDrop, worstPol := 0.0, ""
+				for _, pol := range t.Policies {
+					drop := at(t, 0, pol, "AV") - at(t, 1, pol, "AV")
+					ok = ok && drop > 0
+					if drop > worstDrop {
+						worstDrop, worstPol = drop, pol
+					}
+				}
+				return ok && worstPol == "TF",
+					fmt.Sprintf("worst drop %s=%.2f", worstPol, worstDrop)
+			},
+		},
+		{
+			ID:        "fig16-uu-ranking",
+			Statement: "The OD > UF > SU > TF ranking holds under UU staleness",
+			Figures:   []string{"fig16"},
+			Check: func(get func(string) *Table) (bool, string) {
+				t := get("fig16")
+				ok := true
+				for _, x := range []float64{10, 14} {
+					od, uf := at(t, x, "OD", "psuccess"), at(t, x, "UF", "psuccess")
+					su, tf := at(t, x, "SU", "psuccess"), at(t, x, "TF", "psuccess")
+					ok = ok && od > uf && uf > su && su > tf
+				}
+				return ok, fmt.Sprintf("at 10: OD=%.3f UF=%.3f SU=%.3f TF=%.3f",
+					at(t, 10, "OD", "psuccess"), at(t, 10, "UF", "psuccess"),
+					at(t, 10, "SU", "psuccess"), at(t, 10, "TF", "psuccess"))
+			},
+		},
+	}
+}
+
+func seriesMax(t *Table, policy, metric string) float64 {
+	out := math.Inf(-1)
+	for _, v := range t.Series(policy, metric) {
+		out = math.Max(out, v)
+	}
+	return out
+}
+
+// VerifyClaims runs every figure the claims need (reusing runs across
+// claims) and checks each claim, streaming progress to log (which may
+// be nil).
+func VerifyClaims(opts Options, log io.Writer) ([]ClaimResult, error) {
+	claims := Claims()
+	need := map[string]bool{}
+	for _, c := range claims {
+		for _, f := range c.Figures {
+			need[f] = true
+		}
+	}
+	tables := make(map[string]*Table, len(need))
+	for id := range need {
+		def, err := ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		t, err := def.Run(opts)
+		if err != nil {
+			return nil, err
+		}
+		tables[id] = t
+		if log != nil {
+			fmt.Fprintf(log, "ran %s\n", id)
+		}
+	}
+	get := func(id string) *Table { return tables[id] }
+	out := make([]ClaimResult, 0, len(claims))
+	for _, c := range claims {
+		passed, detail := c.Check(get)
+		out = append(out, ClaimResult{Claim: c, Passed: passed, Detail: detail})
+	}
+	return out, nil
+}

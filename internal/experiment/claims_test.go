@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Claims() {
+		if c.ID == "" || c.Statement == "" || len(c.Figures) == 0 || c.Check == nil {
+			t.Errorf("claim %+v incompletely defined", c.ID)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+		for _, f := range c.Figures {
+			if _, err := ByID(f); err != nil {
+				t.Errorf("claim %s references unknown figure %s", c.ID, f)
+			}
+		}
+	}
+	if len(seen) < 15 {
+		t.Fatalf("only %d claims defined", len(seen))
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	tab := &Table{
+		Xs:       []float64{1, 2, 3},
+		Policies: []string{"UF"},
+		Metrics:  []string{"AV"},
+		Values:   [][][]float64{{{1.0}}, {{3.0}}, {{2.0}}},
+	}
+	if got := seriesRange(tab, "UF", "AV"); got != 2.0 {
+		t.Fatalf("seriesRange = %v", got)
+	}
+	if got := seriesMax(tab, "UF", "AV"); got != 3.0 {
+		t.Fatalf("seriesMax = %v", got)
+	}
+	if got := seriesRange(tab, "XX", "AV"); got == got { // NaN check
+		t.Fatalf("missing series range = %v, want NaN", got)
+	}
+}
+
+// TestVerifyClaimsEndToEnd regenerates the needed figures at a reduced
+// horizon and requires every qualitative claim of the paper to pass.
+// This is the repository's self-certification.
+func TestVerifyClaimsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims verification runs many simulations")
+	}
+	var log bytes.Buffer
+	results, err := VerifyClaims(Options{Duration: 60, Seeds: []uint64{1}}, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Claims()) {
+		t.Fatalf("checked %d claims, want %d", len(results), len(Claims()))
+	}
+	for _, r := range results {
+		if !r.Passed {
+			t.Errorf("CLAIM FAILED %s: %s (%s)", r.Claim.ID, r.Claim.Statement, r.Detail)
+		}
+	}
+	if !strings.Contains(log.String(), "ran fig6") {
+		t.Error("progress log missing")
+	}
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Comparison is the statistical comparison of two policies on one
+// figure's sweep: per sweep point, the replicated means and a Welch
+// t-test on the difference.
+type Comparison struct {
+	// ExperimentID, PolicyA, PolicyB, Metric identify the comparison.
+	ExperimentID     string
+	PolicyA, PolicyB string
+	Metric           string
+	XLabel           string
+	// Points holds one row per sweep value.
+	Points []ComparePoint
+}
+
+// ComparePoint is the comparison at one sweep value.
+type ComparePoint struct {
+	X float64
+	// MeanA, MeanB are the seed-replicated means.
+	MeanA, MeanB float64
+	// P is the two-sided Welch p-value for mean inequality.
+	P float64
+	// Significant is P < 0.05.
+	Significant bool
+}
+
+// Compare runs the experiment's sweep for two policies across the
+// option's seeds and tests, at every sweep point, whether the chosen
+// metric differs significantly. At least two seeds are required for a
+// meaningful test.
+func Compare(expID, policyA, policyB, metric string, opts Options) (*Comparison, error) {
+	def, err := ByID(expID)
+	if err != nil {
+		return nil, err
+	}
+	opts.fill()
+	if len(opts.Seeds) < 2 {
+		return nil, fmt.Errorf("experiment: Compare needs at least 2 seeds, got %d", len(opts.Seeds))
+	}
+	pa, err := sched.ParsePolicy(policyA)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := sched.ParsePolicy(policyB)
+	if err != nil {
+		return nil, err
+	}
+	var extract func(metrics.Result) float64
+	for _, m := range def.Metrics {
+		if m.Name == metric {
+			extract = m.Extract
+		}
+	}
+	if extract == nil {
+		return nil, fmt.Errorf("experiment: %s does not plot metric %q", expID, metric)
+	}
+
+	out := &Comparison{
+		ExperimentID: expID,
+		PolicyA:      pa.String(),
+		PolicyB:      pb.String(),
+		Metric:       metric,
+		XLabel:       def.XLabel,
+	}
+	for _, x := range def.Xs {
+		var sa, sb []float64
+		for _, seed := range opts.Seeds {
+			ra, err := def.runOne(def.Configure, pa, x, seed, opts.Duration)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := def.runOne(def.Configure, pb, x, seed, opts.Duration)
+			if err != nil {
+				return nil, err
+			}
+			sa = append(sa, extract(ra))
+			sb = append(sb, extract(rb))
+		}
+		tt := stats.WelchTTest(sa, sb)
+		out.Points = append(out.Points, ComparePoint{
+			X:           x,
+			MeanA:       tt.MeanA,
+			MeanB:       tt.MeanB,
+			P:           tt.P,
+			Significant: tt.P < 0.05,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the comparison as an aligned text table.
+func (c *Comparison) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %s vs %s on %s\n",
+		c.ExperimentID, c.PolicyA, c.PolicyB, c.Metric); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%10s  %12s  %12s  %10s  %s",
+		c.XLabel, c.PolicyA, c.PolicyB, "p-value", "significant")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, pt := range c.Points {
+		mark := ""
+		if pt.Significant {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%10g  %12.4f  %12.4f  %10.2g  %s\n",
+			pt.X, pt.MeanA, pt.MeanB, pt.P, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}

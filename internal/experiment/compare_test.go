@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompareODvsTF(t *testing.T) {
+	cmp, err := Compare("fig6", "OD", "TF", "psuccess",
+		Options{Duration: 30, Seeds: []uint64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PolicyA != "OD" || cmp.PolicyB != "TF" || len(cmp.Points) != 7 {
+		t.Fatalf("comparison shape: %+v", cmp)
+	}
+	// At heavy load the difference is enormous and must be
+	// significant even with three seeds.
+	last := cmp.Points[len(cmp.Points)-1]
+	if !last.Significant || last.MeanA <= last.MeanB {
+		t.Fatalf("OD vs TF at overload: %+v", last)
+	}
+
+	var buf bytes.Buffer
+	if err := cmp.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"OD vs TF", "p-value", "lambda_t", "*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareSamePolicy(t *testing.T) {
+	// A policy against itself: identical runs, never significant.
+	cmp, err := Compare("fig15", "TF", "TF", "AV",
+		Options{Duration: 10, Seeds: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range cmp.Points {
+		if pt.Significant || pt.MeanA != pt.MeanB {
+			t.Fatalf("self-comparison flagged significant: %+v", pt)
+		}
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	opts := Options{Duration: 10, Seeds: []uint64{1, 2}}
+	if _, err := Compare("nope", "OD", "TF", "psuccess", opts); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if _, err := Compare("fig6", "XX", "TF", "psuccess", opts); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := Compare("fig6", "OD", "YY", "psuccess", opts); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := Compare("fig6", "OD", "TF", "nonsense", opts); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	if _, err := Compare("fig6", "OD", "TF", "psuccess",
+		Options{Duration: 10, Seeds: []uint64{1}}); err == nil {
+		t.Error("single seed should fail")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report regenerates every figure")
+	}
+	var buf, progress bytes.Buffer
+	err := WriteReport(&buf, Options{Duration: 10, Seeds: []uint64{1}}, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Reproduction report",
+		"### Fig 6: successful transactions",
+		"| lambda_t |",
+		"## Claim verification",
+		"claims verified",
+		"### Extension: fixed CPU fraction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if !strings.Contains(progress.String(), "ran fig3") {
+		t.Error("progress stream missing")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		XLabel:   "x",
+		Xs:       []float64{1},
+		Policies: []string{"UF"},
+		Metrics:  []string{"AV"},
+		Values:   [][][]float64{{{2.5}}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| x | UF:AV |") || !strings.Contains(out, "| 2.5000 |") {
+		t.Fatalf("markdown:\n%s", out)
+	}
+}

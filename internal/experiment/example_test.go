@@ -1,0 +1,29 @@
+package experiment_test
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+)
+
+// Running one figure at a reduced horizon and reading a series.
+func ExampleDefinition_Run() {
+	def, err := experiment.ByID("fig3")
+	if err != nil {
+		panic(err)
+	}
+	table, err := def.Run(experiment.Options{Duration: 20, Seeds: []uint64{1}})
+	if err != nil {
+		panic(err)
+	}
+	// UF's update utilization is pinned at the stream's CPU demand.
+	series := table.Series("UF", "rho_u")
+	flat := true
+	for _, v := range series {
+		if v < 0.17 || v > 0.21 {
+			flat = false
+		}
+	}
+	fmt.Println(len(series), flat)
+	// Output: 7 true
+}

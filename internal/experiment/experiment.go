@@ -1,0 +1,162 @@
+// Package experiment defines and runs the paper's evaluation (§6):
+// one Definition per figure, a sweep runner that averages replicated
+// simulation runs, and text/CSV table rendering that prints the same
+// series the paper plots.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Metric names one plotted quantity and how to extract it from a run.
+type Metric struct {
+	// Name is the paper's symbol, e.g. "fold_l" or "psuccess".
+	Name string
+	// Extract pulls the value out of a run result.
+	Extract func(metrics.Result) float64
+}
+
+// Standard metric extractors shared by the figure definitions.
+var (
+	MetricRhoTxn    = Metric{"rho_t", func(r metrics.Result) float64 { return r.RhoTxn }}
+	MetricRhoUpdate = Metric{"rho_u", func(r metrics.Result) float64 { return r.RhoUpdate }}
+	MetricPMD       = Metric{"pMD", func(r metrics.Result) float64 { return r.PMissedDeadline }}
+	MetricAV        = Metric{"AV", func(r metrics.Result) float64 { return r.AvgValuePerSecond }}
+	MetricFoldLow   = Metric{"fold_l", func(r metrics.Result) float64 { return r.FOldLow }}
+	MetricFoldHigh  = Metric{"fold_h", func(r metrics.Result) float64 { return r.FOldHigh }}
+	MetricPSuccess  = Metric{"psuccess", func(r metrics.Result) float64 { return r.PSuccess }}
+	MetricPSucNT    = Metric{"psuc|nontardy", func(r metrics.Result) float64 { return r.PSuccessGivenNonTardy }}
+)
+
+// Definition describes one figure: a parameter sweep evaluated for a
+// set of policies and metrics. When Denominator is set, every metric
+// becomes the ratio of the Configure run over the Denominator run at
+// the same sweep point (used for the FIFO/LIFO and abort/no-abort
+// comparison figures).
+type Definition struct {
+	// ID is the experiment key, e.g. "fig5".
+	ID string
+	// Title describes the figure as in the paper.
+	Title string
+	// XLabel names the sweep parameter.
+	XLabel string
+	// Xs are the sweep values.
+	Xs []float64
+	// Policies are the algorithms evaluated (the paper's four unless
+	// a figure restricts them).
+	Policies []sched.Policy
+	// Metrics are the plotted quantities.
+	Metrics []Metric
+	// Base returns the base parameter set; nil means the Tables 1-3
+	// baseline.
+	Base func() model.Params
+	// Configure applies the sweep value to the parameters.
+	Configure func(*model.Params, float64)
+	// Denominator, if non-nil, configures the comparison run for
+	// ratio figures.
+	Denominator func(*model.Params, float64)
+}
+
+// Options controls a sweep run.
+type Options struct {
+	// Duration is the simulated seconds per data point (the paper
+	// uses 1000).
+	Duration float64
+	// Seeds lists the replication seeds; metric values are averaged
+	// across them.
+	Seeds []uint64
+}
+
+// DefaultOptions returns the paper's setting: 1000 simulated seconds,
+// three replications.
+func DefaultOptions() Options {
+	return Options{Duration: 1000, Seeds: []uint64{1, 2, 3}}
+}
+
+// QuickOptions returns a fast setting for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{Duration: 60, Seeds: []uint64{1}}
+}
+
+func (o *Options) fill() {
+	if o.Duration <= 0 {
+		o.Duration = 1000
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+}
+
+// Run executes the sweep and returns the result table.
+func (d *Definition) Run(opts Options) (*Table, error) {
+	opts.fill()
+	pols := d.Policies
+	if len(pols) == 0 {
+		pols = sched.Policies
+	}
+	t := newTable(d, pols)
+	multiSeed := len(opts.Seeds) > 1
+	for xi, x := range d.Xs {
+		for pi, pol := range pols {
+			samples := make([][]float64, len(d.Metrics))
+			for _, seed := range opts.Seeds {
+				num, err := d.runOne(d.Configure, pol, x, seed, opts.Duration)
+				if err != nil {
+					return nil, fmt.Errorf("experiment %s (x=%v, %v): %w", d.ID, x, pol, err)
+				}
+				var den *metrics.Result
+				if d.Denominator != nil {
+					r, err := d.runOne(d.Denominator, pol, x, seed, opts.Duration)
+					if err != nil {
+						return nil, fmt.Errorf("experiment %s denominator (x=%v, %v): %w", d.ID, x, pol, err)
+					}
+					den = &r
+				}
+				for mi, m := range d.Metrics {
+					v := m.Extract(num)
+					if den != nil {
+						dv := m.Extract(*den)
+						if dv != 0 {
+							v /= dv
+						} else {
+							v = 0
+						}
+					}
+					samples[mi] = append(samples[mi], v)
+				}
+			}
+			for mi := range d.Metrics {
+				mean, std := stats.MeanStd(samples[mi])
+				t.Values[xi][pi][mi] = mean
+				if multiSeed {
+					// Standard error of the seed mean.
+					t.Errs[xi][pi][mi] = std / math.Sqrt(float64(len(samples[mi])))
+				}
+			}
+		}
+	}
+	if !multiSeed {
+		t.Errs = nil
+	}
+	return t, nil
+}
+
+func (d *Definition) runOne(configure func(*model.Params, float64), pol sched.Policy,
+	x float64, seed uint64, duration float64) (metrics.Result, error) {
+	var p model.Params
+	if d.Base != nil {
+		p = d.Base()
+	} else {
+		p = model.DefaultParams()
+	}
+	if configure != nil {
+		configure(&p, x)
+	}
+	return sched.Run(sched.Config{Params: p, Policy: pol, Seed: seed, Duration: duration})
+}

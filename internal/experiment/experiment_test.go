@@ -1,0 +1,305 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// tinyOpts keeps sweep tests fast.
+var tinyOpts = Options{Duration: 20, Seeds: []uint64{1}}
+
+func TestAllFiguresDefined(t *testing.T) {
+	defs := All()
+	want := []string{
+		"fig3", "fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
+		"fig10a", "fig10b", "fig11", "fig12a", "fig12b", "fig13a", "fig13b",
+		"fig14", "fig15", "fig16",
+	}
+	if len(defs) != len(want) {
+		t.Fatalf("All() has %d figures, want %d", len(defs), len(want))
+	}
+	for i, d := range defs {
+		if d.ID != want[i] {
+			t.Errorf("figure %d = %s, want %s", i, d.ID, want[i])
+		}
+		if d.Title == "" || d.XLabel == "" || len(d.Xs) == 0 || len(d.Metrics) == 0 {
+			t.Errorf("figure %s is incompletely defined", d.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	d, err := ByID("fig5")
+	if err != nil || d.ID != "fig5" {
+		t.Fatalf("ByID(fig5) = %v, %v", d, err)
+	}
+	if _, err := ByID("ext-fc"); err != nil {
+		t.Fatalf("ByID(ext-fc) failed: %v", err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("ByID(nope) should fail")
+	}
+	ids := IDs()
+	if len(ids) != len(All())+len(Extensions()) {
+		t.Fatalf("IDs() has %d entries", len(ids))
+	}
+}
+
+func TestRunProducesCompleteTable(t *testing.T) {
+	d := &Definition{
+		ID:        "t",
+		Title:     "test",
+		XLabel:    "lambda_t",
+		Xs:        []float64{2, 10},
+		Metrics:   []Metric{MetricPMD, MetricAV},
+		Configure: func(p *model.Params, x float64) { p.TxnRate = x },
+	}
+	tab, err := d.Run(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Xs) != 2 || len(tab.Policies) != 4 || len(tab.Metrics) != 2 {
+		t.Fatalf("table shape wrong: %v %v %v", tab.Xs, tab.Policies, tab.Metrics)
+	}
+	// AV must rise with load for every policy.
+	for _, pol := range tab.Policies {
+		s := tab.Series(pol, "AV")
+		if len(s) != 2 || s[1] <= s[0] {
+			t.Errorf("%s AV series %v should increase with load", pol, s)
+		}
+	}
+}
+
+func TestRunSeedAveraging(t *testing.T) {
+	d := &Definition{
+		ID:        "t",
+		Title:     "test",
+		XLabel:    "x",
+		Xs:        []float64{10},
+		Metrics:   []Metric{MetricAV},
+		Configure: func(p *model.Params, x float64) { p.TxnRate = x },
+	}
+	one, err := d.Run(Options{Duration: 20, Seeds: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := d.Run(Options{Duration: 20, Seeds: []uint64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := d.Run(Options{Duration: 20, Seeds: []uint64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (one.Values[0][0][0] + two.Values[0][0][0]) / 2
+	if got := avg.Values[0][0][0]; got != want {
+		t.Fatalf("seed average = %v, want %v", got, want)
+	}
+}
+
+func TestRatioDefinition(t *testing.T) {
+	// A definition whose denominator equals its numerator must give
+	// ratios of exactly 1.
+	d := &Definition{
+		ID:          "t",
+		Title:       "test",
+		XLabel:      "x",
+		Xs:          []float64{10},
+		Metrics:     []Metric{MetricAV},
+		Configure:   func(p *model.Params, x float64) { p.TxnRate = x },
+		Denominator: func(p *model.Params, x float64) { p.TxnRate = x },
+	}
+	tab, err := d.Run(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := range tab.Policies {
+		if v := tab.Values[0][pi][0]; v != 1 {
+			t.Fatalf("self-ratio = %v, want 1", v)
+		}
+	}
+}
+
+func TestRunPolicyRestriction(t *testing.T) {
+	d := &Definition{
+		ID:        "t",
+		Title:     "test",
+		XLabel:    "x",
+		Xs:        []float64{0.2},
+		Policies:  []sched.Policy{sched.FC},
+		Metrics:   []Metric{MetricRhoUpdate},
+		Configure: func(p *model.Params, x float64) { p.UpdateCPUFraction = x },
+	}
+	tab, err := d.Run(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Policies) != 1 || tab.Policies[0] != "FC" {
+		t.Fatalf("policies = %v", tab.Policies)
+	}
+}
+
+func TestRunInvalidConfigSurfacesError(t *testing.T) {
+	d := &Definition{
+		ID:        "t",
+		Title:     "test",
+		XLabel:    "x",
+		Xs:        []float64{1},
+		Metrics:   []Metric{MetricAV},
+		Configure: func(p *model.Params, x float64) { p.IPS = -1 },
+	}
+	if _, err := d.Run(tinyOpts); err == nil {
+		t.Fatal("invalid sweep config should error")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	d := &Definition{
+		ID:        "t",
+		Title:     "render test",
+		XLabel:    "lambda_t",
+		Xs:        []float64{5},
+		Metrics:   []Metric{MetricPMD},
+		Configure: func(p *model.Params, x float64) { p.TxnRate = x },
+	}
+	tab, err := d.Run(tinyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"render test", "UF:pMD", "TF:pMD", "SU:pMD", "OD:pMD", "lambda_t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want 2", len(lines))
+	}
+	if got := len(strings.Split(lines[1], ",")); got != 5 {
+		t.Fatalf("CSV row has %d fields, want 5", got)
+	}
+}
+
+func TestTableSeriesAndValue(t *testing.T) {
+	tab := &Table{
+		Xs:       []float64{1, 2},
+		Policies: []string{"UF", "TF"},
+		Metrics:  []string{"AV"},
+		Values: [][][]float64{
+			{{1.5}, {2.5}},
+			{{3.5}, {4.5}},
+		},
+	}
+	if s := tab.Series("TF", "AV"); len(s) != 2 || s[0] != 2.5 || s[1] != 4.5 {
+		t.Fatalf("Series = %v", s)
+	}
+	if tab.Series("XX", "AV") != nil || tab.Series("TF", "XX") != nil {
+		t.Fatal("unknown series should be nil")
+	}
+	if v := tab.Value(2, "UF", "AV"); v != 3.5 {
+		t.Fatalf("Value = %v", v)
+	}
+	if v := tab.Value(9, "UF", "AV"); v != 0 {
+		t.Fatalf("unknown Value = %v", v)
+	}
+}
+
+func TestDefaultAndQuickOptions(t *testing.T) {
+	d := DefaultOptions()
+	if d.Duration != 1000 || len(d.Seeds) != 3 {
+		t.Fatalf("DefaultOptions = %+v", d)
+	}
+	q := QuickOptions()
+	if q.Duration <= 0 || len(q.Seeds) == 0 {
+		t.Fatalf("QuickOptions = %+v", q)
+	}
+	var o Options
+	o.fill()
+	if o.Duration != 1000 || len(o.Seeds) != 3 {
+		t.Fatalf("fill() defaults = %+v", o)
+	}
+}
+
+// TestFig10bScalesPartitions verifies the Fig 10(b) configure hook
+// keeps the objects-per-Delta ratio constant.
+func TestFig10bScalesPartitions(t *testing.T) {
+	d, err := ByID("fig10b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.DefaultParams()
+	d.Configure(&p, 14)
+	if p.NLow != 1000 || p.NHigh != 1000 || p.MaxAgeDelta != 14 {
+		t.Fatalf("fig10b configure: Nl=%d Nh=%d Delta=%v", p.NLow, p.NHigh, p.MaxAgeDelta)
+	}
+}
+
+// TestExtensionBasesApply checks the extension experiments flip their
+// feature switches.
+func TestExtensionBasesApply(t *testing.T) {
+	for _, id := range []string{"ext-coalesce", "ext-partition", "ext-fc", "ext-uustrict"} {
+		d, err := ByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		p := d.Base()
+		switch id {
+		case "ext-coalesce":
+			if !p.CoalesceQueue {
+				t.Error("ext-coalesce base must enable CoalesceQueue")
+			}
+		case "ext-partition":
+			if !p.PartitionedQueues {
+				t.Error("ext-partition base must enable PartitionedQueues")
+			}
+		case "ext-uustrict":
+			if p.Staleness != model.UnappliedUpdateStrict {
+				t.Error("ext-uustrict base must select strict UU")
+			}
+		}
+	}
+}
+
+// TestEveryDefinitionRunsBriefly smoke-runs each figure and extension
+// at a tiny horizon on a single sweep point, catching configuration
+// regressions in any definition.
+func TestEveryDefinitionRunsBriefly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every definition")
+	}
+	for _, d := range append(All(), Extensions()...) {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			trimmed := *d
+			trimmed.Xs = d.Xs[:1]
+			tab, err := trimmed.Run(Options{Duration: 5, Seeds: []uint64{1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Xs) != 1 || len(tab.Metrics) != len(d.Metrics) {
+				t.Fatalf("table shape wrong for %s", d.ID)
+			}
+			for pi := range tab.Policies {
+				for mi := range tab.Metrics {
+					v := tab.Values[0][pi][mi]
+					if v != v { // NaN guard
+						t.Fatalf("%s: NaN value for %s/%s", d.ID, tab.Policies[pi], tab.Metrics[mi])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,349 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// txnRateSweep is the transaction-rate axis used by Figures 3-6 and
+// 11-14.
+var txnRateSweep = []float64{1, 2, 5, 10, 15, 20, 25}
+
+func setTxnRate(p *model.Params, x float64) { p.TxnRate = x }
+
+// abortBase is the §6.2 scenario: MA staleness with abort-on-stale.
+func abortBase() model.Params {
+	p := model.DefaultParams()
+	p.OnStale = model.StaleAbort
+	return p
+}
+
+// uuBase is the §6.3 scenario: UU staleness, no aborts.
+func uuBase() model.Params {
+	p := model.DefaultParams()
+	p.Staleness = model.UnappliedUpdate
+	return p
+}
+
+// All returns every figure reproduction, in paper order.
+func All() []*Definition {
+	return []*Definition{
+		{
+			ID:        "fig3",
+			Title:     "Fig 3: CPU time split between transactions and updates vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricRhoTxn, MetricRhoUpdate},
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig4",
+			Title:     "Fig 4: missed deadlines and value returned vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricPMD, MetricAV},
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig5",
+			Title:     "Fig 5: fraction of stale objects vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricFoldLow, MetricFoldHigh},
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig6",
+			Title:     "Fig 6: successful transactions vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricPSuccess, MetricPSucNT},
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig7a",
+			Title:     "Fig 7(a): value returned vs update installation cost",
+			XLabel:    "xupdate",
+			Xs:        []float64{0, 10000, 20000, 30000, 40000, 50000},
+			Metrics:   []Metric{MetricAV},
+			Configure: func(p *model.Params, x float64) { p.XUpdate = x },
+		},
+		{
+			ID:        "fig7b",
+			Title:     "Fig 7(b): value returned vs queue management cost",
+			XLabel:    "xqueue",
+			Xs:        []float64{0, 1000, 2000, 3000, 4000, 5000},
+			Metrics:   []Metric{MetricAV},
+			Configure: func(p *model.Params, x float64) { p.XQueue = x },
+		},
+		{
+			ID:     "fig8",
+			Title:  "Fig 8: value returned vs update queue scan cost",
+			XLabel: "xscan",
+			// The paper sweeps to 10000 and argues realistic costs sit
+			// "well within the less than 1,000 range"; the dense low
+			// end shows the tolerable region. Our baseline queue runs
+			// longer than the original's, so OD's collapse comes at a
+			// smaller xscan (see EXPERIMENTS.md).
+			Xs:        []float64{0, 100, 250, 500, 1000, 2000, 5000, 10000},
+			Metrics:   []Metric{MetricAV},
+			Configure: func(p *model.Params, x float64) { p.XScan = x },
+		},
+		{
+			ID:        "fig9",
+			Title:     "Fig 9: performance vs update arrival rate",
+			XLabel:    "lambda_u",
+			Xs:        []float64{200, 250, 300, 350, 400, 450, 500, 550, 600},
+			Metrics:   []Metric{MetricPSuccess, MetricAV},
+			Configure: func(p *model.Params, x float64) { p.UpdateRate = x },
+		},
+		{
+			ID:     "fig10a",
+			Title:  "Fig 10(a): value returned vs maximum age Delta",
+			XLabel: "Delta",
+			Xs:     []float64{3, 4, 5, 6, 7, 8, 9},
+			// AV can only depend on Delta when staleness has a cost:
+			// the figure's sharp drop at small Delta requires the
+			// abort-on-stale action (see EXPERIMENTS.md).
+			Base:      abortBase,
+			Metrics:   []Metric{MetricAV},
+			Configure: func(p *model.Params, x float64) { p.MaxAgeDelta = x },
+		},
+		{
+			ID:      "fig10b",
+			Title:   "Fig 10(b): value returned vs Delta with Nl, Nh scaled to hold fold constant",
+			XLabel:  "Delta",
+			Xs:      []float64{3, 4, 5, 6, 7, 8, 9},
+			Base:    abortBase,
+			Metrics: []Metric{MetricAV},
+			Configure: func(p *model.Params, x float64) {
+				p.MaxAgeDelta = x
+				scale := x / 7.0
+				p.NLow = int(math.Round(500 * scale))
+				p.NHigh = int(math.Round(500 * scale))
+			},
+		},
+		{
+			ID:      "fig11",
+			Title:   "Fig 11: FIFO/LIFO queue discipline ratios vs lambda_t",
+			XLabel:  "lambda_t",
+			Xs:      []float64{5, 10, 15, 20, 25},
+			Metrics: []Metric{MetricFoldLow, MetricPSuccess},
+			Configure: func(p *model.Params, x float64) {
+				p.TxnRate = x
+				p.Order = model.FIFO
+			},
+			Denominator: func(p *model.Params, x float64) {
+				p.TxnRate = x
+				p.Order = model.LIFO
+			},
+		},
+		{
+			ID:        "fig12a",
+			Title:     "Fig 12(a): fraction of stale high-importance objects vs lambda_t (MA with abortion)",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricFoldHigh},
+			Base:      abortBase,
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig12b",
+			Title:     "Fig 12(b): fold_h with abortion / fold_h without abortion vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        []float64{5, 10, 15, 20, 25},
+			Metrics:   []Metric{MetricFoldHigh},
+			Base:      abortBase,
+			Configure: setTxnRate,
+			Denominator: func(p *model.Params, x float64) {
+				p.TxnRate = x
+				p.OnStale = model.StaleIgnore
+			},
+		},
+		{
+			ID:        "fig13a",
+			Title:     "Fig 13(a): value returned vs lambda_t (MA with abortion)",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricAV},
+			Base:      abortBase,
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig13b",
+			Title:     "Fig 13(b): AV with abortion / AV without abortion vs lambda_t",
+			XLabel:    "lambda_t",
+			Xs:        []float64{5, 10, 15, 20, 25},
+			Metrics:   []Metric{MetricAV},
+			Base:      abortBase,
+			Configure: setTxnRate,
+			Denominator: func(p *model.Params, x float64) {
+				p.TxnRate = x
+				p.OnStale = model.StaleIgnore
+			},
+		},
+		{
+			ID:        "fig14",
+			Title:     "Fig 14: successful transactions vs lambda_t (MA with abortion)",
+			XLabel:    "lambda_t",
+			Xs:        txnRateSweep,
+			Metrics:   []Metric{MetricPSuccess},
+			Base:      abortBase,
+			Configure: setTxnRate,
+		},
+		{
+			ID:        "fig15",
+			Title:     "Fig 15: value returned vs pview (MA with abortion)",
+			XLabel:    "pview",
+			Xs:        []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+			Metrics:   []Metric{MetricAV},
+			Base:      abortBase,
+			Configure: func(p *model.Params, x float64) { p.PView = x },
+		},
+		{
+			ID:        "fig16",
+			Title:     "Fig 16: successful transactions vs lambda_t (UU staleness)",
+			XLabel:    "lambda_t",
+			Xs:        []float64{2, 4, 6, 8, 10, 12, 14, 16},
+			Metrics:   []Metric{MetricPSuccess},
+			Base:      uuBase,
+			Configure: setTxnRate,
+		},
+	}
+}
+
+// Extensions returns ablation experiments for the future-work features
+// implemented beyond the paper (DESIGN.md §6).
+func Extensions() []*Definition {
+	return []*Definition{
+		{
+			ID:      "ext-coalesce",
+			Title:   "Ablation: hash-coalesced update queue (one update per object) vs baseline queue",
+			XLabel:  "lambda_t",
+			Xs:      []float64{5, 10, 15, 20, 25},
+			Metrics: []Metric{MetricPSuccess, MetricAV},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				p.CoalesceQueue = true
+				return p
+			},
+			Configure: setTxnRate,
+		},
+		{
+			ID:      "ext-partition",
+			Title:   "Ablation: importance-partitioned queue drain (high first) under TF/OD",
+			XLabel:  "lambda_t",
+			Xs:      []float64{5, 10, 15, 20, 25},
+			Metrics: []Metric{MetricFoldHigh, MetricPSuccess},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				p.PartitionedQueues = true
+				return p
+			},
+			Configure: setTxnRate,
+		},
+		{
+			ID:       "ext-fc",
+			Title:    "Extension: fixed CPU fraction for the update process (FC policy)",
+			XLabel:   "update CPU fraction",
+			Xs:       []float64{0.05, 0.1, 0.2, 0.3, 0.4},
+			Policies: []sched.Policy{sched.FC},
+			Metrics:  []Metric{MetricPSuccess, MetricAV, MetricFoldHigh, MetricRhoUpdate},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				p.TxnRate = 15
+				return p
+			},
+			Configure: func(p *model.Params, x float64) { p.UpdateCPUFraction = x },
+		},
+		{
+			ID:      "ext-disk",
+			Title:   "Extension: disk-resident database (LRU buffer pool, 10 ms I/O per miss)",
+			XLabel:  "buffer pool pages",
+			Xs:      []float64{100, 250, 500, 750, 1000},
+			Metrics: []Metric{MetricPMD, MetricAV, MetricPSuccess},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				// A 1995 disk cannot sustain the memory-resident
+				// rates: scale the workload down so the I/O-bound
+				// system is merely loaded, not hopeless.
+				p.DiskResident = true
+				p.IOSeconds = 0.01
+				p.UpdateRate = 40
+				p.TxnRate = 2
+				return p
+			},
+			Configure: func(p *model.Params, x float64) { p.BufferPoolPages = int(x) },
+		},
+		{
+			ID:      "ext-periodic",
+			Title:   "Extension: periodic per-object update stream (plant-control workload)",
+			XLabel:  "refresh period (s)",
+			Xs:      []float64{1, 2, 3, 5, 7},
+			Metrics: []Metric{MetricFoldLow, MetricPSuccess},
+			Configure: func(p *model.Params, x float64) {
+				p.PeriodicPeriod = x
+			},
+		},
+		{
+			ID:      "ext-combined",
+			Title:   "Extension: combined MA+UU staleness criterion",
+			XLabel:  "lambda_t",
+			Xs:      []float64{5, 10, 15},
+			Metrics: []Metric{MetricFoldLow, MetricPSuccess},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				p.Staleness = model.CombinedMAUU
+				return p
+			},
+			Configure: setTxnRate,
+		},
+		{
+			ID:      "ext-bursty",
+			Title:   "Extension: bursty (Markov-modulated) update stream at constant average rate",
+			XLabel:  "burst factor",
+			Xs:      []float64{1, 2, 4, 8},
+			Metrics: []Metric{MetricPSuccess, MetricPMD, MetricFoldHigh},
+			Configure: func(p *model.Params, x float64) {
+				p.BurstFactor = x
+			},
+		},
+		{
+			ID:      "ext-uustrict",
+			Title:   "Extension: strict UU staleness (dropped updates keep objects stale)",
+			XLabel:  "lambda_t",
+			Xs:      []float64{5, 10, 15},
+			Metrics: []Metric{MetricFoldLow, MetricPSuccess},
+			Base: func() model.Params {
+				p := model.DefaultParams()
+				p.Staleness = model.UnappliedUpdateStrict
+				return p
+			},
+			Configure: setTxnRate,
+		},
+	}
+}
+
+// ByID finds a figure or extension definition by its key.
+func ByID(id string) (*Definition, error) {
+	for _, d := range append(All(), Extensions()...) {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("experiment: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// IDs lists every known experiment key, sorted.
+func IDs() []string {
+	var ids []string
+	for _, d := range append(All(), Extensions()...) {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown writes the table as a GitHub-style markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	headers := []string{t.XLabel}
+	for _, m := range t.Metrics {
+		for _, p := range t.Policies {
+			headers = append(headers, p+":"+m)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(headers, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | ")); err != nil {
+		return err
+	}
+	for xi, x := range t.Xs {
+		row := []string{trimFloat(x)}
+		for mi := range t.Metrics {
+			for pi := range t.Policies {
+				cell := fmt.Sprintf("%.4f", t.Values[xi][pi][mi])
+				if t.Errs != nil {
+					cell += fmt.Sprintf(" ± %.3f", t.Errs[xi][pi][mi])
+				}
+				row = append(row, cell)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteReport regenerates every paper figure and the extension
+// experiments, checks every claim, and writes one self-contained
+// markdown report. progress (may be nil) receives one line per
+// completed experiment.
+func WriteReport(w io.Writer, opts Options, progress io.Writer) error {
+	opts.fill()
+	fmt.Fprintf(w, "# Reproduction report\n\n")
+	fmt.Fprintf(w, "Adelberg, Garcia-Molina, Kao — *Applying Update Streams in a "+
+		"Soft Real-Time Database System* (SIGMOD 1995).\n\n")
+	fmt.Fprintf(w, "Configuration: %.0f simulated seconds per data point, %d seed(s).\n\n",
+		opts.Duration, len(opts.Seeds))
+
+	tables := map[string]*Table{}
+	fmt.Fprintf(w, "## Figures\n")
+	for _, d := range All() {
+		t, err := d.Run(opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", d.ID, err)
+		}
+		tables[d.ID] = t
+		if progress != nil {
+			fmt.Fprintf(progress, "ran %s\n", d.ID)
+		}
+		fmt.Fprintf(w, "\n### %s\n\n", t.Title)
+		if err := t.Markdown(w); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(w, "\n## Claim verification\n\n")
+	get := func(id string) *Table { return tables[id] }
+	passed := 0
+	claims := Claims()
+	for _, c := range claims {
+		ok, detail := c.Check(get)
+		mark := "❌ FAIL"
+		if ok {
+			mark = "✅ PASS"
+			passed++
+		}
+		fmt.Fprintf(w, "- %s **%s** — %s  \n  `%s`\n", mark, c.ID, c.Statement, detail)
+	}
+	fmt.Fprintf(w, "\n**%d/%d claims verified.**\n", passed, len(claims))
+
+	fmt.Fprintf(w, "\n## Extensions\n")
+	for _, d := range Extensions() {
+		t, err := d.Run(opts)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", d.ID, err)
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "ran %s\n", d.ID)
+		}
+		fmt.Fprintf(w, "\n### %s\n\n", t.Title)
+		if err := t.Markdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

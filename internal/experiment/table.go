@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// Table holds the result of one experiment sweep: Values[xi][pi][mi]
+// is the (seed-averaged) value of metric mi for policy pi at sweep
+// point xi.
+type Table struct {
+	ID       string
+	Title    string
+	XLabel   string
+	Xs       []float64
+	Policies []string
+	Metrics  []string
+	Values   [][][]float64
+	// Errs, non-nil for multi-seed runs, holds the standard error of
+	// each seed-averaged value (same shape as Values).
+	Errs [][][]float64
+}
+
+func newTable(d *Definition, pols []sched.Policy) *Table {
+	t := &Table{
+		ID:     d.ID,
+		Title:  d.Title,
+		XLabel: d.XLabel,
+		Xs:     append([]float64(nil), d.Xs...),
+	}
+	for _, p := range pols {
+		t.Policies = append(t.Policies, p.String())
+	}
+	for _, m := range d.Metrics {
+		t.Metrics = append(t.Metrics, m.Name)
+	}
+	t.Values = make([][][]float64, len(d.Xs))
+	t.Errs = make([][][]float64, len(d.Xs))
+	for xi := range t.Values {
+		t.Values[xi] = make([][]float64, len(pols))
+		t.Errs[xi] = make([][]float64, len(pols))
+		for pi := range t.Values[xi] {
+			t.Values[xi][pi] = make([]float64, len(d.Metrics))
+			t.Errs[xi][pi] = make([]float64, len(d.Metrics))
+		}
+	}
+	return t
+}
+
+// Series returns the metric values across the sweep for one policy,
+// or nil if the policy or metric is unknown.
+func (t *Table) Series(policy, metric string) []float64 {
+	pi := index(t.Policies, policy)
+	mi := index(t.Metrics, metric)
+	if pi < 0 || mi < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Xs))
+	for xi := range t.Xs {
+		out[xi] = t.Values[xi][pi][mi]
+	}
+	return out
+}
+
+// Value returns a single cell, or zero if unknown.
+func (t *Table) Value(x float64, policy, metric string) float64 {
+	pi := index(t.Policies, policy)
+	mi := index(t.Metrics, metric)
+	for xi, xv := range t.Xs {
+		if xv == x && pi >= 0 && mi >= 0 {
+			return t.Values[xi][pi][mi]
+		}
+	}
+	return 0
+}
+
+func index(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Render writes an aligned text table, one column per (policy,
+// metric) pair, matching the series the paper plots.
+func (t *Table) Render(w io.Writer) error {
+	headers := []string{t.XLabel}
+	for _, m := range t.Metrics {
+		for _, p := range t.Policies {
+			headers = append(headers, p+":"+m)
+		}
+	}
+	rows := [][]string{headers}
+	for xi, x := range t.Xs {
+		row := []string{trimFloat(x)}
+		for mi := range t.Metrics {
+			for pi := range t.Policies {
+				cell := fmt.Sprintf("%.4f", t.Values[xi][pi][mi])
+				if t.Errs != nil {
+					cell += fmt.Sprintf("±%.3f", t.Errs[xi][pi][mi])
+				}
+				row = append(row, cell)
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s [%s]\n", t.Title, t.ID); err != nil {
+		return err
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+		if ri == 0 {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", len(b.String()))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values with a header row.
+func (t *Table) CSV(w io.Writer) error {
+	headers := []string{t.XLabel}
+	for _, m := range t.Metrics {
+		for _, p := range t.Policies {
+			headers = append(headers, p+":"+m)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for xi, x := range t.Xs {
+		row := []string{trimFloat(x)}
+		for mi := range t.Metrics {
+			for pi := range t.Policies {
+				row = append(row, fmt.Sprintf("%g", t.Values[xi][pi][mi]))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	return s
+}

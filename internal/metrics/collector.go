@@ -1,0 +1,262 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// CPUKind labels where CPU time was spent, for the ρt/ρu split of
+// Fig. 3. Per §6.1 context-switch time is charged to the activity
+// being (re)started and OD's in-line installs are charged to updates.
+type CPUKind int
+
+const (
+	// CPUTxn is CPU time spent running transactions (including OD's
+	// update-queue scans, which lengthen the reading transaction).
+	CPUTxn CPUKind = iota
+	// CPUUpdate is CPU time spent receiving, queueing and installing
+	// updates.
+	CPUUpdate
+)
+
+// Collector accumulates the per-run metrics. It is not safe for
+// concurrent use; the simulation is single threaded.
+type Collector struct {
+	params *model.Params
+	warmup float64
+
+	// Transaction outcomes. A transaction is counted when it
+	// resolves (commits or aborts); transactions still in flight at
+	// the end of the run whose deadlines have not passed are not
+	// counted in any fraction.
+	resolved       int
+	committed      int
+	committedFresh int
+	abortedStale   int
+	abortedDL      int
+	valueSum       float64
+
+	arrivedTxns    int
+	arrivedUpdates int
+
+	// Update accounting.
+	installed        int
+	skippedUnworthy  int
+	expiredDiscarded int
+	overflowDropped  int
+	osDropped        int
+
+	// CPU seconds by kind, clipped to the post-warm-up window.
+	cpu [2]float64
+
+	// Queue length observation (simple mean of samples at scheduling
+	// points).
+	queueLenSum     float64
+	queueLenSamples int
+
+	// Response times (finish - arrival) of committed transactions.
+	responses []float64
+
+	// Buffer pool accesses (disk-resident extension).
+	pageHits, pageMisses int
+
+	end      float64
+	finished bool
+}
+
+// NewCollector returns a collector for one run.
+func NewCollector(p *model.Params) *Collector {
+	return &Collector{params: p, warmup: p.MetricsWarmup}
+}
+
+// TxnArrived counts an arrival (diagnostic only).
+func (c *Collector) TxnArrived() { c.arrivedTxns++ }
+
+// UpdateArrived counts an update arrival (diagnostic only).
+func (c *Collector) UpdateArrived() { c.arrivedUpdates++ }
+
+// TxnResolved records a transaction outcome. Transactions that arrive
+// before the warm-up period ends are excluded from all fractions.
+func (c *Collector) TxnResolved(txn *model.Txn) {
+	if txn.ArrivalTime < c.warmup {
+		return
+	}
+	c.resolved++
+	switch txn.State {
+	case model.TxnCommittedState:
+		c.committed++
+		c.valueSum += txn.Value
+		c.responses = append(c.responses, txn.FinishTime-txn.ArrivalTime)
+		if !txn.ReadStale {
+			c.committedFresh++
+		}
+	case model.TxnAbortedStale:
+		c.abortedStale++
+	case model.TxnAbortedDeadline:
+		c.abortedDL++
+	default:
+		panic(fmt.Sprintf("metrics: resolving transaction in state %v", txn.State))
+	}
+}
+
+// ChargeCPU records busy CPU time of the given kind over [from, to],
+// clipped to the post-warm-up window.
+func (c *Collector) ChargeCPU(kind CPUKind, from, to float64) {
+	if d := clip(from, to, c.warmup); d > 0 {
+		c.cpu[kind] += d
+	}
+}
+
+// UpdateInstalled counts an update applied to the database.
+func (c *Collector) UpdateInstalled() { c.installed++ }
+
+// UpdateSkippedUnworthy counts an update discarded by the worthiness
+// check (the database already held a newer generation).
+func (c *Collector) UpdateSkippedUnworthy() { c.skippedUnworthy++ }
+
+// UpdateExpired counts an update discarded because it exceeded the
+// maximum age while queued (MA only).
+func (c *Collector) UpdateExpired() { c.expiredDiscarded++ }
+
+// UpdateOverflowDropped counts an update evicted by a full update
+// queue (or coalesced away).
+func (c *Collector) UpdateOverflowDropped() { c.overflowDropped++ }
+
+// UpdateOSDropped counts an arrival rejected by the full OS queue.
+func (c *Collector) UpdateOSDropped() { c.osDropped++ }
+
+// PageAccess records one buffer pool access (disk-resident extension).
+func (c *Collector) PageAccess(hit bool) {
+	if hit {
+		c.pageHits++
+	} else {
+		c.pageMisses++
+	}
+}
+
+// SampleQueueLen records the update-queue length at a scheduling point.
+func (c *Collector) SampleQueueLen(n int) {
+	c.queueLenSum += float64(n)
+	c.queueLenSamples++
+}
+
+// Finish freezes the collector at the given end time.
+func (c *Collector) Finish(end float64) {
+	c.end = end
+	c.finished = true
+}
+
+// Result is the immutable outcome of one simulation run: the metrics
+// of §3.5 plus the diagnostics used by the experiments.
+type Result struct {
+	// Params echoes the configuration that produced the result.
+	Params model.Params
+
+	// Duration is the measured window (run length minus warm-up).
+	Duration float64
+
+	// FOldLow and FOldHigh are fold_l and fold_h: the time-averaged
+	// fraction of stale objects per class.
+	FOldLow, FOldHigh float64
+
+	// PMissedDeadline (pMD) is the fraction of resolved transactions
+	// that did not commit by their deadline.
+	PMissedDeadline float64
+	// PSuccess is the fraction that committed in time having read
+	// only fresh data.
+	PSuccess float64
+	// PSuccessGivenNonTardy (psuc|nontardy) is, among transactions
+	// that committed in time, the fraction that read only fresh data.
+	PSuccessGivenNonTardy float64
+	// AvgValuePerSecond (AV) is committed value per measured second.
+	AvgValuePerSecond float64
+
+	// RhoTxn and RhoUpdate are the CPU utilization split of Fig. 3.
+	RhoTxn, RhoUpdate float64
+
+	// Transaction counts.
+	TxnsArrived, TxnsResolved, TxnsCommitted int
+	TxnsAbortedDeadline, TxnsAbortedStale    int
+	TxnsCommittedFresh                       int
+
+	// Update counts.
+	UpdatesArrived, UpdatesInstalled         int
+	UpdatesSkippedUnworthy, UpdatesExpired   int
+	UpdatesOverflowDropped, UpdatesOSDropped int
+
+	// MeanQueueLen is the average update-queue length over sampled
+	// scheduling points.
+	MeanQueueLen float64
+
+	// ResponseMean and ResponseP95 summarize the response time
+	// (commit time minus arrival time) of committed transactions, in
+	// seconds.
+	ResponseMean, ResponseP95 float64
+
+	// PageHits and PageMisses count buffer pool accesses under the
+	// disk-resident extension (both zero in the main-memory
+	// baseline); BufferHitRatio is hits over accesses.
+	PageHits, PageMisses int
+	BufferHitRatio       float64
+}
+
+// Result computes the final metrics. Finish must have been called and
+// the tracker must already be finished.
+func (c *Collector) Result(tracker Tracker) Result {
+	if !c.finished {
+		panic("metrics: Result called before Finish")
+	}
+	dur := c.end - c.warmup
+	if dur < 0 {
+		dur = 0
+	}
+	r := Result{
+		Params:                 *c.params,
+		Duration:               dur,
+		TxnsArrived:            c.arrivedTxns,
+		TxnsResolved:           c.resolved,
+		TxnsCommitted:          c.committed,
+		TxnsCommittedFresh:     c.committedFresh,
+		TxnsAbortedDeadline:    c.abortedDL,
+		TxnsAbortedStale:       c.abortedStale,
+		UpdatesArrived:         c.arrivedUpdates,
+		UpdatesInstalled:       c.installed,
+		UpdatesSkippedUnworthy: c.skippedUnworthy,
+		UpdatesExpired:         c.expiredDiscarded,
+		UpdatesOverflowDropped: c.overflowDropped,
+		UpdatesOSDropped:       c.osDropped,
+	}
+	if dur > 0 {
+		if c.params.NLow > 0 {
+			r.FOldLow = tracker.StaleSeconds(model.Low) / (dur * float64(c.params.NLow))
+		}
+		if c.params.NHigh > 0 {
+			r.FOldHigh = tracker.StaleSeconds(model.High) / (dur * float64(c.params.NHigh))
+		}
+		r.AvgValuePerSecond = c.valueSum / dur
+		r.RhoTxn = c.cpu[CPUTxn] / dur
+		r.RhoUpdate = c.cpu[CPUUpdate] / dur
+	}
+	if c.resolved > 0 {
+		r.PMissedDeadline = float64(c.resolved-c.committed) / float64(c.resolved)
+		r.PSuccess = float64(c.committedFresh) / float64(c.resolved)
+	}
+	if c.committed > 0 {
+		r.PSuccessGivenNonTardy = float64(c.committedFresh) / float64(c.committed)
+	}
+	if c.queueLenSamples > 0 {
+		r.MeanQueueLen = c.queueLenSum / float64(c.queueLenSamples)
+	}
+	if len(c.responses) > 0 {
+		mean, _ := stats.MeanStd(c.responses)
+		r.ResponseMean = mean
+		r.ResponseP95 = stats.Quantile(c.responses, 0.95)
+	}
+	r.PageHits, r.PageMisses = c.pageHits, c.pageMisses
+	if total := c.pageHits + c.pageMisses; total > 0 {
+		r.BufferHitRatio = float64(c.pageHits) / float64(total)
+	}
+	return r
+}

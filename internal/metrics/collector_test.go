@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func resolvedTxn(id uint64, state model.TxnState, value float64, stale bool) *model.Txn {
+	return &model.Txn{
+		ID:          id,
+		Value:       value,
+		ArrivalTime: 1,
+		State:       state,
+		ReadStale:   stale,
+	}
+}
+
+func TestCollectorFractions(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	// 10 transactions: 6 committed (2 of them stale), 3 deadline
+	// aborts, 1 stale abort.
+	for i := 0; i < 4; i++ {
+		c.TxnResolved(resolvedTxn(uint64(i), model.TxnCommittedState, 2.0, false))
+	}
+	for i := 4; i < 6; i++ {
+		c.TxnResolved(resolvedTxn(uint64(i), model.TxnCommittedState, 1.0, true))
+	}
+	for i := 6; i < 9; i++ {
+		c.TxnResolved(resolvedTxn(uint64(i), model.TxnAbortedDeadline, 1.0, false))
+	}
+	c.TxnResolved(resolvedTxn(9, model.TxnAbortedStale, 1.0, true))
+	c.Finish(100)
+
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(100)
+	r := c.Result(tr)
+
+	if r.TxnsResolved != 10 || r.TxnsCommitted != 6 || r.TxnsCommittedFresh != 4 {
+		t.Fatalf("counts: resolved=%d committed=%d fresh=%d",
+			r.TxnsResolved, r.TxnsCommitted, r.TxnsCommittedFresh)
+	}
+	if got, want := r.PMissedDeadline, 0.4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pMD = %v, want %v", got, want)
+	}
+	if got, want := r.PSuccess, 0.4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("psuccess = %v, want %v", got, want)
+	}
+	if got, want := r.PSuccessGivenNonTardy, 4.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("psuc|nontardy = %v, want %v", got, want)
+	}
+	// AV: committed value = 4*2 + 2*1 = 10 over 100s.
+	if got, want := r.AvgValuePerSecond, 0.1; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AV = %v, want %v", got, want)
+	}
+	if r.TxnsAbortedDeadline != 3 || r.TxnsAbortedStale != 1 {
+		t.Fatalf("aborts: dl=%d stale=%d", r.TxnsAbortedDeadline, r.TxnsAbortedStale)
+	}
+}
+
+func TestCollectorWarmupExcludesEarlyTxns(t *testing.T) {
+	p := model.DefaultParams()
+	p.MetricsWarmup = 10
+	c := NewCollector(&p)
+	early := resolvedTxn(1, model.TxnCommittedState, 5, false)
+	early.ArrivalTime = 5 // before warm-up: excluded
+	c.TxnResolved(early)
+	late := resolvedTxn(2, model.TxnCommittedState, 3, false)
+	late.ArrivalTime = 15
+	c.TxnResolved(late)
+	c.Finish(110)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(110)
+	r := c.Result(tr)
+	if r.TxnsResolved != 1 {
+		t.Fatalf("resolved = %d, want 1", r.TxnsResolved)
+	}
+	// AV over the 100s measured window.
+	if got, want := r.AvgValuePerSecond, 0.03; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AV = %v, want %v", got, want)
+	}
+}
+
+func TestCollectorCPUAccounting(t *testing.T) {
+	p := model.DefaultParams()
+	p.MetricsWarmup = 10
+	c := NewCollector(&p)
+	c.ChargeCPU(CPUTxn, 0, 20)     // clips to [10,20] = 10s
+	c.ChargeCPU(CPUUpdate, 20, 45) // 25s
+	c.ChargeCPU(CPUUpdate, 5, 8)   // fully before warm-up: 0
+	c.Finish(110)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(110)
+	r := c.Result(tr)
+	if got, want := r.RhoTxn, 0.1; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rho_t = %v, want %v", got, want)
+	}
+	if got, want := r.RhoUpdate, 0.25; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("rho_u = %v, want %v", got, want)
+	}
+}
+
+func TestCollectorFoldComputation(t *testing.T) {
+	p := model.DefaultParams()
+	p.NLow, p.NHigh = 2, 4
+	p.MaxAgeDelta = 5
+	c := NewCollector(&p)
+	c.Finish(10)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(10) // every object stale [5,10): 5s each
+	r := c.Result(tr)
+	if got, want := r.FOldLow, 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fold_l = %v, want %v", got, want)
+	}
+	if got, want := r.FOldHigh, 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fold_h = %v, want %v", got, want)
+	}
+}
+
+func TestCollectorUpdateCounters(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	for i := 0; i < 5; i++ {
+		c.UpdateArrived()
+	}
+	c.UpdateInstalled()
+	c.UpdateInstalled()
+	c.UpdateSkippedUnworthy()
+	c.UpdateExpired()
+	c.UpdateOverflowDropped()
+	c.UpdateOSDropped()
+	c.TxnArrived()
+	c.SampleQueueLen(4)
+	c.SampleQueueLen(6)
+	c.Finish(10)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(10)
+	r := c.Result(tr)
+	if r.UpdatesArrived != 5 || r.UpdatesInstalled != 2 ||
+		r.UpdatesSkippedUnworthy != 1 || r.UpdatesExpired != 1 ||
+		r.UpdatesOverflowDropped != 1 || r.UpdatesOSDropped != 1 {
+		t.Fatalf("update counters wrong: %+v", r)
+	}
+	if r.TxnsArrived != 1 {
+		t.Fatalf("TxnsArrived = %d", r.TxnsArrived)
+	}
+	if got, want := r.MeanQueueLen, 5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanQueueLen = %v, want %v", got, want)
+	}
+}
+
+func TestCollectorResultBeforeFinishPanics(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	tr := NewMaxAgeTracker(&p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Result before Finish should panic")
+		}
+	}()
+	c.Result(tr)
+}
+
+func TestCollectorResolvingPendingPanics(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("resolving a pending transaction should panic")
+		}
+	}()
+	c.TxnResolved(resolvedTxn(1, model.TxnPendingState, 1, false))
+}
+
+func TestCollectorEmptyRun(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	c.Finish(0)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(0)
+	r := c.Result(tr)
+	if r.PMissedDeadline != 0 || r.PSuccess != 0 || r.AvgValuePerSecond != 0 ||
+		r.FOldLow != 0 || r.RhoTxn != 0 {
+		t.Fatalf("empty run should yield zero metrics: %+v", r)
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import "repro/internal/model"
+
+// CombinedTracker implements the §2 "variation" that combines MA and
+// UU: an object is stale if it is stale under *either* definition —
+// its installed value is older than Delta, or an update for it waits
+// unapplied in the queue. The stale-time integral is computed exactly
+// by tracking the union of the two conditions per object.
+type CombinedTracker struct {
+	params  *model.Params
+	ma      *MaxAgeTracker
+	uu      *UnappliedTracker
+	warmup  float64
+	staleAt []float64
+	wasStal []bool
+	stale   [2]float64
+	done    bool
+}
+
+// NewCombinedTracker returns a tracker for the combined criterion.
+func NewCombinedTracker(p *model.Params) *CombinedTracker {
+	n := p.NumObjects()
+	return &CombinedTracker{
+		params:  p,
+		ma:      NewMaxAgeTracker(p),
+		uu:      NewUnappliedTracker(p),
+		warmup:  p.MetricsWarmup,
+		staleAt: make([]float64, n),
+		wasStal: make([]bool, n),
+	}
+}
+
+// accrue charges union-stale time for obj over (staleAt[obj], now],
+// recomputing the exact span from the sub-trackers' state.
+//
+// Within a span between two events for the object, the UU state is
+// constant, and the MA state is false before gen+Delta and true
+// after. The union over the span [from, now] is therefore:
+//
+//	uuStale ? (now - from) : max(0, now - max(from, gen+Delta))
+func (t *CombinedTracker) accrue(obj model.ObjectID, now float64) {
+	from := t.staleAt[obj]
+	if now <= from {
+		return
+	}
+	var staleSpan float64
+	if t.wasStal[obj] {
+		// UU was stale for the whole span: the union is the span.
+		staleSpan = now - from
+	} else {
+		// Only MA can have contributed: stale from gen+Delta.
+		maFrom := t.ma.GenTime(obj) + t.params.MaxAgeDelta
+		if maFrom < from {
+			maFrom = from
+		}
+		if now > maFrom {
+			staleSpan = now - maFrom
+		}
+	}
+	if staleSpan > 0 {
+		// Clip to the measurement window.
+		start := now - staleSpan
+		if d := clip(start, now, t.warmup); d > 0 {
+			t.stale[t.params.ObjectClass(obj)] += d
+		}
+	}
+	t.staleAt[obj] = now
+	t.wasStal[obj] = t.uu.IsStale(obj, now)
+}
+
+// Received forwards to both sub-trackers and integrates the union.
+func (t *CombinedTracker) Received(obj model.ObjectID, gen, now float64) {
+	t.accrue(obj, now)
+	t.ma.Received(obj, gen, now)
+	t.uu.Received(obj, gen, now)
+	t.wasStal[obj] = t.uu.IsStale(obj, now)
+}
+
+// Removed forwards to both sub-trackers and integrates the union.
+func (t *CombinedTracker) Removed(obj model.ObjectID, gen, now float64) {
+	t.accrue(obj, now)
+	t.ma.Removed(obj, gen, now)
+	t.uu.Removed(obj, gen, now)
+	t.wasStal[obj] = t.uu.IsStale(obj, now)
+}
+
+// Installed forwards to both sub-trackers and integrates the union.
+func (t *CombinedTracker) Installed(obj model.ObjectID, gen, now float64) {
+	t.accrue(obj, now)
+	t.ma.Installed(obj, gen, now)
+	t.uu.Installed(obj, gen, now)
+	t.wasStal[obj] = t.uu.IsStale(obj, now)
+}
+
+// IsStale reports staleness under either criterion.
+func (t *CombinedTracker) IsStale(obj model.ObjectID, now float64) bool {
+	return t.ma.IsStale(obj, now) || t.uu.IsStale(obj, now)
+}
+
+// GenTime returns the installed generation time.
+func (t *CombinedTracker) GenTime(obj model.ObjectID) float64 { return t.ma.GenTime(obj) }
+
+// Finish closes every open span.
+func (t *CombinedTracker) Finish(end float64) {
+	if t.done {
+		return
+	}
+	t.done = true
+	for obj := range t.staleAt {
+		t.accrue(model.ObjectID(obj), end)
+	}
+	t.ma.Finish(end)
+	t.uu.Finish(end)
+}
+
+// StaleSeconds returns the integrated union-stale object-seconds.
+func (t *CombinedTracker) StaleSeconds(class model.Importance) float64 {
+	return t.stale[class]
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestCombinedUnionBasic(t *testing.T) {
+	p := smallParams() // 2 low + 2 high, Delta = 5
+	p.Staleness = model.CombinedMAUU
+	tr := NewCombinedTracker(p)
+
+	// Object 0: update received at t=1 (UU stale), installed at t=2
+	// with gen 1.5 (fresh under both until 1.5+5=6.5).
+	tr.Received(0, 1.5, 1)
+	if !tr.IsStale(0, 1) {
+		t.Fatal("pending update should make the object stale (UU side)")
+	}
+	tr.Installed(0, 1.5, 2)
+	if tr.IsStale(0, 3) {
+		t.Fatal("freshly installed object should be fresh")
+	}
+	if !tr.IsStale(0, 7) {
+		t.Fatal("object should age out under the MA side")
+	}
+	tr.Finish(10)
+	// Object 0: UU stale [1,2) = 1s, MA stale [6.5,10) = 3.5s; the
+	// MA-initial span [5,?) does not apply because gen moved to 1.5
+	// before t=5... but note the initial value (gen 0) was stale only
+	// from t=5 and the install happened at t=2, so no overlap.
+	// Object 1: never updated, MA stale [5,10) = 5s.
+	want := 1 + 3.5 + 5.0
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want %v", got, want)
+	}
+}
+
+func TestCombinedOverlapNotDoubleCounted(t *testing.T) {
+	p := smallParams()
+	tr := NewCombinedTracker(p)
+	// Object 0 is MA-stale from t=5. An update is received at t=6
+	// (UU stale too) and never applied. The union must count [5,10)
+	// once: 5 seconds.
+	tr.Received(0, 6, 6)
+	tr.Finish(10)
+	wantObj0 := 5.0
+	wantObj1 := 5.0 // untouched, MA stale [5,10)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-(wantObj0+wantObj1)) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want %v", got, wantObj0+wantObj1)
+	}
+}
+
+func TestCombinedUUWithFreshMA(t *testing.T) {
+	p := smallParams()
+	tr := NewCombinedTracker(p)
+	// Keep MA fresh with a recent install, then leave an update
+	// pending: only the UU span counts.
+	tr.Installed(0, 1, 1)
+	tr.Received(0, 2, 2)
+	tr.Installed(0, 2, 4) // fresh again
+	tr.Finish(6)          // MA never triggers for object 0 (age < 5)
+	wantObj0 := 2.0       // UU span [2,4)
+	wantObj1 := 1.0       // untouched: MA stale [5,6)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-(wantObj0+wantObj1)) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want %v", got, wantObj0+wantObj1)
+	}
+}
+
+func TestCombinedSelectedByNewTracker(t *testing.T) {
+	p := smallParams()
+	p.Staleness = model.CombinedMAUU
+	if _, ok := NewTracker(p).(*CombinedTracker); !ok {
+		t.Fatal("CombinedMAUU should select CombinedTracker")
+	}
+}
+
+func TestCombinedGenTimeTracksInstalls(t *testing.T) {
+	p := smallParams()
+	tr := NewCombinedTracker(p)
+	tr.Installed(2, 3.5, 4)
+	if tr.GenTime(2) != 3.5 {
+		t.Fatalf("GenTime = %v", tr.GenTime(2))
+	}
+}
+
+// TestQuickCombinedAtLeastEachPart: the union integral is never
+// smaller than either component alone.
+func TestQuickCombinedAtLeastEachPart(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := model.DefaultParams()
+		p.NLow, p.NHigh = 2, 2
+		p.MaxAgeDelta = 3
+
+		comb := NewCombinedTracker(&p)
+		ma := NewMaxAgeTracker(&p)
+		uu := NewUnappliedTracker(&p)
+
+		tm := 0.0
+		for i := 0; i < int(nOps); i++ {
+			tm += r.Float64() * 2
+			obj := model.ObjectID(r.Intn(4))
+			gen := tm - r.Float64()*2
+			switch r.Intn(3) {
+			case 0:
+				comb.Received(obj, gen, tm)
+				ma.Received(obj, gen, tm)
+				uu.Received(obj, gen, tm)
+			case 1:
+				comb.Removed(obj, gen, tm)
+				ma.Removed(obj, gen, tm)
+				uu.Removed(obj, gen, tm)
+			case 2:
+				comb.Installed(obj, gen, tm)
+				ma.Installed(obj, gen, tm)
+				uu.Installed(obj, gen, tm)
+			}
+		}
+		end := tm + 1
+		comb.Finish(end)
+		ma.Finish(end)
+		uu.Finish(end)
+		for _, class := range []model.Importance{model.Low, model.High} {
+			u := comb.StaleSeconds(class)
+			if u+1e-9 < ma.StaleSeconds(class) || u+1e-9 < uu.StaleSeconds(class) {
+				return false
+			}
+			// And never more than the sum (union bound) or the window.
+			if u > ma.StaleSeconds(class)+uu.StaleSeconds(class)+1e-9 {
+				return false
+			}
+			if u > end*2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorResponseTimes(t *testing.T) {
+	p := model.DefaultParams()
+	c := NewCollector(&p)
+	for i, resp := range []float64{0.1, 0.2, 0.3} {
+		txn := resolvedTxn(uint64(i), model.TxnCommittedState, 1, false)
+		txn.ArrivalTime = 1
+		txn.FinishTime = 1 + resp
+		c.TxnResolved(txn)
+	}
+	c.Finish(10)
+	tr := NewMaxAgeTracker(&p)
+	tr.Finish(10)
+	r := c.Result(tr)
+	if math.Abs(r.ResponseMean-0.2) > 1e-12 {
+		t.Fatalf("ResponseMean = %v, want 0.2", r.ResponseMean)
+	}
+	if r.ResponseP95 < 0.28 || r.ResponseP95 > 0.3+1e-12 {
+		t.Fatalf("ResponseP95 = %v", r.ResponseP95)
+	}
+}

@@ -1,0 +1,339 @@
+// Package metrics implements the evaluation metrics of §3.5: the
+// time-averaged fraction of stale objects per importance class
+// (fold_l, fold_h), the transaction outcome fractions (pMD, psuccess,
+// psuc|nontardy), the average value returned per second (AV), and the
+// CPU-time split between transactions and updates (ρt, ρu, Fig. 3).
+//
+// Staleness itself is pluggable: MaxAgeTracker implements the MA
+// criterion, UnappliedTracker the UU criterion, and StrictUnapplied-
+// Tracker the stricter UU variant discussed in §2.
+package metrics
+
+import (
+	"repro/internal/model"
+)
+
+// Tracker observes the life of every update and answers, at any
+// instant, whether an object is stale. Implementations also integrate
+// the per-class stale fraction over time.
+//
+// The scheduler must call:
+//   - Received when an update enters the update queue,
+//   - Removed when an update leaves the queue without being applied
+//     (expiry, overflow eviction, coalescing, superseded by OD),
+//   - Installed when a value is written into the database.
+type Tracker interface {
+	// Received records that an update for the object with the given
+	// generation time entered the update queue at time now.
+	Received(obj model.ObjectID, gen, now float64)
+	// Removed records that one queued update for the object left the
+	// queue unapplied at time now.
+	Removed(obj model.ObjectID, gen, now float64)
+	// Installed records that the object's database value was replaced
+	// by one with the given generation time at time now.
+	Installed(obj model.ObjectID, gen, now float64)
+	// IsStale reports whether the object is stale at time now.
+	IsStale(obj model.ObjectID, now float64) bool
+	// Finish flushes integration up to the end time. It must be
+	// called exactly once, after which only StaleSeconds is valid.
+	Finish(end float64)
+	// StaleSeconds returns the integrated object-seconds of staleness
+	// accumulated by the class (after warm-up clipping).
+	StaleSeconds(class model.Importance) float64
+}
+
+// clip returns the length of [lo,hi] intersected with [warmup,∞).
+func clip(lo, hi, warmup float64) float64 {
+	if lo < warmup {
+		lo = warmup
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// MaxAgeTracker implements the MA criterion: an object is stale when
+// the age of its current value (now − generation time) exceeds Delta.
+// Staleness intervals are integrated exactly and lazily: the stale
+// span since the previous install is accrued at each install and at
+// Finish.
+type MaxAgeTracker struct {
+	params  *model.Params
+	delta   float64
+	warmup  float64
+	gen     []float64 // generation time of the installed value
+	lastAcc []float64 // time up to which staleness has been accrued
+	stale   [2]float64
+	done    bool
+}
+
+// NewMaxAgeTracker returns an MA tracker for the given parameters.
+// All objects start with generation time 0, so an untouched object
+// becomes stale at t = Delta.
+func NewMaxAgeTracker(p *model.Params) *MaxAgeTracker {
+	n := p.NumObjects()
+	return &MaxAgeTracker{
+		params:  p,
+		delta:   p.MaxAgeDelta,
+		warmup:  p.MetricsWarmup,
+		gen:     make([]float64, n),
+		lastAcc: make([]float64, n),
+	}
+}
+
+// Received is a no-op under MA.
+func (t *MaxAgeTracker) Received(model.ObjectID, float64, float64) {}
+
+// Removed is a no-op under MA.
+func (t *MaxAgeTracker) Removed(model.ObjectID, float64, float64) {}
+
+// accrue charges the stale span of obj from lastAcc up to now.
+func (t *MaxAgeTracker) accrue(obj model.ObjectID, now float64) {
+	staleFrom := t.gen[obj] + t.delta
+	if staleFrom < t.lastAcc[obj] {
+		staleFrom = t.lastAcc[obj]
+	}
+	if d := clip(staleFrom, now, t.warmup); d > 0 {
+		t.stale[t.params.ObjectClass(obj)] += d
+	}
+	t.lastAcc[obj] = now
+}
+
+// Installed accrues the object's staleness up to now and adopts the
+// new generation time. Installing an out-of-order (older) value is
+// ignored, matching the worthiness check in §3.3.
+func (t *MaxAgeTracker) Installed(obj model.ObjectID, gen, now float64) {
+	t.accrue(obj, now)
+	if gen > t.gen[obj] {
+		t.gen[obj] = gen
+	}
+}
+
+// IsStale reports whether the object's value is older than Delta.
+func (t *MaxAgeTracker) IsStale(obj model.ObjectID, now float64) bool {
+	return now-t.gen[obj] > t.delta
+}
+
+// GenTime returns the generation time of the object's current value.
+// The scheduler uses it for the worthiness check.
+func (t *MaxAgeTracker) GenTime(obj model.ObjectID) float64 { return t.gen[obj] }
+
+// Finish accrues every object's staleness up to end.
+func (t *MaxAgeTracker) Finish(end float64) {
+	if t.done {
+		return
+	}
+	t.done = true
+	for obj := range t.gen {
+		t.accrue(model.ObjectID(obj), end)
+	}
+}
+
+// StaleSeconds returns the integrated stale object-seconds per class.
+func (t *MaxAgeTracker) StaleSeconds(class model.Importance) float64 {
+	return t.stale[class]
+}
+
+// UnappliedTracker implements the UU criterion literally: an object is
+// stale exactly while at least one update for it waits in the update
+// queue. An update dropped from the queue therefore un-stales the
+// object (see DESIGN.md; StrictUnappliedTracker closes that gap).
+type UnappliedTracker struct {
+	params  *model.Params
+	warmup  float64
+	pending []int
+	staleAt []float64 // time the object last became stale
+	gen     []float64 // installed generation (worthiness check)
+	stale   [2]float64
+	done    bool
+}
+
+// NewUnappliedTracker returns a UU tracker. All objects start fresh.
+func NewUnappliedTracker(p *model.Params) *UnappliedTracker {
+	n := p.NumObjects()
+	return &UnappliedTracker{
+		params:  p,
+		warmup:  p.MetricsWarmup,
+		pending: make([]int, n),
+		staleAt: make([]float64, n),
+		gen:     make([]float64, n),
+	}
+}
+
+// Received marks the object stale while its pending count is positive.
+func (t *UnappliedTracker) Received(obj model.ObjectID, _, now float64) {
+	if t.pending[obj] == 0 {
+		t.staleAt[obj] = now
+	}
+	t.pending[obj]++
+}
+
+func (t *UnappliedTracker) drop(obj model.ObjectID, now float64) {
+	if t.pending[obj] == 0 {
+		return
+	}
+	t.pending[obj]--
+	if t.pending[obj] == 0 {
+		if d := clip(t.staleAt[obj], now, t.warmup); d > 0 {
+			t.stale[t.params.ObjectClass(obj)] += d
+		}
+	}
+}
+
+// Removed decrements the object's pending count; the stale span ends
+// when the count reaches zero.
+func (t *UnappliedTracker) Removed(obj model.ObjectID, _, now float64) {
+	t.drop(obj, now)
+}
+
+// Installed records the new generation and ends the stale span begun
+// by the corresponding Received. The scheduler reports the applied
+// update both as Installed (value change) and through the queue
+// removal implied here: Installed itself decrements pending, because
+// the applied update has left the queue.
+func (t *UnappliedTracker) Installed(obj model.ObjectID, gen, now float64) {
+	if gen > t.gen[obj] {
+		t.gen[obj] = gen
+	}
+	t.drop(obj, now)
+}
+
+// IsStale reports whether any update for the object is queued.
+func (t *UnappliedTracker) IsStale(obj model.ObjectID, _ float64) bool {
+	return t.pending[obj] > 0
+}
+
+// GenTime returns the installed generation time.
+func (t *UnappliedTracker) GenTime(obj model.ObjectID) float64 { return t.gen[obj] }
+
+// Pending returns the queued-update count for the object.
+func (t *UnappliedTracker) Pending(obj model.ObjectID) int { return t.pending[obj] }
+
+// Finish closes every open stale span at end.
+func (t *UnappliedTracker) Finish(end float64) {
+	if t.done {
+		return
+	}
+	t.done = true
+	for obj, n := range t.pending {
+		if n > 0 {
+			if d := clip(t.staleAt[obj], end, t.warmup); d > 0 {
+				t.stale[t.params.ObjectClass(model.ObjectID(obj))] += d
+			}
+		}
+	}
+}
+
+// StaleSeconds returns the integrated stale object-seconds per class.
+func (t *UnappliedTracker) StaleSeconds(class model.Importance) float64 {
+	return t.stale[class]
+}
+
+// StrictUnappliedTracker is the §2 "variation": an object is stale
+// while the newest generation the system has *received* for it exceeds
+// the generation installed in the database, even if the queued update
+// was later dropped. Dropping an update therefore leaves the object
+// stale until a newer update is applied.
+type StrictUnappliedTracker struct {
+	params   *model.Params
+	warmup   float64
+	received []float64
+	gen      []float64
+	staleAt  []float64
+	isStale  []bool
+	stale    [2]float64
+	done     bool
+}
+
+// NewStrictUnappliedTracker returns a UU-strict tracker.
+func NewStrictUnappliedTracker(p *model.Params) *StrictUnappliedTracker {
+	n := p.NumObjects()
+	return &StrictUnappliedTracker{
+		params:   p,
+		warmup:   p.MetricsWarmup,
+		received: make([]float64, n),
+		gen:      make([]float64, n),
+		staleAt:  make([]float64, n),
+		isStale:  make([]bool, n),
+	}
+}
+
+// Received marks the object stale if the update carries a newer
+// generation than the installed value.
+func (t *StrictUnappliedTracker) Received(obj model.ObjectID, gen, now float64) {
+	if gen > t.received[obj] {
+		t.received[obj] = gen
+	}
+	if !t.isStale[obj] && t.received[obj] > t.gen[obj] {
+		t.isStale[obj] = true
+		t.staleAt[obj] = now
+	}
+}
+
+// Removed is a no-op: dropping an update does not make the value fresh.
+func (t *StrictUnappliedTracker) Removed(model.ObjectID, float64, float64) {}
+
+// Installed adopts the new generation and ends the stale span if the
+// installed value has caught up with everything received.
+func (t *StrictUnappliedTracker) Installed(obj model.ObjectID, gen, now float64) {
+	if gen > t.gen[obj] {
+		t.gen[obj] = gen
+	}
+	if t.isStale[obj] && t.gen[obj] >= t.received[obj] {
+		t.isStale[obj] = false
+		if d := clip(t.staleAt[obj], now, t.warmup); d > 0 {
+			t.stale[t.params.ObjectClass(obj)] += d
+		}
+	}
+}
+
+// IsStale reports whether a newer generation has been received than
+// installed.
+func (t *StrictUnappliedTracker) IsStale(obj model.ObjectID, _ float64) bool {
+	return t.isStale[obj]
+}
+
+// GenTime returns the installed generation time.
+func (t *StrictUnappliedTracker) GenTime(obj model.ObjectID) float64 { return t.gen[obj] }
+
+// Finish closes every open stale span at end.
+func (t *StrictUnappliedTracker) Finish(end float64) {
+	if t.done {
+		return
+	}
+	t.done = true
+	for obj, s := range t.isStale {
+		if s {
+			if d := clip(t.staleAt[obj], end, t.warmup); d > 0 {
+				t.stale[t.params.ObjectClass(model.ObjectID(obj))] += d
+			}
+		}
+	}
+}
+
+// StaleSeconds returns the integrated stale object-seconds per class.
+func (t *StrictUnappliedTracker) StaleSeconds(class model.Importance) float64 {
+	return t.stale[class]
+}
+
+// NewTracker returns the tracker matching the configured criterion.
+func NewTracker(p *model.Params) Tracker {
+	switch p.Staleness {
+	case model.UnappliedUpdate:
+		return NewUnappliedTracker(p)
+	case model.UnappliedUpdateStrict:
+		return NewStrictUnappliedTracker(p)
+	case model.CombinedMAUU:
+		return NewCombinedTracker(p)
+	default:
+		return NewMaxAgeTracker(p)
+	}
+}
+
+// GenTimer is implemented by every tracker in this package and exposes
+// the generation time of the installed value, which the scheduler
+// needs for the worthiness check of §3.3.
+type GenTimer interface {
+	GenTime(obj model.ObjectID) float64
+}

@@ -1,0 +1,328 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// smallParams returns a 2-low/2-high object world with Delta = 5s.
+func smallParams() *model.Params {
+	p := model.DefaultParams()
+	p.NLow, p.NHigh = 2, 2
+	p.MaxAgeDelta = 5
+	return &p
+}
+
+func TestMaxAgeInitialStaleness(t *testing.T) {
+	p := smallParams()
+	tr := NewMaxAgeTracker(p)
+	// All objects have generation 0, so they are fresh until t=5.
+	if tr.IsStale(0, 4.9) {
+		t.Fatal("object stale before Delta elapsed")
+	}
+	if !tr.IsStale(0, 5.1) {
+		t.Fatal("object fresh after Delta elapsed")
+	}
+	tr.Finish(10)
+	// Each object stale during [5,10]: 2 objects * 5s per class.
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want 10", got)
+	}
+	if got := tr.StaleSeconds(model.High); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("high stale seconds = %v, want 10", got)
+	}
+}
+
+func TestMaxAgeInstallRefreshes(t *testing.T) {
+	p := smallParams()
+	tr := NewMaxAgeTracker(p)
+	// Install a value generated at t=6 at time 6.5 on object 0.
+	tr.Installed(0, 6, 6.5)
+	if tr.GenTime(0) != 6 {
+		t.Fatalf("GenTime = %v", tr.GenTime(0))
+	}
+	if tr.IsStale(0, 10) {
+		t.Fatal("object stale at age 4 < Delta 5")
+	}
+	if !tr.IsStale(0, 11.5) {
+		t.Fatal("object fresh at age 5.5 > Delta")
+	}
+	tr.Finish(13)
+	// Object 0: stale [5,6.5) from the initial value (1.5s) and
+	// [11,13) from the installed one (2s) = 3.5s. Object 1: [5,13) = 8s.
+	if got, want := tr.StaleSeconds(model.Low), 11.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want %v", got, want)
+	}
+}
+
+func TestMaxAgeOutOfOrderInstallIgnored(t *testing.T) {
+	p := smallParams()
+	tr := NewMaxAgeTracker(p)
+	tr.Installed(0, 6, 6)
+	tr.Installed(0, 3, 7) // older generation: should not regress
+	if tr.GenTime(0) != 6 {
+		t.Fatalf("GenTime regressed to %v", tr.GenTime(0))
+	}
+}
+
+func TestMaxAgeAlreadyStaleOnInstall(t *testing.T) {
+	p := smallParams()
+	tr := NewMaxAgeTracker(p)
+	// A value generated at t=1 installed at t=8 is already stale
+	// (age 7 > 5): staleness continues seamlessly.
+	tr.Installed(0, 1, 8)
+	if !tr.IsStale(0, 8) {
+		t.Fatal("aged value should be stale on arrival")
+	}
+	tr.Finish(10)
+	// Object 0 stale [5,10) = 5s (initial gen 0 stale from 5; the
+	// aged install never makes it fresh).
+	// Objects 1..3 stale [5,10) = 5 each.
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want 10", got)
+	}
+}
+
+func TestMaxAgeWarmupClipping(t *testing.T) {
+	p := smallParams()
+	p.MetricsWarmup = 8
+	tr := NewMaxAgeTracker(p)
+	tr.Finish(10)
+	// Stale spans [5,10) clip to [8,10): 2s per object, 2 objects.
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("low stale seconds = %v, want 4", got)
+	}
+}
+
+func TestMaxAgeDoubleFinish(t *testing.T) {
+	p := smallParams()
+	tr := NewMaxAgeTracker(p)
+	tr.Finish(10)
+	first := tr.StaleSeconds(model.Low)
+	tr.Finish(20) // ignored
+	if tr.StaleSeconds(model.Low) != first {
+		t.Fatal("second Finish changed totals")
+	}
+}
+
+func TestUnappliedBasicSpan(t *testing.T) {
+	p := smallParams()
+	tr := NewUnappliedTracker(p)
+	if tr.IsStale(0, 1) {
+		t.Fatal("object stale with empty queue")
+	}
+	tr.Received(0, 0.5, 1) // stale from t=1
+	if !tr.IsStale(0, 1) {
+		t.Fatal("object fresh with pending update")
+	}
+	tr.Installed(0, 0.5, 3) // fresh from t=3
+	if tr.IsStale(0, 3) {
+		t.Fatal("object stale after install")
+	}
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stale seconds = %v, want 2", got)
+	}
+	if tr.GenTime(0) != 0.5 {
+		t.Fatalf("GenTime = %v", tr.GenTime(0))
+	}
+}
+
+func TestUnappliedMultiplePending(t *testing.T) {
+	p := smallParams()
+	tr := NewUnappliedTracker(p)
+	tr.Received(0, 1, 1)
+	tr.Received(0, 2, 2)
+	if tr.Pending(0) != 2 {
+		t.Fatalf("Pending = %d", tr.Pending(0))
+	}
+	tr.Removed(0, 1, 3) // one dropped; still stale
+	if !tr.IsStale(0, 3) {
+		t.Fatal("object fresh with one update still pending")
+	}
+	tr.Installed(0, 2, 5)
+	if tr.IsStale(0, 5) {
+		t.Fatal("object stale after all pending cleared")
+	}
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("stale seconds = %v, want 4 (span [1,5))", got)
+	}
+}
+
+func TestUnappliedDropUnstales(t *testing.T) {
+	// The literal UU definition: dropping the only pending update
+	// makes the object "fresh" again.
+	p := smallParams()
+	tr := NewUnappliedTracker(p)
+	tr.Received(0, 1, 1)
+	tr.Removed(0, 1, 4)
+	if tr.IsStale(0, 4) {
+		t.Fatal("object should be fresh after drop under literal UU")
+	}
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("stale seconds = %v, want 3", got)
+	}
+}
+
+func TestUnappliedSpuriousDropIgnored(t *testing.T) {
+	p := smallParams()
+	tr := NewUnappliedTracker(p)
+	tr.Removed(0, 1, 4) // nothing pending: no-op
+	tr.Installed(0, 1, 5)
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.Low); got != 0 {
+		t.Fatalf("stale seconds = %v, want 0", got)
+	}
+}
+
+func TestUnappliedFinishClosesOpenSpans(t *testing.T) {
+	p := smallParams()
+	tr := NewUnappliedTracker(p)
+	tr.Received(2, 1, 6) // object 2 is high class
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.High); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("high stale seconds = %v, want 4", got)
+	}
+	if got := tr.StaleSeconds(model.Low); got != 0 {
+		t.Fatalf("low stale seconds = %v, want 0", got)
+	}
+}
+
+func TestStrictUnappliedDropKeepsStale(t *testing.T) {
+	p := smallParams()
+	tr := NewStrictUnappliedTracker(p)
+	tr.Received(0, 1, 1)
+	tr.Removed(0, 1, 4) // dropped, but the DB value is still old
+	if !tr.IsStale(0, 4) {
+		t.Fatal("strict UU: object should stay stale after drop")
+	}
+	// A newer update arrives and is installed.
+	tr.Received(0, 2, 6)
+	tr.Installed(0, 2, 7)
+	if tr.IsStale(0, 7) {
+		t.Fatal("object should be fresh after catching up")
+	}
+	tr.Finish(10)
+	if got := tr.StaleSeconds(model.Low); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("stale seconds = %v, want 6 (span [1,7))", got)
+	}
+}
+
+func TestStrictUnappliedPartialCatchUp(t *testing.T) {
+	p := smallParams()
+	tr := NewStrictUnappliedTracker(p)
+	tr.Received(0, 5, 1)
+	tr.Installed(0, 3, 2) // older than newest received: still stale
+	if !tr.IsStale(0, 2) {
+		t.Fatal("installing an older generation should not freshen")
+	}
+	tr.Installed(0, 5, 3)
+	if tr.IsStale(0, 3) {
+		t.Fatal("object should be fresh at newest received generation")
+	}
+}
+
+func TestNewTrackerSelection(t *testing.T) {
+	p := smallParams()
+	p.Staleness = model.MaxAge
+	if _, ok := NewTracker(p).(*MaxAgeTracker); !ok {
+		t.Fatal("MA should select MaxAgeTracker")
+	}
+	p.Staleness = model.UnappliedUpdate
+	if _, ok := NewTracker(p).(*UnappliedTracker); !ok {
+		t.Fatal("UU should select UnappliedTracker")
+	}
+	p.Staleness = model.UnappliedUpdateStrict
+	if _, ok := NewTracker(p).(*StrictUnappliedTracker); !ok {
+		t.Fatal("UU-strict should select StrictUnappliedTracker")
+	}
+}
+
+// TestQuickMaxAgeMatchesBruteForce compares the lazy integration with
+// a brute-force time-sweep on random install schedules.
+func TestQuickMaxAgeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nInstalls uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := model.DefaultParams()
+		p.NLow, p.NHigh = 1, 0
+		p.MaxAgeDelta = 3
+		tr := NewMaxAgeTracker(&p)
+
+		const end = 50.0
+		type install struct{ gen, at float64 }
+		installs := make([]install, 0, nInstalls)
+		tm := 0.0
+		for i := 0; i < int(nInstalls); i++ {
+			tm += r.Float64() * 5
+			if tm >= end {
+				break
+			}
+			gen := tm - r.Float64()*4 // value aged up to 4s
+			if gen < 0 {
+				gen = 0
+			}
+			installs = append(installs, install{gen, tm})
+			tr.Installed(0, gen, tm)
+		}
+		tr.Finish(end)
+		got := tr.StaleSeconds(model.Low)
+
+		// Brute force with a fine grid, taking the same
+		// monotone-generation semantics.
+		const dt = 0.001
+		brute := 0.0
+		gen := 0.0
+		idx := 0
+		for tt := 0.0; tt < end; tt += dt {
+			for idx < len(installs) && installs[idx].at <= tt {
+				if installs[idx].gen > gen {
+					gen = installs[idx].gen
+				}
+				idx++
+			}
+			if tt-gen > p.MaxAgeDelta {
+				brute += dt
+			}
+		}
+		return math.Abs(got-brute) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUnappliedBounded checks the UU integral can never exceed
+// duration * objects.
+func TestQuickUnappliedBounded(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := model.DefaultParams()
+		p.NLow, p.NHigh = 3, 3
+		tr := NewUnappliedTracker(&p)
+		tm := 0.0
+		for i := 0; i < int(nOps); i++ {
+			tm += r.Float64()
+			obj := model.ObjectID(r.Intn(6))
+			switch r.Intn(3) {
+			case 0:
+				tr.Received(obj, tm, tm)
+			case 1:
+				tr.Removed(obj, tm, tm)
+			case 2:
+				tr.Installed(obj, tm, tm)
+			}
+		}
+		tr.Finish(tm + 1)
+		total := tr.StaleSeconds(model.Low) + tr.StaleSeconds(model.High)
+		return total >= 0 && total <= (tm+1)*6+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("baseline parameters invalid: %v", err)
+	}
+}
+
+func TestDefaultParamsMatchPaperTables(t *testing.T) {
+	p := DefaultParams()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"UpdateRate", p.UpdateRate, 400},
+		{"PUpdateLow", p.PUpdateLow, 0.5},
+		{"MeanUpdateAge", p.MeanUpdateAge, 0.1},
+		{"NLow", float64(p.NLow), 500},
+		{"NHigh", float64(p.NHigh), 500},
+		{"TxnRate", p.TxnRate, 10},
+		{"PTxnLow", p.PTxnLow, 0.5},
+		{"SlackMin", p.SlackMin, 0.1},
+		{"SlackMax", p.SlackMax, 1.0},
+		{"ValueLowMean", p.ValueLowMean, 1.0},
+		{"ValueHighMean", p.ValueHighMean, 2.0},
+		{"ValueLowStd", p.ValueLowStd, 0.5},
+		{"ValueHighStd", p.ValueHighStd, 0.5},
+		{"ReadsMean", p.ReadsMean, 2.0},
+		{"ReadsStd", p.ReadsStd, 1.0},
+		{"MaxAgeDelta", p.MaxAgeDelta, 7.0},
+		{"CompMean", p.CompMean, 0.12},
+		{"CompStd", p.CompStd, 0.01},
+		{"PView", p.PView, 0.0},
+		{"IPS", p.IPS, 50e6},
+		{"XLookup", p.XLookup, 4000},
+		{"XUpdate", p.XUpdate, 20000},
+		{"XSwitch", p.XSwitch, 0},
+		{"XQueue", p.XQueue, 0},
+		{"XScan", p.XScan, 0},
+		{"OSMax", float64(p.OSMax), 4000},
+		{"UQMax", float64(p.UQMax), 5600},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v (paper Tables 1-3)", c.name, c.got, c.want)
+		}
+	}
+	if !p.FeasibleDeadline {
+		t.Error("FeasibleDeadline should default to true")
+	}
+	if p.TxnPreemption {
+		t.Error("TxnPreemption should default to false")
+	}
+	if p.Order != FIFO {
+		t.Error("Order should default to FIFO")
+	}
+	if p.Staleness != MaxAge {
+		t.Error("Staleness should default to MA")
+	}
+	if p.OnStale != StaleIgnore {
+		t.Error("OnStale should default to ignore")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   string
+	}{
+		{"negative update rate", func(p *Params) { p.UpdateRate = -1 }, "UpdateRate"},
+		{"pul out of range", func(p *Params) { p.PUpdateLow = 1.5 }, "PUpdateLow"},
+		{"no objects", func(p *Params) { p.NLow, p.NHigh = 0, 0 }, "NLow+NHigh"},
+		{"slack inverted", func(p *Params) { p.SlackMax = 0.01 }, "SlackMax"},
+		{"zero delta", func(p *Params) { p.MaxAgeDelta = 0 }, "MaxAgeDelta"},
+		{"zero comp", func(p *Params) { p.CompMean = 0 }, "CompMean"},
+		{"zero ips", func(p *Params) { p.IPS = 0 }, "IPS"},
+		{"zero os queue", func(p *Params) { p.OSMax = 0 }, "OSMax"},
+		{"zero update queue", func(p *Params) { p.UQMax = 0 }, "UQMax"},
+		{"bad fraction", func(p *Params) { p.UpdateCPUFraction = 2 }, "UpdateCPUFraction"},
+		{"negative warmup", func(p *Params) { p.MetricsWarmup = -1 }, "MetricsWarmup"},
+		{"negative ptl", func(p *Params) { p.PTxnLow = -0.1 }, "PTxnLow"},
+		{"negative xscan", func(p *Params) { p.XScan = -5 }, "XScan"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := DefaultParams()
+			c.mutate(&p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid parameters")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateJoinsMultipleErrors(t *testing.T) {
+	p := DefaultParams()
+	p.UpdateRate = -1
+	p.IPS = -1
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "UpdateRate") || !strings.Contains(err.Error(), "IPS") {
+		t.Fatalf("joined error missing a cause: %v", err)
+	}
+}
+
+func TestObjectClass(t *testing.T) {
+	p := DefaultParams()
+	if p.ObjectClass(0) != Low || p.ObjectClass(499) != Low {
+		t.Error("IDs [0,500) should be low importance")
+	}
+	if p.ObjectClass(500) != High || p.ObjectClass(999) != High {
+		t.Error("IDs [500,1000) should be high importance")
+	}
+	if p.NumObjects() != 1000 {
+		t.Errorf("NumObjects = %d", p.NumObjects())
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	p := DefaultParams()
+	// One update install: (4000+20000)/50e6 = 0.48 ms.
+	if got, want := p.Seconds(p.InstallCost()), 0.00048; got != want {
+		t.Fatalf("install seconds = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateAge(t *testing.T) {
+	u := Update{GenTime: 5, ArrivalTime: 5.3}
+	if got := u.Age(7.0); got != 2.0 {
+		t.Fatalf("Age = %v, want 2", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Low.String(), "low"},
+		{High.String(), "high"},
+		{MaxAge.String(), "MA"},
+		{UnappliedUpdate.String(), "UU"},
+		{UnappliedUpdateStrict.String(), "UU-strict"},
+		{StaleIgnore.String(), "ignore"},
+		{StaleAbort.String(), "abort"},
+		{FIFO.String(), "FIFO"},
+		{LIFO.String(), "LIFO"},
+		{TxnPendingState.String(), "pending"},
+		{TxnRunningState.String(), "running"},
+		{TxnCommittedState.String(), "committed"},
+		{TxnAbortedDeadline.String(), "aborted-deadline"},
+		{TxnAbortedStale.String(), "aborted-stale"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sched
+
+import "repro/internal/model"
+
+// bufferPool models the page cache of a disk-resident database (§7
+// lists disk residency as future work; §3.3 notes the paper's own
+// model is memory-only). Each view object occupies one page; an
+// access to a cached page is free, a miss stalls the single-threaded
+// controller for the modelled I/O time. Replacement is LRU.
+type bufferPool struct {
+	capacity int
+	table    map[model.ObjectID]*pageNode
+	// Doubly linked list, most-recently-used at head.
+	head, tail *pageNode
+	hits       uint64
+	misses     uint64
+}
+
+type pageNode struct {
+	id         model.ObjectID
+	prev, next *pageNode
+}
+
+// newBufferPool returns a pool holding up to capacity pages.
+// Capacity must be positive.
+func newBufferPool(capacity int) *bufferPool {
+	if capacity <= 0 {
+		panic("sched: buffer pool capacity must be positive")
+	}
+	return &bufferPool{
+		capacity: capacity,
+		table:    make(map[model.ObjectID]*pageNode, capacity),
+	}
+}
+
+// access touches the object's page, faulting it in if absent, and
+// reports whether the access hit the cache.
+func (bp *bufferPool) access(id model.ObjectID) bool {
+	if n, ok := bp.table[id]; ok {
+		bp.hits++
+		bp.moveToFront(n)
+		return true
+	}
+	bp.misses++
+	n := &pageNode{id: id}
+	bp.table[id] = n
+	bp.pushFront(n)
+	if len(bp.table) > bp.capacity {
+		bp.evictLRU()
+	}
+	return false
+}
+
+func (bp *bufferPool) pushFront(n *pageNode) {
+	n.prev = nil
+	n.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = n
+	}
+	bp.head = n
+	if bp.tail == nil {
+		bp.tail = n
+	}
+}
+
+func (bp *bufferPool) unlink(n *pageNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		bp.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		bp.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (bp *bufferPool) moveToFront(n *pageNode) {
+	if bp.head == n {
+		return
+	}
+	bp.unlink(n)
+	bp.pushFront(n)
+}
+
+func (bp *bufferPool) evictLRU() {
+	victim := bp.tail
+	if victim == nil {
+		return
+	}
+	bp.unlink(victim)
+	delete(bp.table, victim.id)
+}
+
+// len returns the number of resident pages.
+func (bp *bufferPool) len() int { return len(bp.table) }
+
+// hitRatio returns hits / accesses, or zero before any access.
+func (bp *bufferPool) hitRatio() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}

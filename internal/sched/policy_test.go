@@ -1,0 +1,55 @@
+package sched
+
+import "testing"
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[Policy]string{UF: "UF", TF: "TF", SU: "SU", OD: "OD", FC: "FC"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, s := range []string{"UF", "uf", " Tf ", "su", "OD", "fc"} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Errorf("ParsePolicy(%q) failed: %v", s, err)
+		}
+	}
+	if p, _ := ParsePolicy("od"); p != OD {
+		t.Error("ParsePolicy(od) != OD")
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) should fail")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, p := range AllPolicies {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip failed for %v: got %v, err %v", p, got, err)
+		}
+	}
+}
+
+func TestUsesUpdateQueue(t *testing.T) {
+	if UF.usesUpdateQueue() {
+		t.Error("UF should not use the update queue")
+	}
+	for _, p := range []Policy{TF, SU, OD, FC} {
+		if !p.usesUpdateQueue() {
+			t.Errorf("%v should use the update queue", p)
+		}
+	}
+}
+
+func TestPoliciesList(t *testing.T) {
+	if len(Policies) != 4 {
+		t.Fatalf("Policies has %d entries, want the paper's 4", len(Policies))
+	}
+	if len(AllPolicies) != 5 {
+		t.Fatalf("AllPolicies has %d entries, want 5", len(AllPolicies))
+	}
+}

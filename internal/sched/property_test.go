@@ -1,0 +1,120 @@
+package sched
+
+// Property tests: whole-simulation invariants that must hold for any
+// reasonable parameter combination, policy and seed.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// randomParams derives a valid random configuration from a seed.
+func randomParams(r *rand.Rand) model.Params {
+	p := model.DefaultParams()
+	p.UpdateRate = float64(r.Intn(600))
+	p.TxnRate = float64(1 + r.Intn(25))
+	p.PUpdateLow = r.Float64()
+	p.PTxnLow = r.Float64()
+	p.NLow = 50 + r.Intn(500)
+	p.NHigh = 50 + r.Intn(500)
+	p.MaxAgeDelta = 1 + r.Float64()*9
+	p.MeanUpdateAge = r.Float64() * 0.5
+	p.PView = r.Float64()
+	p.XUpdate = float64(r.Intn(30000))
+	p.XQueue = float64(r.Intn(200))
+	p.XScan = float64(r.Intn(200))
+	p.XSwitch = float64(r.Intn(2000))
+	p.Order = model.QueueOrder(r.Intn(2))
+	p.Staleness = []model.StalenessCriterion{
+		model.MaxAge, model.UnappliedUpdate,
+		model.UnappliedUpdateStrict, model.CombinedMAUU,
+	}[r.Intn(4)]
+	p.OnStale = model.StaleAction(r.Intn(2))
+	p.CoalesceQueue = r.Intn(2) == 0
+	p.PartitionedQueues = r.Intn(2) == 0
+	p.FeasibleDeadline = r.Intn(4) > 0
+	p.TxnPreemption = r.Intn(4) == 0
+	return p
+}
+
+// TestQuickRunInvariants runs short simulations over random
+// configurations and checks the invariants that must always hold.
+func TestQuickRunInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random-config sweep is slow")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomParams(r)
+		pol := AllPolicies[r.Intn(len(AllPolicies))]
+		res, err := Run(Config{
+			Params:   p,
+			Policy:   pol,
+			Seed:     uint64(seed) ^ 0xabcdef,
+			Duration: 10,
+		})
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		check := func(ok bool, what string) bool {
+			if !ok {
+				t.Logf("violated: %s (policy %v, params %+v)", what, pol, p)
+			}
+			return ok
+		}
+		okAll := true
+		okAll = check(res.RhoTxn >= 0 && res.RhoUpdate >= 0, "non-negative utilization") && okAll
+		okAll = check(res.RhoTxn+res.RhoUpdate <= 1+1e-6, "utilization at most 1") && okAll
+		okAll = check(res.PMissedDeadline >= 0 && res.PMissedDeadline <= 1, "pMD in range") && okAll
+		okAll = check(res.PSuccess >= 0 && res.PSuccess <= 1, "psuccess in range") && okAll
+		okAll = check(res.PSuccessGivenNonTardy >= 0 && res.PSuccessGivenNonTardy <= 1,
+			"psuc|nontardy in range") && okAll
+		okAll = check(res.PSuccess <= 1-res.PMissedDeadline+1e-9,
+			"successes cannot exceed non-tardy fraction") && okAll
+		okAll = check(res.FOldLow >= 0 && res.FOldLow <= 1+1e-9, "fold_l in range") && okAll
+		okAll = check(res.FOldHigh >= 0 && res.FOldHigh <= 1+1e-9, "fold_h in range") && okAll
+		okAll = check(res.AvgValuePerSecond >= 0, "AV non-negative") && okAll
+		okAll = check(res.TxnsCommitted+res.TxnsAbortedDeadline+res.TxnsAbortedStale ==
+			res.TxnsResolved, "transaction outcome conservation") && okAll
+		okAll = check(res.TxnsResolved <= res.TxnsArrived, "resolved at most arrived") && okAll
+		accounted := res.UpdatesInstalled + res.UpdatesSkippedUnworthy +
+			res.UpdatesExpired + res.UpdatesOverflowDropped + res.UpdatesOSDropped
+		okAll = check(accounted <= res.UpdatesArrived, "update conservation") && okAll
+		okAll = check(res.ResponseMean >= 0 && res.ResponseP95 >= res.ResponseMean-1e-9 ||
+			res.TxnsCommitted == 0, "response time ordering") && okAll
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminismAcrossConfigs: equal (config, seed) pairs give
+// identical results for random configurations.
+func TestQuickDeterminismAcrossConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("random-config sweep is slow")
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomParams(r)
+		pol := AllPolicies[r.Intn(len(AllPolicies))]
+		cfg := Config{Params: p, Policy: pol, Seed: uint64(seed), Duration: 5}
+		a, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/uqueue"
+)
+
+// classQueues wraps one update queue per importance class behind a
+// merged, generation-ordered view with a joint capacity bound. SU
+// needs the split to drain the high partition eagerly; TF and OD see a
+// single merged queue (the paper's baseline), or — with the
+// PartitionedQueues extension — the same class-priority drain as SU.
+type classQueues struct {
+	q   [2]uqueue.Queue // indexed by model.Importance
+	cap int
+}
+
+// newClassQueues builds the configured queue pair: generation-ordered
+// treap queues by default, coalescing queues when the CoalesceQueue
+// extension is on. The joint capacity is UQMax.
+func newClassQueues(p *model.Params, seed uint64) *classQueues {
+	mk := func(s uint64) uqueue.Queue {
+		if p.CoalesceQueue {
+			return uqueue.NewCoalescedQueue(0, s)
+		}
+		return uqueue.NewGenQueue(0, s)
+	}
+	return &classQueues{
+		q:   [2]uqueue.Queue{mk(seed), mk(seed + 1)},
+		cap: p.UQMax,
+	}
+}
+
+// Insert adds u to its class queue and enforces the joint capacity,
+// evicting the globally oldest update on overflow. All departures
+// (coalesced, rejected or overflow-evicted) are returned.
+func (cq *classQueues) Insert(u *model.Update) []*model.Update {
+	evicted := cq.q[u.Class].Insert(u)
+	if cq.cap > 0 && cq.Len() > cq.cap {
+		if old := cq.popMerged(model.FIFO); old != nil {
+			evicted = append(evicted, old)
+		}
+	}
+	return evicted
+}
+
+// Len returns the total queued updates across both classes.
+func (cq *classQueues) Len() int { return cq.q[model.Low].Len() + cq.q[model.High].Len() }
+
+// LenClass returns the queued updates for one class.
+func (cq *classQueues) LenClass(class model.Importance) int { return cq.q[class].Len() }
+
+// popMerged removes the oldest (FIFO) or newest (LIFO) update across
+// both classes, or nil when empty.
+func (cq *classQueues) popMerged(order model.QueueOrder) *model.Update {
+	lo, hi := cq.q[model.Low], cq.q[model.High]
+	if order == model.FIFO {
+		a, b := lo.PeekOldest(), hi.PeekOldest()
+		switch {
+		case a == nil && b == nil:
+			return nil
+		case a == nil:
+			return hi.PopOldest()
+		case b == nil:
+			return lo.PopOldest()
+		case updateBefore(a, b):
+			return lo.PopOldest()
+		default:
+			return hi.PopOldest()
+		}
+	}
+	a, b := lo.PeekNewest(), hi.PeekNewest()
+	switch {
+	case a == nil && b == nil:
+		return nil
+	case a == nil:
+		return hi.PopNewest()
+	case b == nil:
+		return lo.PopNewest()
+	case updateBefore(a, b):
+		return hi.PopNewest()
+	default:
+		return lo.PopNewest()
+	}
+}
+
+// updateBefore reports whether a precedes b in (generation, sequence)
+// order.
+func updateBefore(a, b *model.Update) bool {
+	if a.GenTime != b.GenTime {
+		return a.GenTime < b.GenTime
+	}
+	return a.Seq < b.Seq
+}
+
+// Pop removes the next update to install. class < 0 selects the
+// merged view.
+func (cq *classQueues) Pop(order model.QueueOrder, class int) *model.Update {
+	if class < 0 {
+		return cq.popMerged(order)
+	}
+	if order == model.FIFO {
+		return cq.q[class].PopOldest()
+	}
+	return cq.q[class].PopNewest()
+}
+
+// NewestFor returns the newest queued update for the object.
+func (cq *classQueues) NewestFor(class model.Importance, id model.ObjectID) *model.Update {
+	return cq.q[class].NewestFor(id)
+}
+
+// TakeFor removes every queued update for the object, returning the
+// newest and the count removed.
+func (cq *classQueues) TakeFor(class model.Importance, id model.ObjectID) (*model.Update, int) {
+	return cq.q[class].TakeFor(id)
+}
+
+// DiscardOlderGen removes every update generated before cutoff from
+// both classes.
+func (cq *classQueues) DiscardOlderGen(cutoff float64) []*model.Update {
+	out := cq.q[model.Low].DiscardOlderGen(cutoff)
+	return append(out, cq.q[model.High].DiscardOlderGen(cutoff)...)
+}
+
+// removeCost returns the instruction cost of one queue removal when
+// the queue holds n updates: xqueue·ln(n) (§3.3), zero for n <= 1.
+func removeCost(xqueue float64, n int) float64 {
+	if n <= 1 || xqueue <= 0 {
+		return 0
+	}
+	return xqueue * math.Log(float64(n))
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func newTestQueues(capacity int, coalesce bool) *classQueues {
+	p := model.DefaultParams()
+	p.UQMax = capacity
+	p.CoalesceQueue = coalesce
+	return newClassQueues(&p, 7)
+}
+
+func cu(seq uint64, obj model.ObjectID, class model.Importance, gen float64) *model.Update {
+	return &model.Update{Seq: seq, Object: obj, Class: class, GenTime: gen}
+}
+
+func TestClassQueuesMergedFIFO(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(1, 0, model.Low, 5))
+	cq.Insert(cu(2, 500, model.High, 3))
+	cq.Insert(cu(3, 1, model.Low, 1))
+	var gens []float64
+	for cq.Len() > 0 {
+		gens = append(gens, cq.Pop(model.FIFO, -1).GenTime)
+	}
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("merged FIFO = %v, want %v", gens, want)
+		}
+	}
+}
+
+func TestClassQueuesMergedLIFO(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(1, 0, model.Low, 5))
+	cq.Insert(cu(2, 500, model.High, 9))
+	cq.Insert(cu(3, 1, model.Low, 1))
+	var gens []float64
+	for cq.Len() > 0 {
+		gens = append(gens, cq.Pop(model.LIFO, -1).GenTime)
+	}
+	want := []float64{9, 5, 1}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("merged LIFO = %v, want %v", gens, want)
+		}
+	}
+}
+
+func TestClassQueuesMergedTieBreak(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(2, 500, model.High, 5))
+	cq.Insert(cu(1, 0, model.Low, 5))
+	// Equal generations: lower sequence wins FIFO.
+	if got := cq.Pop(model.FIFO, -1).Seq; got != 1 {
+		t.Fatalf("FIFO tie-break popped seq %d, want 1", got)
+	}
+}
+
+func TestClassQueuesClassPop(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(1, 0, model.Low, 1))
+	cq.Insert(cu(2, 500, model.High, 2))
+	if got := cq.Pop(model.FIFO, int(model.High)); got.Class != model.High {
+		t.Fatalf("class pop returned %v update", got.Class)
+	}
+	if cq.LenClass(model.High) != 0 || cq.LenClass(model.Low) != 1 {
+		t.Fatal("class lengths wrong after class pop")
+	}
+}
+
+func TestClassQueuesJointCapacity(t *testing.T) {
+	cq := newTestQueues(3, false)
+	cq.Insert(cu(1, 0, model.Low, 1))
+	cq.Insert(cu(2, 500, model.High, 2))
+	cq.Insert(cu(3, 1, model.Low, 3))
+	ev := cq.Insert(cu(4, 501, model.High, 4))
+	if len(ev) != 1 || ev[0].GenTime != 1 {
+		t.Fatalf("joint overflow evicted %v, want the globally oldest (gen 1)", ev)
+	}
+	if cq.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", cq.Len())
+	}
+}
+
+func TestClassQueuesEmptyPops(t *testing.T) {
+	cq := newTestQueues(10, false)
+	if cq.Pop(model.FIFO, -1) != nil || cq.Pop(model.LIFO, -1) != nil {
+		t.Fatal("pop on empty queues should be nil")
+	}
+	if cq.Pop(model.FIFO, int(model.Low)) != nil {
+		t.Fatal("class pop on empty queue should be nil")
+	}
+}
+
+func TestClassQueuesTakeForAndNewestFor(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(1, 42, model.Low, 1))
+	cq.Insert(cu(2, 42, model.Low, 7))
+	cq.Insert(cu(3, 43, model.Low, 3))
+	if got := cq.NewestFor(model.Low, 42); got.GenTime != 7 {
+		t.Fatalf("NewestFor gen = %v, want 7", got.GenTime)
+	}
+	newest, n := cq.TakeFor(model.Low, 42)
+	if newest.GenTime != 7 || n != 2 {
+		t.Fatalf("TakeFor = (%v, %d)", newest.GenTime, n)
+	}
+	if cq.Len() != 1 {
+		t.Fatalf("Len after TakeFor = %d", cq.Len())
+	}
+}
+
+func TestClassQueuesDiscardBothClasses(t *testing.T) {
+	cq := newTestQueues(100, false)
+	cq.Insert(cu(1, 0, model.Low, 1))
+	cq.Insert(cu(2, 500, model.High, 2))
+	cq.Insert(cu(3, 1, model.Low, 9))
+	out := cq.DiscardOlderGen(5)
+	if len(out) != 2 {
+		t.Fatalf("discarded %d updates, want 2", len(out))
+	}
+	if cq.Len() != 1 {
+		t.Fatalf("Len = %d after discard", cq.Len())
+	}
+}
+
+func TestClassQueuesCoalescing(t *testing.T) {
+	cq := newTestQueues(100, true)
+	cq.Insert(cu(1, 42, model.Low, 1))
+	ev := cq.Insert(cu(2, 42, model.Low, 7))
+	if len(ev) != 1 || ev[0].Seq != 1 {
+		t.Fatalf("coalescing eviction = %v", ev)
+	}
+	if cq.Len() != 1 {
+		t.Fatalf("coalesced Len = %d, want 1", cq.Len())
+	}
+}
+
+func TestRemoveCost(t *testing.T) {
+	if removeCost(100, 0) != 0 || removeCost(100, 1) != 0 {
+		t.Fatal("cost for n<=1 should be zero")
+	}
+	if removeCost(0, 50) != 0 {
+		t.Fatal("zero xqueue should cost nothing")
+	}
+	if got, want := removeCost(100, 10), 100*math.Log(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("removeCost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"container/heap"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// txnRun is the controller-side execution state of one transaction:
+// which stage it is in, how much of the current stage remains after
+// preemptions, and the perfect-estimate remaining time used for value
+// density and the feasible-deadline test.
+type txnRun struct {
+	txn *model.Txn
+
+	// estRemaining is the remaining base execution time (computation
+	// plus lookups) in seconds. OD's in-line scans and applies are
+	// not part of the estimate, matching the paper's perfect-estimate
+	// assumption.
+	estRemaining float64
+
+	// stage: 0 = pre-read computation, 1 = view reads, 2 = post-read
+	// computation.
+	stage int
+	// readIdx is the index of the read being performed in stage 1.
+	readIdx int
+	// stageRemaining is the unexecuted seconds of the current base
+	// job (set when a stage or read starts, decremented on
+	// preemption).
+	stageRemaining float64
+
+	// abortPending marks a firm-deadline abort that must take effect
+	// at the next flow continuation (set when the deadline fires
+	// during a non-cancellable in-line install).
+	abortPending bool
+
+	// density is value / estRemaining at the time of the last ready-
+	// queue push.
+	density float64
+
+	deadlineEv *sim.Event
+	heapIndex  int
+}
+
+// resolved reports whether the transaction has committed or aborted.
+func (tr *txnRun) resolved() bool {
+	return tr.txn.State == model.TxnCommittedState ||
+		tr.txn.State == model.TxnAbortedDeadline ||
+		tr.txn.State == model.TxnAbortedStale
+}
+
+// readyQueue is a max-heap of pending transactions ordered by value
+// density (§3.4), with FIFO tie-break on transaction ID. Resolved
+// transactions are removed lazily at pop.
+type readyQueue struct {
+	h readyHeap
+}
+
+func (rq *readyQueue) Len() int { return rq.h.Len() }
+
+// Push inserts tr with its current density.
+func (rq *readyQueue) Push(tr *txnRun) {
+	if tr.estRemaining > 0 {
+		tr.density = tr.txn.Value / tr.estRemaining
+	} else {
+		tr.density = tr.txn.Value * 1e12
+	}
+	heap.Push(&rq.h, tr)
+}
+
+// Pop removes and returns the unresolved transaction with the highest
+// value density, or nil when none remain.
+func (rq *readyQueue) Pop() *txnRun {
+	for rq.h.Len() > 0 {
+		tr := heap.Pop(&rq.h).(*txnRun)
+		if !tr.resolved() {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Peek returns the highest-density unresolved transaction without
+// removing it, discarding resolved entries it encounters.
+func (rq *readyQueue) Peek() *txnRun {
+	for rq.h.Len() > 0 {
+		tr := rq.h[0]
+		if !tr.resolved() {
+			return tr
+		}
+		heap.Pop(&rq.h)
+	}
+	return nil
+}
+
+type readyHeap []*txnRun
+
+func (h readyHeap) Len() int { return len(h) }
+
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].density != h[j].density {
+		return h[i].density > h[j].density
+	}
+	return h[i].txn.ID < h[j].txn.ID
+}
+
+func (h readyHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+
+func (h *readyHeap) Push(x any) {
+	tr := x.(*txnRun)
+	tr.heapIndex = len(*h)
+	*h = append(*h, tr)
+}
+
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tr := old[n-1]
+	old[n-1] = nil
+	tr.heapIndex = -1
+	*h = old[:n-1]
+	return tr
+}

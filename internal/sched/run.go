@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Params is the full model parameter set (Tables 1-3).
+	Params model.Params
+	// Policy is the scheduling algorithm.
+	Policy Policy
+	// Seed makes the run deterministic; equal seeds and configs give
+	// bit-identical results.
+	Seed uint64
+	// Duration is the simulated horizon in seconds (1000 s per data
+	// point in the paper).
+	Duration float64
+	// Tracer optionally receives every scheduling event.
+	Tracer Tracer
+	// UpdateTrace, when non-nil, replays a recorded update stream
+	// (see workload.TraceUpdateSource for the format) instead of the
+	// synthetic source.
+	UpdateTrace io.Reader
+}
+
+// Run executes one complete simulation and returns its metrics.
+func Run(cfg Config) (metrics.Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return metrics.Result{}, fmt.Errorf("sched: invalid parameters: %w", err)
+	}
+	if cfg.Duration <= 0 {
+		return metrics.Result{}, fmt.Errorf("sched: duration %v must be positive", cfg.Duration)
+	}
+	p := cfg.Params
+
+	root := stats.NewRNG(cfg.Seed, 0x5DEECE66D)
+	updateRNG := root.Split()
+	txnRNG := root.Split()
+	queueSeed := uint64(cfg.Seed*2654435761 + 1)
+
+	s := sim.New()
+	tracker := metrics.NewTracker(&p).(trackerWithGen)
+	col := metrics.NewCollector(&p)
+	c := newController(s, &p, cfg.Policy, tracker, col, queueSeed)
+	c.tracer = cfg.Tracer
+
+	// The update source is the Poisson stream of §5.1 by default, or
+	// the §2 periodic per-object refresh model when configured.
+	var nextUpdate func() *model.Update
+	var traceSrc *workload.TraceUpdateSource
+	switch {
+	case cfg.UpdateTrace != nil:
+		traceSrc = workload.NewTraceUpdateSource(&p, cfg.UpdateTrace)
+		nextUpdate = traceSrc.Next
+	case p.PeriodicPeriod > 0:
+		src := workload.NewPeriodicUpdateSource(&p, p.PeriodicPeriod, updateRNG)
+		nextUpdate = src.Next
+	case p.BurstFactor > 1:
+		quiet, burst := p.BurstQuietMean, p.BurstOnMean
+		if quiet <= 0 {
+			quiet = 4
+		}
+		if burst <= 0 {
+			burst = 1
+		}
+		src := workload.NewBurstyUpdateGenerator(&p, updateRNG, p.BurstFactor, quiet, burst)
+		nextUpdate = src.Next
+	default:
+		ug := workload.NewUpdateGenerator(&p, updateRNG)
+		nextUpdate = ug.Next
+	}
+	var scheduleUpdate func()
+	scheduleUpdate = func() {
+		u := nextUpdate()
+		if u == nil || u.ArrivalTime > cfg.Duration {
+			return
+		}
+		s.At(u.ArrivalTime, func() {
+			c.onUpdateArrival(u)
+			scheduleUpdate()
+		})
+	}
+	scheduleUpdate()
+
+	tg := workload.NewTxnGenerator(&p, txnRNG)
+	var scheduleTxn func()
+	scheduleTxn = func() {
+		txn := tg.Next()
+		if txn == nil || txn.ArrivalTime > cfg.Duration {
+			return
+		}
+		s.At(txn.ArrivalTime, func() {
+			c.onTxnArrival(txn)
+			scheduleTxn()
+		})
+	}
+	scheduleTxn()
+
+	s.Run(cfg.Duration)
+	c.finish(cfg.Duration)
+	tracker.Finish(cfg.Duration)
+	col.Finish(cfg.Duration)
+	if traceSrc != nil {
+		if err := traceSrc.Err(); err != nil {
+			return metrics.Result{}, err
+		}
+	}
+	return col.Result(tracker), nil
+}
+
+// MustRun is Run for tests and examples where the configuration is
+// known to be valid; it panics on error.
+func MustRun(cfg Config) metrics.Result {
+	r, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTraceKindStrings(t *testing.T) {
+	kinds := []TraceKind{
+		TraceTxnArrived, TraceTxnStarted, TraceTxnPreempted, TraceTxnResumed,
+		TraceTxnCommitted, TraceTxnAbortedDeadline, TraceTxnAbortedStale,
+		TraceUpdateArrived, TraceUpdateInstalled, TraceUpdateSkipped,
+		TraceUpdateExpired, TraceUpdateDropped,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "TraceKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCountingTracerDuringRun(t *testing.T) {
+	tracer := NewCountingTracer()
+	p := model.DefaultParams()
+	p.TxnRate = 5
+	r := MustRun(Config{Params: p, Policy: TF, Seed: 1, Duration: 10, Tracer: tracer})
+
+	if got := tracer.Counts[TraceTxnArrived]; got != r.TxnsArrived {
+		t.Errorf("txn-arrived events = %d, collector says %d", got, r.TxnsArrived)
+	}
+	if got := tracer.Counts[TraceTxnCommitted]; got != r.TxnsCommitted {
+		t.Errorf("txn-committed events = %d, collector says %d", got, r.TxnsCommitted)
+	}
+	if got := tracer.Counts[TraceUpdateArrived]; got != r.UpdatesArrived {
+		t.Errorf("update-arrived events = %d, collector says %d", got, r.UpdatesArrived)
+	}
+	if got := tracer.Counts[TraceUpdateInstalled]; got != r.UpdatesInstalled {
+		t.Errorf("update-installed events = %d, collector says %d", got, r.UpdatesInstalled)
+	}
+	if got := tracer.Counts[TraceUpdateExpired]; got != r.UpdatesExpired {
+		t.Errorf("update-expired events = %d, collector says %d", got, r.UpdatesExpired)
+	}
+	// Started transactions never exceed arrivals.
+	if tracer.Counts[TraceTxnStarted] > tracer.Counts[TraceTxnArrived] {
+		t.Error("more starts than arrivals")
+	}
+}
+
+func TestTracePreemptionEvents(t *testing.T) {
+	tracer := NewCountingTracer()
+	p := model.DefaultParams()
+	p.TxnRate = 10
+	MustRun(Config{Params: p, Policy: UF, Seed: 2, Duration: 5, Tracer: tracer})
+	if tracer.Counts[TraceTxnPreempted] == 0 {
+		t.Fatal("UF at load must preempt transactions")
+	}
+	if tracer.Counts[TraceTxnResumed] == 0 {
+		t.Fatal("preempted transactions must resume")
+	}
+	// TF never preempts.
+	tf := NewCountingTracer()
+	MustRun(Config{Params: p, Policy: TF, Seed: 2, Duration: 5, Tracer: tf})
+	if tf.Counts[TraceTxnPreempted] != 0 {
+		t.Fatalf("TF preempted %d times", tf.Counts[TraceTxnPreempted])
+	}
+}
+
+func TestWriterTracerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := WriterTracer{W: &buf}
+	tr.Trace(TraceEvent{Time: 1.5, Kind: TraceUpdateInstalled, Object: 42})
+	got := buf.String()
+	if !strings.Contains(got, "update-installed") || !strings.Contains(got, "obj=42") ||
+		!strings.HasPrefix(got, "1.5") {
+		t.Fatalf("line = %q", got)
+	}
+}
+
+func TestWriterTracerDuringRun(t *testing.T) {
+	var buf bytes.Buffer
+	p := model.DefaultParams()
+	p.TxnRate = 2
+	p.UpdateRate = 20
+	MustRun(Config{Params: p, Policy: OD, Seed: 3, Duration: 2, Tracer: WriterTracer{W: &buf}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 40 {
+		t.Fatalf("trace produced only %d lines", len(lines))
+	}
+	// Times must be non-decreasing.
+	prev := -1.0
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed trace line %q", line)
+		}
+		tm, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("unparseable trace time in %q: %v", line, err)
+		}
+		if tm < prev {
+			t.Fatalf("trace times go backwards: %q after %v", line, prev)
+		}
+		prev = tm
+	}
+}

@@ -1,0 +1,32 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// A periodic process re-arming itself, the basic DES idiom.
+func Example() {
+	s := sim.New()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		s.After(1.0, tick)
+	}
+	s.After(1.0, tick)
+	s.Run(5.0)
+	fmt.Println(ticks, s.Now())
+	// Output: 5 5
+}
+
+// Cancelling a pending event.
+func ExampleSimulator_Cancel() {
+	s := sim.New()
+	e := s.At(2.0, func() { fmt.Println("never") })
+	s.At(1.0, func() { s.Cancel(e) })
+	s.Run(10)
+	fmt.Println(e.Pending())
+	// Output: false
+}

@@ -1,0 +1,169 @@
+// Package sim is a small deterministic discrete-event simulation
+// kernel. It replaces the DeNet simulation language used by the
+// original paper: a monotone simulated clock, an event heap with
+// stable FIFO ordering among simultaneous events, and cancellable
+// event handles.
+//
+// Time is measured in float64 seconds of simulated time. Two events
+// scheduled for the same instant fire in the order they were
+// scheduled, which makes runs fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. The zero value is inert. Events are
+// created by Simulator.At / Simulator.After and may be cancelled until
+// they fire.
+type Event struct {
+	time   float64
+	seq    uint64
+	index  int // position in the heap, -1 when not queued
+	fn     func()
+	fired  bool
+	cancel bool
+}
+
+// Time returns the simulated time at which the event is (or was)
+// scheduled to fire.
+func (e *Event) Time() float64 { return e.time }
+
+// Pending reports whether the event is still queued: not yet fired and
+// not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.fired && !e.cancel }
+
+// Simulator owns the clock and the event queue.
+type Simulator struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far. It is useful for
+// instrumentation and runaway detection in tests.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in
+// the past panics: the model must never rewind the clock.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil,
+// fired or already-cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.fired || e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (s *Simulator) Halt() { s.halted = true }
+
+// Run executes events in time order until the queue is empty, the
+// horizon is passed, or Halt is called. Events scheduled exactly at
+// the horizon still fire; the clock finishes at the horizon. It
+// returns the number of events fired during this call.
+func (s *Simulator) Run(horizon float64) uint64 {
+	s.halted = false
+	start := s.fired
+	for s.queue.Len() > 0 && !s.halted {
+		e := s.queue[0]
+		if e.time > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		e.fired = true
+		s.now = e.time
+		s.fired++
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return s.fired - start
+}
+
+// Step executes exactly one pending event (if any) and reports whether
+// an event fired. It is intended for tests that need fine-grained
+// control of the clock.
+func (s *Simulator) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	e.fired = true
+	s.now = e.time
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Pending returns the number of events currently queued.
+func (s *Simulator) Pending() int { return s.queue.Len() }
+
+// eventHeap orders events by (time, seq) so that ties fire in
+// scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrdersByTime(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 5, 4} {
+		at := at
+		s.At(at, func() { got = append(got, at) })
+	}
+	s.Run(10)
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.At(2.5, func() {
+		if s.Now() != 2.5 {
+			t.Fatalf("Now = %v inside event at 2.5", s.Now())
+		}
+	})
+	s.Run(10)
+	if s.Now() != 10 {
+		t.Fatalf("Now after Run = %v, want horizon 10", s.Now())
+	}
+}
+
+func TestHorizonExcludesLaterEvents(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(5, func() { fired++ })
+	s.At(10, func() { fired++ }) // exactly at horizon: fires
+	s.At(10.0001, func() { fired++ })
+	if n := s.Run(10); n != 2 {
+		t.Fatalf("Run fired %d events, want 2", n)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at float64 = -1
+	s.At(3, func() {
+		s.After(2, func() { at = s.Now() })
+	})
+	s.Run(10)
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(1, func() {})
+	})
+	s.Run(10)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(5, func() { fired = true })
+	if !e.Pending() {
+		t.Fatal("event should be pending")
+	}
+	s.Cancel(e)
+	if e.Pending() {
+		t.Fatal("cancelled event should not be pending")
+	}
+	s.Run(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New()
+	fired := false
+	var victim *Event
+	victim = s.At(5, func() { fired = true })
+	s.At(3, func() { s.Cancel(victim) })
+	s.Run(10)
+	if fired {
+		t.Fatal("event cancelled at t=3 still fired at t=5")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run(100)
+	if count != 3 {
+		t.Fatalf("count = %d after Halt, want 3", count)
+	}
+	// Run can resume after a halt.
+	s.Run(100)
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1, func() { count++ })
+	s.At(2, func() { count++ })
+	if !s.Step() || count != 1 || s.Now() != 1 {
+		t.Fatalf("first Step: count=%d now=%v", count, s.Now())
+	}
+	if !s.Step() || count != 2 || s.Now() != 2 {
+		t.Fatalf("second Step: count=%d now=%v", count, s.Now())
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventPendingLifecycle(t *testing.T) {
+	s := New()
+	e := s.At(1, func() {})
+	if !e.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	s.Run(2)
+	if e.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	var nilEvent *Event
+	if nilEvent.Pending() {
+		t.Fatal("nil event pending")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(float64(i), func() {})
+	}
+	s.Run(100)
+	if s.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", s.Fired())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain that reschedules itself must run to the horizon.
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	s.Run(100)
+	if count != 100 {
+		t.Fatalf("ticks = %d, want 100", count)
+	}
+}
+
+func TestQuickRandomScheduleOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var fired []float64
+		for i := 0; i < int(n); i++ {
+			at := r.Float64() * 100
+			s.At(at, func() { fired = append(fired, at) })
+		}
+		s.Run(1000)
+		return len(fired) == int(n) && sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCancelSubset(t *testing.T) {
+	// Cancelling an arbitrary subset fires exactly the complement.
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		fired := make(map[int]bool)
+		events := make([]*Event, int(n))
+		for i := range events {
+			i := i
+			events[i] = s.At(r.Float64()*100, func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := range events {
+			if r.Intn(2) == 0 {
+				s.Cancel(events[i])
+				cancelled[i] = true
+			}
+		}
+		s.Run(1000)
+		for i := range events {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

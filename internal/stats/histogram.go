@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over a closed range. Values
+// below the range land in the first bucket, above it in the last, so
+// every observation is counted. The zero value is not usable; build
+// with NewHistogram.
+type Histogram struct {
+	lo, hi float64
+	counts []uint64
+	n      uint64
+}
+
+// NewHistogram returns a histogram of `buckets` equal-width buckets
+// over [lo, hi). It panics on a non-positive bucket count or an empty
+// range.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	if !(hi > lo) {
+		panic("stats: histogram range must be non-empty")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]uint64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := 0
+	if !math.IsNaN(v) {
+		pos := (v - h.lo) / (h.hi - h.lo) * float64(len(h.counts))
+		idx = int(pos)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+	}
+	h.counts[idx]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Count returns the count in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + float64(i)*width, h.lo + float64(i+1)*width
+}
+
+// Quantile approximates the q-quantile assuming a uniform distribution
+// within buckets. It returns the range minimum when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return h.lo
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.n)
+	acc := 0.0
+	for i, c := range h.counts {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			lo, hi := h.BucketBounds(i)
+			frac := 0.0
+			if c > 0 {
+				frac = (target - acc) / float64(c)
+			}
+			return lo + frac*(hi-lo)
+		}
+		acc = next
+	}
+	return h.hi
+}
+
+// WriteASCII renders the histogram as an ASCII bar chart, one line per
+// bucket, scaled so the fullest bucket spans width characters.
+func (h *Histogram) WriteASCII(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	var max uint64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.counts {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "[%8.4f, %8.4f) %8d %s\n",
+			lo, hi, c, strings.Repeat("#", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

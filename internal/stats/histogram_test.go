@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1.5, 2.5, 2.6, 9.9} {
+		h.Add(v)
+	}
+	if h.N() != 5 || h.Buckets() != 5 {
+		t.Fatalf("N=%d buckets=%d", h.N(), h.Buckets())
+	}
+	wantCounts := []uint64{2, 2, 0, 0, 1}
+	for i, want := range wantCounts {
+		if got := h.Count(i); got != want {
+			t.Fatalf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(-5)         // below range: first bucket
+	h.Add(99)         // above range: last bucket
+	h.Add(1.0)        // exactly hi: last bucket
+	h.Add(math.NaN()) // pathological: first bucket, still counted
+	if h.Count(0) != 2 || h.Count(1) != 2 {
+		t.Fatalf("clamped counts = %d/%d", h.Count(0), h.Count(1))
+	}
+	if h.N() != 4 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	lo, hi := h.BucketBounds(2)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("bounds = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got := h.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 2 {
+			t.Fatalf("Quantile(%v) = %v, want about %v", q, got, want)
+		}
+	}
+	if got := h.Quantile(-1); got > h.Quantile(0.1) {
+		t.Fatal("clamped low quantile out of order")
+	}
+	if got := h.Quantile(2); got < h.Quantile(0.9) {
+		t.Fatal("clamped high quantile out of order")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(5, 10, 3)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("empty quantile = %v, want range minimum", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(0.6)
+	h.Add(1.5)
+	var buf bytes.Buffer
+	if err := h.WriteASCII(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ASCII output has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Fatalf("fullest bucket should span the width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Fatalf("half-full bucket bar wrong: %q", lines[1])
+	}
+}
+
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(values []float64) bool {
+		h := NewHistogram(-100, 100, 17)
+		for _, v := range values {
+			h.Add(v)
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		return sum == uint64(len(values)) && h.N() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package stats provides the random-number machinery and summary
+// statistics used by the simulation: seeded deterministic generators,
+// the distributions of the paper's workload model (exponential
+// inter-arrival times, normally distributed costs and values, uniform
+// slacks), and accumulators for time-weighted and event-weighted
+// averages.
+//
+// All generators are deterministic for a given seed so that every
+// simulation run is exactly reproducible.
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a seeded source of the distributions used by the workload and
+// system models. It wraps a PCG generator from math/rand/v2; two RNGs
+// created with the same seed pair produce identical streams.
+type RNG struct {
+	src *rand.Rand
+}
+
+// NewRNG returns a deterministic generator seeded with (seed1, seed2).
+func NewRNG(seed1, seed2 uint64) *RNG {
+	return &RNG{src: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Exponential returns a draw from an exponential distribution with the
+// given mean. A mean of zero returns zero.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.src.ExpFloat64() * mean
+}
+
+// Normal returns a draw from a normal distribution with the given mean
+// and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// PositiveNormal returns a normal draw resampled until it is strictly
+// positive. It is used for transaction values and computation times,
+// which are modelled as normal but are meaningless when non-positive.
+// If mean <= 0 the resampling could loop for a long time, so the value
+// is clamped to a tiny positive epsilon after 64 attempts.
+func (r *RNG) PositiveNormal(mean, stddev float64) float64 {
+	for i := 0; i < 64; i++ {
+		if v := r.Normal(mean, stddev); v > 0 {
+			return v
+		}
+	}
+	return math.SmallestNonzeroFloat64
+}
+
+// NonNegativeCount returns a normal draw rounded to the nearest
+// integer and clamped at zero. It is used for the number of view
+// objects read by a transaction (mean 2, stddev 1 in the baseline).
+func (r *RNG) NonNegativeCount(mean, stddev float64) int {
+	v := math.Round(r.Normal(mean, stddev))
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }
+
+// Split derives an independent generator from this one. It is used to
+// give each workload source (updates, transactions) its own stream so
+// that changing one sweep parameter does not perturb the other source's
+// draws.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.src.Uint64(), r.src.Uint64())
+}

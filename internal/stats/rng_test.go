@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(1, 2)
+	b := NewRNG(1, 2)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("draw %d differs: %v vs %v", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1, 2)
+	b := NewRNG(3, 4)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(7, 7)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(0.1, 1.0)
+		if v < 0.1 || v >= 1.0 {
+			t.Fatalf("uniform draw %v outside [0.1, 1.0)", v)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	r := NewRNG(7, 8)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Uniform(0.1, 1.0))
+	}
+	if got, want := s.Mean(), 0.55; math.Abs(got-want) > 0.01 {
+		t.Fatalf("uniform mean = %v, want about %v", got, want)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := NewRNG(11, 13)
+	const mean = 0.1
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		v := r.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		s.Add(v)
+	}
+	if math.Abs(s.Mean()-mean) > 0.005 {
+		t.Fatalf("exponential mean = %v, want about %v", s.Mean(), mean)
+	}
+	// Exponential stddev equals its mean.
+	if math.Abs(s.StdDev()-mean) > 0.01 {
+		t.Fatalf("exponential stddev = %v, want about %v", s.StdDev(), mean)
+	}
+}
+
+func TestExponentialZeroMean(t *testing.T) {
+	r := NewRNG(1, 1)
+	if v := r.Exponential(0); v != 0 {
+		t.Fatalf("Exponential(0) = %v, want 0", v)
+	}
+	if v := r.Exponential(-1); v != 0 {
+		t.Fatalf("Exponential(-1) = %v, want 0", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5, 9)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Normal(2.0, 0.5))
+	}
+	if math.Abs(s.Mean()-2.0) > 0.01 {
+		t.Fatalf("normal mean = %v, want about 2.0", s.Mean())
+	}
+	if math.Abs(s.StdDev()-0.5) > 0.01 {
+		t.Fatalf("normal stddev = %v, want about 0.5", s.StdDev())
+	}
+}
+
+func TestPositiveNormalAlwaysPositive(t *testing.T) {
+	r := NewRNG(3, 3)
+	for i := 0; i < 50000; i++ {
+		if v := r.PositiveNormal(0.12, 0.5); v <= 0 {
+			t.Fatalf("PositiveNormal returned %v", v)
+		}
+	}
+	// Pathological parameters must still terminate and stay positive.
+	if v := r.PositiveNormal(-100, 0.0001); v <= 0 {
+		t.Fatalf("PositiveNormal with hopeless params returned %v", v)
+	}
+}
+
+func TestNonNegativeCount(t *testing.T) {
+	r := NewRNG(21, 22)
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		c := r.NonNegativeCount(2.0, 1.0)
+		if c < 0 {
+			t.Fatalf("negative count %d", c)
+		}
+		s.Add(float64(c))
+	}
+	// Clamping at zero slightly raises the mean above 2.0.
+	if s.Mean() < 1.9 || s.Mean() > 2.2 {
+		t.Fatalf("count mean = %v, want about 2.0", s.Mean())
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(2, 4)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) hit rate = %v", p)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRNG(1, 2)
+	child := a.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == child.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream matched parent %d/100 times", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := NewRNG(9, 9).Split()
+	b := NewRNG(9, 9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("split streams from equal seeds diverged at %d", i)
+		}
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := NewRNG(14, 15)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.IntN(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("IntN(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("IntN(10) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestQuickUniformBounds(t *testing.T) {
+	r := NewRNG(77, 78)
+	f := func(lo float64, width uint8) bool {
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.Abs(lo) > 1e12 {
+			return true
+		}
+		hi := lo + float64(width) + 1
+		v := r.Uniform(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates event-weighted observations (one weight per
+// observation) and reports mean, variance and extremes in a single
+// pass. The zero value is ready to use.
+type Summary struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	s.sum += v
+	s.sum2 += v * v
+}
+
+// N returns the number of observations recorded.
+func (s *Summary) N() int { return s.n }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean, or zero when empty.
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the unbiased sample variance, or zero for fewer
+// than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sum2 - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 { // guard against floating point cancellation
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or zero when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or zero when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// TimeWeighted integrates a piecewise-constant signal over simulated
+// time: Set records the signal's new level at a time, and Average
+// reports the time-weighted mean over [start, end]. It is the
+// accumulator behind the paper's fold metric (the average fraction of
+// stale objects).
+type TimeWeighted struct {
+	started  bool
+	start    float64
+	lastT    float64
+	lastV    float64
+	integral float64
+}
+
+// Start begins integration at time t with initial level v. Calling
+// Start resets any prior state.
+func (w *TimeWeighted) Start(t, v float64) {
+	*w = TimeWeighted{started: true, start: t, lastT: t, lastV: v}
+}
+
+// Set records that the signal changed to level v at time t. Times must
+// be non-decreasing; out-of-order samples are ignored.
+func (w *TimeWeighted) Set(t, v float64) {
+	if !w.started {
+		w.Start(t, v)
+		return
+	}
+	if t < w.lastT {
+		return
+	}
+	w.integral += w.lastV * (t - w.lastT)
+	w.lastT = t
+	w.lastV = v
+}
+
+// Integral returns the integral of the signal from the start time to t.
+func (w *TimeWeighted) Integral(t float64) float64 {
+	if !w.started || t <= w.lastT {
+		return w.integral
+	}
+	return w.integral + w.lastV*(t-w.lastT)
+}
+
+// Average returns the time-weighted mean of the signal from the start
+// time to t, or zero if no time has elapsed.
+func (w *TimeWeighted) Average(t float64) float64 {
+	if !w.started {
+		return 0
+	}
+	dur := t - w.start
+	if dur <= 0 {
+		return 0
+	}
+	return w.Integral(t) / dur
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using linear
+// interpolation. The input slice is not modified. An empty input
+// returns zero.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanStd returns the mean and sample standard deviation of values.
+func MeanStd(values []float64) (mean, std float64) {
+	var s Summary
+	for _, v := range values {
+		s.Add(v)
+	}
+	return s.Mean(), s.StdDev()
+}

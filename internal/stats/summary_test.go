@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero Summary should report zeros")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Sum() != 10 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if want := 5.0 / 3.0; math.Abs(s.Variance()-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), want)
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleValueVariance(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatalf("single observation variance = %v", s.Variance())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Mean() != 0 || s.Min() != -5 || s.Max() != 5 {
+		t.Fatalf("mean/min/max = %v/%v/%v", s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		clean := raw[:0]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				continue
+			}
+			clean = append(clean, v)
+			s.Add(v)
+		}
+		if len(clean) == 0 {
+			return s.N() == 0
+		}
+		if s.Variance() < 0 {
+			return false
+		}
+		return s.Min() <= s.Mean()+1e-6 && s.Mean() <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 0.5)
+	if got := w.Average(10); got != 0.5 {
+		t.Fatalf("constant signal average = %v", got)
+	}
+}
+
+func TestTimeWeightedSteps(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 0)
+	w.Set(4, 1) // 0 for [0,4), 1 for [4,10)
+	if got, want := w.Average(10), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("step average = %v, want %v", got, want)
+	}
+	if got, want := w.Integral(10), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedRepeatedSet(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 2)
+	w.Set(1, 2)
+	w.Set(2, 2)
+	w.Set(3, 0)
+	if got, want := w.Average(4), 1.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("average = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedOutOfOrderIgnored(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 1)
+	w.Set(5, 0)
+	w.Set(3, 100) // ignored
+	if got, want := w.Average(10), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("average = %v, want %v", got, want)
+	}
+}
+
+func TestTimeWeightedZeroDuration(t *testing.T) {
+	var w TimeWeighted
+	w.Start(5, 1)
+	if got := w.Average(5); got != 0 {
+		t.Fatalf("zero-duration average = %v", got)
+	}
+	var unstarted TimeWeighted
+	if got := unstarted.Average(10); got != 0 {
+		t.Fatalf("unstarted average = %v", got)
+	}
+}
+
+func TestTimeWeightedSetBeforeStart(t *testing.T) {
+	var w TimeWeighted
+	w.Set(2, 3) // acts as Start
+	if got := w.Average(4); got != 3 {
+		t.Fatalf("average = %v, want 3", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v", got)
+	}
+	// Input must not be mutated.
+	if vals[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", std, want)
+	}
+}
+
+func TestQuickTimeWeightedBounded(t *testing.T) {
+	// The average of a 0/1 signal must stay within [0,1].
+	f := func(flips []bool) bool {
+		var w TimeWeighted
+		w.Start(0, 0)
+		tm := 0.0
+		for i, b := range flips {
+			tm = float64(i + 1)
+			v := 0.0
+			if b {
+				v = 1.0
+			}
+			w.Set(tm, v)
+		}
+		avg := w.Average(tm + 1)
+		return avg >= 0 && avg <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

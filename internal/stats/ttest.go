@@ -1,0 +1,123 @@
+package stats
+
+import "math"
+
+// TTestResult is the outcome of a Welch two-sample t-test.
+type TTestResult struct {
+	// T is the test statistic.
+	T float64
+	// DF is the Welch–Satterthwaite degrees of freedom.
+	DF float64
+	// P is the two-sided p-value.
+	P float64
+	// MeanA, MeanB are the sample means.
+	MeanA, MeanB float64
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances. It is the right test for comparing two
+// scheduling policies across replicated simulation runs. Samples with
+// fewer than two observations, or two samples with zero variance,
+// yield P = 1 when the means are equal and P = 0 when they differ
+// (the outcome is deterministic).
+func WelchTTest(a, b []float64) TTestResult {
+	ma, sa := MeanStd(a)
+	mb, sb := MeanStd(b)
+	res := TTestResult{MeanA: ma, MeanB: mb}
+	na, nb := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 || (sa == 0 && sb == 0) {
+		if ma == mb {
+			res.P = 1
+		} else {
+			res.P = 0
+			res.T = math.Inf(sign(ma - mb))
+		}
+		return res
+	}
+	va, vb := sa*sa/na, sb*sb/nb
+	se := math.Sqrt(va + vb)
+	res.T = (ma - mb) / se
+	res.DF = (va + vb) * (va + vb) /
+		(va*va/(na-1) + vb*vb/(nb-1))
+	res.P = 2 * studentTailCDF(math.Abs(res.T), res.DF)
+	return res
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTailCDF returns P(T > t) for Student's t distribution with
+// df degrees of freedom, via the regularized incomplete beta function.
+func studentTailCDF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) by the standard continued-fraction expansion (Numerical
+// Recipes' betacf construction, reimplemented).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// The continued fraction converges fast only for
+	// x < (a+1)/(a+b+2); use the symmetry relation otherwise.
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	// Lentz's algorithm for the continued fraction.
+	const eps = 1e-14
+	const tiny = 1e-300
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		var numerator float64
+		m := i / 2
+		fm := float64(m)
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = fm * (b - fm) * x / ((a + 2*fm - 1) * (a + 2*fm))
+		default:
+			numerator = -(a + fm) * (a + b + fm) * x / ((a + 2*fm) * (a + 2*fm + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < eps {
+			break
+		}
+	}
+	v := front * (f - 1)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

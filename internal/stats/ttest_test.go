@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1,1) = x (uniform distribution CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.8, 0.8},
+		// I_x(2,2) = x^2(3-2x).
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 0.25 * 0.25 * (3 - 0.5)},
+		// I_x(0.5,0.5) = (2/pi) asin(sqrt(x)).
+		{0.5, 0.5, 0.5, 0.5},
+		{0.5, 0.5, 0.25, 2 / math.Pi * math.Asin(0.5)},
+		// Boundaries.
+		{3, 4, 0, 0},
+		{3, 4, 1, 1},
+	}
+	for _, c := range cases {
+		got := regIncBeta(c.a, c.b, c.x)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestStudentTailKnownValues(t *testing.T) {
+	// Classic t-table values: P(T > t) for given df.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 10, 0.5},
+		{1.812, 10, 0.05},  // t_{0.95, 10}
+		{2.228, 10, 0.025}, // t_{0.975, 10}
+		{6.314, 1, 0.05},   // t_{0.95, 1}
+		{1.645, 1e6, 0.05}, // converges to the normal quantile
+	}
+	for _, c := range cases {
+		got := studentTailCDF(c.t, c.df)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("P(T>%v; df=%v) = %v, want about %v", c.t, c.df, got, c.want)
+		}
+	}
+	if got := studentTailCDF(math.Inf(1), 5); got != 0 {
+		t.Errorf("infinite t tail = %v", got)
+	}
+}
+
+func TestWelchTTestSeparatedSamples(t *testing.T) {
+	a := []float64{10.1, 10.2, 9.9, 10.0, 10.1}
+	b := []float64{12.0, 12.2, 11.9, 12.1, 12.0}
+	res := WelchTTest(a, b)
+	if res.P > 1e-6 {
+		t.Fatalf("clearly separated samples: p = %v", res.P)
+	}
+	if res.T >= 0 {
+		t.Fatalf("mean(a) < mean(b) should give negative t, got %v", res.T)
+	}
+	if res.MeanA >= res.MeanB {
+		t.Fatal("means wrong")
+	}
+}
+
+func TestWelchTTestIdenticalDistributions(t *testing.T) {
+	r := NewRNG(5, 5)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = r.Normal(5, 1)
+		b[i] = r.Normal(5, 1)
+	}
+	res := WelchTTest(a, b)
+	if res.P < 0.001 {
+		t.Fatalf("same-distribution samples flagged significant: p = %v", res.P)
+	}
+	if res.DF < 20 || res.DF > 60 {
+		t.Fatalf("df = %v, want near 58", res.DF)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	// Zero-variance equal samples: deterministic equality.
+	res := WelchTTest([]float64{3, 3, 3}, []float64{3, 3})
+	if res.P != 1 {
+		t.Fatalf("equal constants p = %v, want 1", res.P)
+	}
+	// Zero-variance different samples: deterministic difference.
+	res = WelchTTest([]float64{3, 3}, []float64{4, 4})
+	if res.P != 0 {
+		t.Fatalf("different constants p = %v, want 0", res.P)
+	}
+	// Single observations.
+	res = WelchTTest([]float64{1}, []float64{2})
+	if res.P != 0 {
+		t.Fatalf("single different p = %v", res.P)
+	}
+	res = WelchTTest([]float64{2}, []float64{2})
+	if res.P != 1 {
+		t.Fatalf("single equal p = %v", res.P)
+	}
+}
+
+func TestWelchTTestKnownExample(t *testing.T) {
+	// A worked example (unequal variances, unequal sizes).
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9}
+	res := WelchTTest(a, b)
+	// Reference (computed independently): t = -2.83526,
+	// df = 27.7136, p = 0.0084527.
+	if math.Abs(res.T+2.83526) > 1e-4 {
+		t.Fatalf("t = %v, want -2.83526", res.T)
+	}
+	if math.Abs(res.DF-27.7136) > 1e-3 {
+		t.Fatalf("df = %v, want 27.7136", res.DF)
+	}
+	if math.Abs(res.P-0.0084527) > 1e-5 {
+		t.Fatalf("p = %v, want 0.0084527", res.P)
+	}
+}

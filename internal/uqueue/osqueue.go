@@ -1,0 +1,66 @@
+package uqueue
+
+import "repro/internal/model"
+
+// OSQueue models the kernel-side message queue of Fig. 2 (step 2): a
+// small bounded FIFO that holds updates between network arrival and
+// the controller's receive. It only supports head removal — the paper
+// notes that applications cannot search or reorder an OS queue — and
+// drops arrivals when full.
+type OSQueue struct {
+	buf     []*model.Update
+	head    int
+	n       int
+	dropped uint64
+}
+
+// NewOSQueue returns an OS queue with the given capacity (OSmax).
+// Capacity must be positive.
+func NewOSQueue(capacity int) *OSQueue {
+	if capacity <= 0 {
+		panic("uqueue: OS queue capacity must be positive")
+	}
+	return &OSQueue{buf: make([]*model.Update, capacity)}
+}
+
+// Offer appends u if there is room and reports whether it was
+// accepted. A full queue drops the arrival (and counts it).
+func (q *OSQueue) Offer(u *model.Update) bool {
+	if q.n == len(q.buf) {
+		q.dropped++
+		return false
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = u
+	q.n++
+	return true
+}
+
+// Poll removes and returns the update at the head, or nil when empty.
+func (q *OSQueue) Poll() *model.Update {
+	if q.n == 0 {
+		return nil
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return u
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *OSQueue) Peek() *model.Update {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Len returns the number of queued updates.
+func (q *OSQueue) Len() int { return q.n }
+
+// Cap returns the configured capacity.
+func (q *OSQueue) Cap() int { return len(q.buf) }
+
+// Dropped returns the number of arrivals rejected because the queue
+// was full.
+func (q *OSQueue) Dropped() uint64 { return q.dropped }

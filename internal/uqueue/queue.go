@@ -1,0 +1,294 @@
+package uqueue
+
+import "repro/internal/model"
+
+// Queue is the interface the scheduler uses to buffer unapplied
+// updates. Implementations keep updates ordered by generation time.
+//
+// Insert may evict updates to respect a capacity bound or a coalescing
+// rule; every update that leaves the queue without being installed is
+// returned so the caller can account for it (the UU staleness tracker
+// must observe every enqueue and dequeue).
+type Queue interface {
+	// Insert adds u and returns any updates evicted as a consequence
+	// (capacity overflow or coalescing). The returned slice never
+	// contains u itself unless u was rejected outright (possible in a
+	// coalescing queue when a newer update for the object is already
+	// queued).
+	Insert(u *model.Update) (evicted []*model.Update)
+	// Len returns the number of queued updates.
+	Len() int
+	// PeekOldest returns the oldest-generation update, or nil.
+	PeekOldest() *model.Update
+	// PeekNewest returns the newest-generation update, or nil.
+	PeekNewest() *model.Update
+	// PopOldest removes and returns the oldest-generation update
+	// (FIFO service), or nil.
+	PopOldest() *model.Update
+	// PopNewest removes and returns the newest-generation update
+	// (LIFO service), or nil.
+	PopNewest() *model.Update
+	// NewestFor returns the newest queued update for an object
+	// without removing it, or nil.
+	NewestFor(id model.ObjectID) *model.Update
+	// TakeFor removes every queued update for the object and returns
+	// the newest one plus the count removed. It is the On Demand
+	// refresh operation: apply the newest, discard the superseded.
+	TakeFor(id model.ObjectID) (newest *model.Update, removed int)
+	// DiscardOlderGen removes every update whose generation time is
+	// strictly before cutoff (MA expiry at a scheduling point) and
+	// returns them in generation order.
+	DiscardOlderGen(cutoff float64) []*model.Update
+	// CountFor returns the number of queued updates for an object.
+	CountFor(id model.ObjectID) int
+}
+
+// GenQueue is the paper's baseline update queue: all received,
+// unapplied updates ordered by generation time, with a per-object
+// index used by On Demand, bounded at capacity (oldest dropped on
+// overflow).
+type GenQueue struct {
+	t     *treap
+	byObj map[model.ObjectID][]*model.Update
+	cap   int
+}
+
+var _ Queue = (*GenQueue)(nil)
+
+// NewGenQueue returns a queue bounded at capacity updates; capacity <= 0
+// means unbounded. The seed makes the internal balancing deterministic.
+func NewGenQueue(capacity int, seed uint64) *GenQueue {
+	return &GenQueue{
+		t:     newTreap(seed),
+		byObj: make(map[model.ObjectID][]*model.Update),
+		cap:   capacity,
+	}
+}
+
+// Insert adds u; if the queue exceeds its capacity the oldest update
+// is evicted and returned (§4.2: "discard the oldest updates when the
+// maximum queue size has been exceeded").
+func (q *GenQueue) Insert(u *model.Update) []*model.Update {
+	q.t.insert(u)
+	q.byObj[u.Object] = append(q.byObj[u.Object], u)
+	if q.cap > 0 && q.t.len() > q.cap {
+		if old := q.PopOldest(); old != nil {
+			return []*model.Update{old}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of queued updates.
+func (q *GenQueue) Len() int { return q.t.len() }
+
+// PeekOldest returns the oldest-generation update without removing it.
+func (q *GenQueue) PeekOldest() *model.Update { return q.t.min() }
+
+// PeekNewest returns the newest-generation update without removing it.
+func (q *GenQueue) PeekNewest() *model.Update { return q.t.max() }
+
+// PopOldest removes and returns the oldest-generation update.
+func (q *GenQueue) PopOldest() *model.Update {
+	u := q.t.min()
+	if u == nil {
+		return nil
+	}
+	q.removeExact(u)
+	return u
+}
+
+// PopNewest removes and returns the newest-generation update.
+func (q *GenQueue) PopNewest() *model.Update {
+	u := q.t.max()
+	if u == nil {
+		return nil
+	}
+	q.removeExact(u)
+	return u
+}
+
+func (q *GenQueue) removeExact(u *model.Update) {
+	q.t.remove(u)
+	list := q.byObj[u.Object]
+	for i, cand := range list {
+		if cand.Seq == u.Seq {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(q.byObj, u.Object)
+	} else {
+		q.byObj[u.Object] = list
+	}
+}
+
+// NewestFor returns the newest queued update for the object, or nil.
+func (q *GenQueue) NewestFor(id model.ObjectID) *model.Update {
+	var newest *model.Update
+	for _, u := range q.byObj[id] {
+		if newest == nil || less(newest, u) {
+			newest = u
+		}
+	}
+	return newest
+}
+
+// CountFor returns the number of queued updates for the object.
+func (q *GenQueue) CountFor(id model.ObjectID) int { return len(q.byObj[id]) }
+
+// TakeFor removes all updates for the object, returning the newest and
+// the total count removed.
+func (q *GenQueue) TakeFor(id model.ObjectID) (*model.Update, int) {
+	list := q.byObj[id]
+	if len(list) == 0 {
+		return nil, 0
+	}
+	var newest *model.Update
+	for _, u := range list {
+		q.t.remove(u)
+		if newest == nil || less(newest, u) {
+			newest = u
+		}
+	}
+	n := len(list)
+	delete(q.byObj, id)
+	return newest, n
+}
+
+// DiscardOlderGen removes every update generated strictly before
+// cutoff. Because the queue is generation ordered this is a pop-min
+// loop, constant work per discarded update.
+func (q *GenQueue) DiscardOlderGen(cutoff float64) []*model.Update {
+	var out []*model.Update
+	for {
+		u := q.t.min()
+		if u == nil || u.GenTime >= cutoff {
+			return out
+		}
+		q.removeExact(u)
+		out = append(out, u)
+	}
+}
+
+// Walk visits every queued update in generation order. It is used by
+// tests and by the UU-strict staleness tracker.
+func (q *GenQueue) Walk(visit func(*model.Update)) { q.t.walk(visit) }
+
+// CoalescedQueue is the paper's proposed hash-indexed queue (§4.2, §7):
+// for complete updates to snapshot views only the newest update per
+// object matters, so the queue stores at most one update per object.
+// Superseded and rejected updates are reported as evictions.
+type CoalescedQueue struct {
+	t     *treap
+	byObj map[model.ObjectID]*model.Update
+	cap   int
+}
+
+var _ Queue = (*CoalescedQueue)(nil)
+
+// NewCoalescedQueue returns a coalescing queue bounded at capacity
+// objects; capacity <= 0 means unbounded.
+func NewCoalescedQueue(capacity int, seed uint64) *CoalescedQueue {
+	return &CoalescedQueue{
+		t:     newTreap(seed),
+		byObj: make(map[model.ObjectID]*model.Update),
+		cap:   capacity,
+	}
+}
+
+// Insert adds u unless a newer update for the same object is already
+// queued (then u itself is returned as evicted). An older queued
+// update for the object is replaced and returned.
+func (q *CoalescedQueue) Insert(u *model.Update) []*model.Update {
+	if prev, ok := q.byObj[u.Object]; ok {
+		if !less(prev, u) {
+			// The queued update is at least as new: reject u.
+			return []*model.Update{u}
+		}
+		q.t.remove(prev)
+		q.t.insert(u)
+		q.byObj[u.Object] = u
+		return []*model.Update{prev}
+	}
+	q.t.insert(u)
+	q.byObj[u.Object] = u
+	if q.cap > 0 && q.t.len() > q.cap {
+		if old := q.PopOldest(); old != nil {
+			return []*model.Update{old}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of queued updates (= distinct objects).
+func (q *CoalescedQueue) Len() int { return q.t.len() }
+
+// PeekOldest returns the oldest-generation update without removing it.
+func (q *CoalescedQueue) PeekOldest() *model.Update { return q.t.min() }
+
+// PeekNewest returns the newest-generation update without removing it.
+func (q *CoalescedQueue) PeekNewest() *model.Update { return q.t.max() }
+
+// PopOldest removes and returns the oldest-generation update.
+func (q *CoalescedQueue) PopOldest() *model.Update {
+	u := q.t.min()
+	if u == nil {
+		return nil
+	}
+	q.t.remove(u)
+	delete(q.byObj, u.Object)
+	return u
+}
+
+// PopNewest removes and returns the newest-generation update.
+func (q *CoalescedQueue) PopNewest() *model.Update {
+	u := q.t.max()
+	if u == nil {
+		return nil
+	}
+	q.t.remove(u)
+	delete(q.byObj, u.Object)
+	return u
+}
+
+// NewestFor returns the queued update for the object, if any. This is
+// the O(1) lookup the paper's hash-table proposal enables.
+func (q *CoalescedQueue) NewestFor(id model.ObjectID) *model.Update {
+	return q.byObj[id]
+}
+
+// CountFor returns 1 if an update for the object is queued, else 0.
+func (q *CoalescedQueue) CountFor(id model.ObjectID) int {
+	if _, ok := q.byObj[id]; ok {
+		return 1
+	}
+	return 0
+}
+
+// TakeFor removes and returns the update for the object, if any.
+func (q *CoalescedQueue) TakeFor(id model.ObjectID) (*model.Update, int) {
+	u, ok := q.byObj[id]
+	if !ok {
+		return nil, 0
+	}
+	q.t.remove(u)
+	delete(q.byObj, id)
+	return u, 1
+}
+
+// DiscardOlderGen removes every update generated strictly before cutoff.
+func (q *CoalescedQueue) DiscardOlderGen(cutoff float64) []*model.Update {
+	var out []*model.Update
+	for {
+		u := q.t.min()
+		if u == nil || u.GenTime >= cutoff {
+			return out
+		}
+		q.t.remove(u)
+		delete(q.byObj, u.Object)
+		out = append(out, u)
+	}
+}

@@ -1,0 +1,172 @@
+// Package uqueue implements the update-queue structures of §3.3: a
+// generation-time-ordered queue supporting FIFO (oldest generation)
+// and LIFO (newest generation) service, per-object search for the
+// On Demand algorithm, constant-time discard of expired updates from
+// the old end, and bounded capacity; a bounded kernel-side OS queue;
+// and the paper's proposed (§4.2/§7 future work) hash-coalescing queue
+// that stores at most the newest update per object.
+package uqueue
+
+import "repro/internal/model"
+
+// treap is a randomized balanced BST keyed by (GenTime, Seq). The
+// priorities come from a deterministic xorshift stream so that queue
+// behaviour is reproducible run to run.
+type treap struct {
+	root     *node
+	rngState uint64
+	size     int
+}
+
+type node struct {
+	update   *model.Update
+	priority uint64
+	left     *node
+	right    *node
+}
+
+func newTreap(seed uint64) *treap {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &treap{rngState: seed}
+}
+
+func (t *treap) nextPriority() uint64 {
+	// xorshift64*
+	x := t.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// less orders updates by generation time, breaking ties by arrival
+// sequence so the key is a strict total order.
+func less(a, b *model.Update) bool {
+	if a.GenTime != b.GenTime {
+		return a.GenTime < b.GenTime
+	}
+	return a.Seq < b.Seq
+}
+
+func (t *treap) len() int { return t.size }
+
+func (t *treap) insert(u *model.Update) {
+	t.root = t.insertNode(t.root, &node{update: u, priority: t.nextPriority()})
+	t.size++
+}
+
+func (t *treap) insertNode(root, n *node) *node {
+	if root == nil {
+		return n
+	}
+	if less(n.update, root.update) {
+		root.left = t.insertNode(root.left, n)
+		if root.left.priority > root.priority {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = t.insertNode(root.right, n)
+		if root.right.priority > root.priority {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func rotateRight(y *node) *node {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	return x
+}
+
+func rotateLeft(x *node) *node {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	return y
+}
+
+// min returns the oldest-generation update, or nil when empty.
+func (t *treap) min() *model.Update {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.update
+}
+
+// max returns the newest-generation update, or nil when empty.
+func (t *treap) max() *model.Update {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.update
+}
+
+// remove deletes the node with exactly u's key and reports whether it
+// was present.
+func (t *treap) remove(u *model.Update) bool {
+	var removed bool
+	t.root, removed = t.removeNode(t.root, u)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func (t *treap) removeNode(root *node, u *model.Update) (*node, bool) {
+	if root == nil {
+		return nil, false
+	}
+	if root.update.Seq == u.Seq && root.update.GenTime == u.GenTime {
+		return t.merge(root.left, root.right), true
+	}
+	var removed bool
+	if less(u, root.update) {
+		root.left, removed = t.removeNode(root.left, u)
+	} else {
+		root.right, removed = t.removeNode(root.right, u)
+	}
+	return root, removed
+}
+
+// merge joins two treaps where every key in a precedes every key in b.
+func (t *treap) merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.priority > b.priority {
+		a.right = t.merge(a.right, b)
+		return a
+	}
+	b.left = t.merge(a, b.left)
+	return b
+}
+
+// walk visits updates in generation order.
+func (t *treap) walk(visit func(*model.Update)) {
+	var rec func(*node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		visit(n.update)
+		rec(n.right)
+	}
+	rec(t.root)
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// TraceUpdateSource replays a recorded update stream instead of a
+// synthetic one — the trace-driven mode used when a real feed capture
+// (e.g. a day of market data) is available. The text format is one
+// update per line:
+//
+//	<arrival-seconds> <generation-seconds> <object-id>
+//
+// Blank lines and lines starting with '#' are skipped. Arrival times
+// must be non-decreasing; the object ID must lie inside the configured
+// partitions.
+type TraceUpdateSource struct {
+	params  *model.Params
+	sc      *bufio.Scanner
+	seq     uint64
+	lastArr float64
+	lineNo  int
+	err     error
+}
+
+// NewTraceUpdateSource reads the trace from r. Errors surface from
+// Err after Next returns nil.
+func NewTraceUpdateSource(p *model.Params, r io.Reader) *TraceUpdateSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	return &TraceUpdateSource{params: p, sc: sc}
+}
+
+// Next returns the next update from the trace, or nil at end of input
+// or on a malformed line (check Err to distinguish).
+func (s *TraceUpdateSource) Next() *model.Update {
+	for s.err == nil && s.sc.Scan() {
+		s.lineNo++
+		line := strings.TrimSpace(s.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			s.err = fmt.Errorf("workload: trace line %d: %d fields, want 3", s.lineNo, len(fields))
+			return nil
+		}
+		arrival, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			s.err = fmt.Errorf("workload: trace line %d: bad arrival: %v", s.lineNo, err)
+			return nil
+		}
+		gen, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			s.err = fmt.Errorf("workload: trace line %d: bad generation: %v", s.lineNo, err)
+			return nil
+		}
+		obj, err := strconv.Atoi(fields[2])
+		if err != nil || obj < 0 || obj >= s.params.NumObjects() {
+			s.err = fmt.Errorf("workload: trace line %d: object %q out of range [0,%d)",
+				s.lineNo, fields[2], s.params.NumObjects())
+			return nil
+		}
+		if arrival < s.lastArr {
+			s.err = fmt.Errorf("workload: trace line %d: arrival %v before %v",
+				s.lineNo, arrival, s.lastArr)
+			return nil
+		}
+		if gen > arrival {
+			s.err = fmt.Errorf("workload: trace line %d: generation %v after arrival %v",
+				s.lineNo, gen, arrival)
+			return nil
+		}
+		s.lastArr = arrival
+		s.seq++
+		id := model.ObjectID(obj)
+		return &model.Update{
+			Seq:         s.seq,
+			Object:      id,
+			Class:       s.params.ObjectClass(id),
+			GenTime:     gen,
+			ArrivalTime: arrival,
+		}
+	}
+	if s.err == nil {
+		s.err = s.sc.Err()
+	}
+	return nil
+}
+
+// Err returns the first error encountered, or nil at a clean end of
+// trace.
+func (s *TraceUpdateSource) Err() error { return s.err }
+
+// WriteTraceLine encodes one update in the trace format (without a
+// newline). It is the inverse of the parser, for recording synthetic
+// streams to disk.
+func WriteTraceLine(u *model.Update) string {
+	return fmt.Sprintf("%s %s %d",
+		strconv.FormatFloat(u.ArrivalTime, 'g', -1, 64),
+		strconv.FormatFloat(u.GenTime, 'g', -1, 64),
+		u.Object)
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func TestTraceSourceParsesValidTrace(t *testing.T) {
+	p := model.DefaultParams()
+	trace := `# a comment
+0.1 0.05 3
+
+0.2 0.2 999
+0.5 0.4 0
+`
+	src := NewTraceUpdateSource(&p, strings.NewReader(trace))
+	var got []*model.Update
+	for u := src.Next(); u != nil; u = src.Next() {
+		got = append(got, u)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d updates, want 3", len(got))
+	}
+	if got[0].Object != 3 || got[0].ArrivalTime != 0.1 || got[0].GenTime != 0.05 {
+		t.Fatalf("first update = %+v", got[0])
+	}
+	if got[1].Class != model.High {
+		t.Fatal("object 999 should be high importance")
+	}
+	if got[0].Seq == got[1].Seq {
+		t.Fatal("sequence numbers must be unique")
+	}
+}
+
+func TestTraceSourceErrors(t *testing.T) {
+	p := model.DefaultParams()
+	cases := map[string]string{
+		"field count":      "0.1 0.05\n",
+		"bad arrival":      "x 0.05 3\n",
+		"bad generation":   "0.1 x 3\n",
+		"bad object":       "0.1 0.05 x\n",
+		"object range":     "0.1 0.05 1000\n",
+		"negative object":  "0.1 0.05 -1\n",
+		"arrival regress":  "0.5 0.4 1\n0.2 0.1 1\n",
+		"gen after arrive": "0.1 0.2 1\n",
+	}
+	for name, trace := range cases {
+		src := NewTraceUpdateSource(&p, strings.NewReader(trace))
+		for u := src.Next(); u != nil; u = src.Next() {
+		}
+		if src.Err() == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	p := model.DefaultParams()
+	gen := NewUpdateGenerator(&p, stats.NewRNG(1, 2))
+	var sb strings.Builder
+	var want []*model.Update
+	for i := 0; i < 500; i++ {
+		u := gen.Next()
+		want = append(want, u)
+		sb.WriteString(WriteTraceLine(u) + "\n")
+	}
+	src := NewTraceUpdateSource(&p, strings.NewReader(sb.String()))
+	for i, w := range want {
+		g := src.Next()
+		if g == nil {
+			t.Fatalf("trace ended early at %d: %v", i, src.Err())
+		}
+		if g.Object != w.Object || g.ArrivalTime != w.ArrivalTime || g.GenTime != w.GenTime {
+			t.Fatalf("update %d mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+	if src.Next() != nil || src.Err() != nil {
+		t.Fatalf("trace should end cleanly: %v", src.Err())
+	}
+}

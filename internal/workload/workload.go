@@ -1,0 +1,289 @@
+// Package workload generates the update stream and the transaction
+// load of §5.1 and §5.2: Poisson arrivals for both, exponentially
+// distributed network ages for updates, two importance classes with
+// configurable mixes, and normally distributed transaction values,
+// read-set sizes and computation times.
+package workload
+
+import (
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// UpdateGenerator produces the external update stream. Each call to
+// Next advances an exponential inter-arrival clock and fabricates the
+// next update (§5.1).
+type UpdateGenerator struct {
+	params *model.Params
+	rng    *stats.RNG
+	clock  float64
+	seq    uint64
+}
+
+// NewUpdateGenerator returns a generator driven by its own RNG stream.
+func NewUpdateGenerator(p *model.Params, rng *stats.RNG) *UpdateGenerator {
+	return &UpdateGenerator{params: p, rng: rng}
+}
+
+// Next returns the next update in arrival order, or nil if the update
+// rate is zero. The update's ArrivalTime strictly increases across
+// calls; GenTime is ArrivalTime minus an exponential network age and
+// may precede time zero for early arrivals.
+func (g *UpdateGenerator) Next() *model.Update {
+	p := g.params
+	if p.UpdateRate <= 0 {
+		return nil
+	}
+	g.clock += g.rng.Exponential(1 / p.UpdateRate)
+	class := model.High
+	n := p.NHigh
+	base := p.NLow
+	if g.rng.Bernoulli(p.PUpdateLow) {
+		class = model.Low
+		n = p.NLow
+		base = 0
+	}
+	if n == 0 {
+		// The chosen partition is empty; fall back to the other.
+		if class == model.Low {
+			class, n, base = model.High, p.NHigh, p.NLow
+		} else {
+			class, n, base = model.Low, p.NLow, 0
+		}
+	}
+	age := g.rng.Exponential(p.MeanUpdateAge)
+	g.seq++
+	return &model.Update{
+		Seq:         g.seq,
+		Object:      model.ObjectID(base + g.rng.IntN(n)),
+		Class:       class,
+		GenTime:     g.clock - age,
+		ArrivalTime: g.clock,
+	}
+}
+
+// PeriodicUpdateSource is the §2 extension: every object is refreshed
+// on a fixed period (per-object phase-shifted so arrivals spread out),
+// as in a plant-control system where sensors report on a schedule.
+type PeriodicUpdateSource struct {
+	params *model.Params
+	rng    *stats.RNG
+	period float64
+	next   []float64
+	seq    uint64
+}
+
+// NewPeriodicUpdateSource returns a source that refreshes each of the
+// Nl+Nh objects every period seconds, with random initial phases.
+func NewPeriodicUpdateSource(p *model.Params, period float64, rng *stats.RNG) *PeriodicUpdateSource {
+	n := p.NumObjects()
+	src := &PeriodicUpdateSource{
+		params: p,
+		rng:    rng,
+		period: period,
+		next:   make([]float64, n),
+	}
+	for i := range src.next {
+		src.next[i] = rng.Uniform(0, period)
+	}
+	return src
+}
+
+// Next returns the earliest-due refresh across all objects.
+func (s *PeriodicUpdateSource) Next() *model.Update {
+	if len(s.next) == 0 {
+		return nil
+	}
+	obj := 0
+	for i, t := range s.next {
+		if t < s.next[obj] {
+			obj = i
+		}
+		_ = t
+	}
+	at := s.next[obj]
+	s.next[obj] = at + s.period
+	age := s.rng.Exponential(s.params.MeanUpdateAge)
+	s.seq++
+	return &model.Update{
+		Seq:         s.seq,
+		Object:      model.ObjectID(obj),
+		Class:       s.params.ObjectClass(model.ObjectID(obj)),
+		GenTime:     at - age,
+		ArrivalTime: at,
+	}
+}
+
+// BurstyUpdateGenerator is a Markov-modulated Poisson update source:
+// it alternates exponentially distributed quiet and burst phases, with
+// the burst arrival rate a multiple of the quiet one. §1 motivates it
+// directly — market feeds run "up to 500 updates/second during peak
+// time". The configured UpdateRate is preserved as the long-run
+// average, so sweeping the burst factor isolates the effect of
+// burstiness from the effect of load.
+type BurstyUpdateGenerator struct {
+	params    *model.Params
+	rng       *stats.RNG
+	clock     float64
+	seq       uint64
+	inBurst   bool
+	phaseEnd  float64
+	quietRate float64
+	burstRate float64
+	meanQuiet float64
+	meanBurst float64
+}
+
+// NewBurstyUpdateGenerator returns a bursty source. factor is the
+// burst-to-quiet rate ratio (>= 1); meanQuiet and meanBurst are the
+// mean phase durations in seconds.
+func NewBurstyUpdateGenerator(p *model.Params, rng *stats.RNG,
+	factor, meanQuiet, meanBurst float64) *BurstyUpdateGenerator {
+	if factor < 1 {
+		factor = 1
+	}
+	if meanQuiet <= 0 {
+		meanQuiet = 1
+	}
+	if meanBurst <= 0 {
+		meanBurst = 1
+	}
+	// Long-run average = quietRate·(1-f) + factor·quietRate·f where
+	// f is the burst time fraction; solve for quietRate so the
+	// average equals the configured UpdateRate.
+	f := meanBurst / (meanQuiet + meanBurst)
+	quietRate := p.UpdateRate / (1 - f + factor*f)
+	g := &BurstyUpdateGenerator{
+		params:    p,
+		rng:       rng,
+		quietRate: quietRate,
+		burstRate: quietRate * factor,
+		meanQuiet: meanQuiet,
+		meanBurst: meanBurst,
+	}
+	g.phaseEnd = rng.Exponential(meanQuiet)
+	return g
+}
+
+// Next returns the next update in arrival order, or nil if the
+// average rate is zero.
+func (g *BurstyUpdateGenerator) Next() *model.Update {
+	p := g.params
+	if p.UpdateRate <= 0 {
+		return nil
+	}
+	// Advance through phase boundaries until an arrival lands inside
+	// the current phase.
+	for {
+		rate := g.quietRate
+		if g.inBurst {
+			rate = g.burstRate
+		}
+		gap := g.rng.Exponential(1 / rate)
+		if g.clock+gap <= g.phaseEnd {
+			g.clock += gap
+			break
+		}
+		// The arrival would fall past the phase end: restart the
+		// draw in the next phase (memorylessness makes this exact).
+		g.clock = g.phaseEnd
+		g.inBurst = !g.inBurst
+		if g.inBurst {
+			g.phaseEnd = g.clock + g.rng.Exponential(g.meanBurst)
+		} else {
+			g.phaseEnd = g.clock + g.rng.Exponential(g.meanQuiet)
+		}
+	}
+
+	class := model.High
+	n := p.NHigh
+	base := p.NLow
+	if g.rng.Bernoulli(p.PUpdateLow) {
+		class = model.Low
+		n = p.NLow
+		base = 0
+	}
+	if n == 0 {
+		if class == model.Low {
+			class, n, base = model.High, p.NHigh, p.NLow
+		} else {
+			class, n, base = model.Low, p.NLow, 0
+		}
+	}
+	age := g.rng.Exponential(p.MeanUpdateAge)
+	g.seq++
+	return &model.Update{
+		Seq:         g.seq,
+		Object:      model.ObjectID(base + g.rng.IntN(n)),
+		Class:       class,
+		GenTime:     g.clock - age,
+		ArrivalTime: g.clock,
+	}
+}
+
+// TxnGenerator produces the transaction load (§5.2).
+type TxnGenerator struct {
+	params *model.Params
+	rng    *stats.RNG
+	clock  float64
+	seq    uint64
+}
+
+// NewTxnGenerator returns a generator driven by its own RNG stream.
+func NewTxnGenerator(p *model.Params, rng *stats.RNG) *TxnGenerator {
+	return &TxnGenerator{params: p, rng: rng}
+}
+
+// EstimateSeconds returns the perfect execution-time estimate for a
+// transaction: computation plus one lookup per view read (§5.3). The
+// paper assumes perfect estimation, so deadline assignment and the
+// feasible-deadline test both use this.
+func EstimateSeconds(p *model.Params, txn *model.Txn) float64 {
+	return txn.CompSeconds + p.Seconds(float64(len(txn.ReadSet))*p.XLookup)
+}
+
+// Next returns the next transaction in arrival order, or nil if the
+// transaction rate is zero.
+func (g *TxnGenerator) Next() *model.Txn {
+	p := g.params
+	if p.TxnRate <= 0 {
+		return nil
+	}
+	g.clock += g.rng.Exponential(1 / p.TxnRate)
+
+	class := model.High
+	valueMean, valueStd := p.ValueHighMean, p.ValueHighStd
+	n, base := p.NHigh, p.NLow
+	if g.rng.Bernoulli(p.PTxnLow) {
+		class = model.Low
+		valueMean, valueStd = p.ValueLowMean, p.ValueLowStd
+		n, base = p.NLow, 0
+	}
+	if n == 0 {
+		if class == model.Low {
+			n, base = p.NHigh, p.NLow
+		} else {
+			n, base = p.NLow, 0
+		}
+	}
+
+	reads := g.rng.NonNegativeCount(p.ReadsMean, p.ReadsStd)
+	readSet := make([]model.ObjectID, reads)
+	for i := range readSet {
+		readSet[i] = model.ObjectID(base + g.rng.IntN(n))
+	}
+
+	g.seq++
+	txn := &model.Txn{
+		ID:          g.seq,
+		Class:       class,
+		Value:       g.rng.PositiveNormal(valueMean, valueStd),
+		ArrivalTime: g.clock,
+		CompSeconds: g.rng.PositiveNormal(p.CompMean, p.CompStd),
+		ReadSet:     readSet,
+		PView:       p.PView,
+	}
+	slack := g.rng.Uniform(p.SlackMin, p.SlackMax)
+	txn.Deadline = txn.ArrivalTime + EstimateSeconds(p, txn) + slack
+	return txn
+}

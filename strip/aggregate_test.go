@@ -1,0 +1,259 @@
+package strip
+
+import (
+	"bufio"
+	"errors"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAggregateCount(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Aggregate("SELECT COUNT(*) FROM views")
+	if err != nil || got != 4 {
+		t.Fatalf("COUNT(*) = %v, %v", got, err)
+	}
+	got, err = db.Aggregate("SELECT COUNT(*) FROM views WHERE stale")
+	if err != nil || got != 1 {
+		t.Fatalf("stale COUNT = %v, %v", got, err)
+	}
+}
+
+func TestAggregateAvgSumMinMax(t *testing.T) {
+	db := queryDB(t) // values 100, 200, 50, 75
+	cases := []struct {
+		q    string
+		want float64
+	}{
+		{"SELECT AVG(value) FROM views", 106.25},
+		{"SELECT SUM(value) FROM views", 425},
+		{"SELECT MIN(value) FROM views", 50},
+		{"SELECT MAX(value) FROM views", 200},
+		{"SELECT SUM(value) FROM views WHERE object LIKE 'FX%'", 300},
+		{"SELECT MAX(field.bid) FROM views", 199.5},
+	}
+	for _, c := range cases {
+		got, err := db.Aggregate(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestAggregateEmptySelection(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Aggregate("SELECT COUNT(*) FROM views WHERE value > 1e9")
+	if err != nil || got != 0 {
+		t.Fatalf("empty COUNT = %v, %v", got, err)
+	}
+	got, err = db.Aggregate("SELECT SUM(value) FROM views WHERE value > 1e9")
+	if err != nil || got != 0 {
+		t.Fatalf("empty SUM = %v, %v", got, err)
+	}
+	for _, q := range []string{
+		"SELECT AVG(value) FROM views WHERE value > 1e9",
+		"SELECT MIN(value) FROM views WHERE value > 1e9",
+		"SELECT MAX(value) FROM views WHERE value > 1e9",
+	} {
+		got, err := db.Aggregate(q)
+		if err != nil || !math.IsNaN(got) {
+			t.Fatalf("%s = %v, %v, want NaN", q, got, err)
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	db := queryDB(t)
+	for _, q := range []string{
+		"SELECT MEDIAN(value) FROM views",
+		"SELECT COUNT(value) FROM views",
+		"SELECT AVG(*) FROM views",
+		"SELECT AVG(object) FROM views", // non-numeric field
+		"SELECT AVG(value FROM views",
+		"SELECT AVG(value) FROM tables",
+		"SELECT AVG(value) FROM views trailing",
+		"SELECT AVG(value) FROM views WHERE value >",
+	} {
+		if _, err := db.Aggregate(q); !errors.Is(err, ErrQuery) {
+			t.Errorf("Aggregate(%q) = %v, want ErrQuery", q, err)
+		}
+	}
+}
+
+func TestServeQueryProtocol(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("A", High)
+	db.DefineView("B", High)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go db.Serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	now := time.Now()
+	WriteUpdate(conn, Update{Object: "A", Value: 10, Generated: now})
+	WriteUpdate(conn, Update{Object: "B", Value: 20, Generated: now})
+	waitFor(t, 2*time.Second, func() bool { return db.Stats().UpdatesInstalled == 2 })
+
+	r := bufio.NewReader(conn)
+	send := func(s string) string {
+		if _, err := conn.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading response to %q: %v", s, err)
+		}
+		return strings.TrimSpace(line)
+	}
+
+	if got := send("QUERY SELECT * FROM views WHERE value > 15"); !strings.HasPrefix(got, "ROW B ") {
+		t.Fatalf("QUERY row = %q", got)
+	}
+	if got, err := r.ReadString('\n'); err != nil || strings.TrimSpace(got) != "OK 1" {
+		t.Fatalf("QUERY terminator = %q, %v", got, err)
+	}
+	if got := send("AGG SELECT SUM(value) FROM views"); got != "VAL 30" {
+		t.Fatalf("AGG response = %q", got)
+	}
+	if got := send("QUERY SELECT nonsense"); !strings.HasPrefix(got, "ERR ") {
+		t.Fatalf("bad QUERY response = %q", got)
+	}
+	if got := send("AGG SELECT nonsense"); !strings.HasPrefix(got, "ERR ") {
+		t.Fatalf("bad AGG response = %q", got)
+	}
+}
+
+func TestWatchSingleObject(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("x", Low)
+	db.DefineView("y", Low)
+	ch, cancel, err := db.Watch("x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	db.ApplyUpdate(Update{Object: "y", Value: 1}) // not watched
+	db.ApplyUpdate(Update{Object: "x", Value: 2})
+	select {
+	case e := <-ch:
+		if e.Object != "x" || e.Value != 2 {
+			t.Fatalf("watched entry = %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no watch delivery")
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should be closed after cancel")
+	}
+	cancel() // idempotent
+}
+
+func TestWatchAllObjects(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("x", Low)
+	db.DefineView("y", Low)
+	ch, cancel, err := db.Watch("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	db.ApplyUpdate(Update{Object: "x", Value: 1})
+	db.ApplyUpdate(Update{Object: "y", Value: 2})
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		select {
+		case e := <-ch:
+			seen[e.Object] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only saw %v", seen)
+		}
+	}
+}
+
+func TestWatchLatestWinsOnOverflow(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("x", Low)
+	ch, cancel, err := db.Watch("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	base := time.Now()
+	for i := 1; i <= 20; i++ {
+		db.ApplyUpdate(Update{Object: "x", Value: float64(i), Generated: base.Add(time.Duration(i) * time.Millisecond)})
+	}
+	waitFor(t, 2*time.Second, func() bool { return db.Stats().UpdatesInstalled == 20 })
+	// The single-slot buffer must hold the newest delivery.
+	select {
+	case e := <-ch:
+		if e.Value != 20 {
+			t.Fatalf("backlog head = %v, want the latest 20", e.Value)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestWatchErrors(t *testing.T) {
+	db := mustOpen(t, Config{})
+	if _, _, err := db.Watch("ghost", 1); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("err = %v", err)
+	}
+	db2, _ := Open(Config{})
+	db2.Close()
+	if _, _, err := db2.Watch("", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed err = %v", err)
+	}
+}
+
+func TestWatchClosedOnDBClose(t *testing.T) {
+	db, _ := Open(Config{})
+	db.DefineView("x", Low)
+	ch, _, err := db.Watch("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("expected closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("channel not closed on DB close")
+	}
+}
+
+func TestWatchDerivedView(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("a", Low)
+	db.DefineDerived("d", []string{"a"}, func(vs []float64) float64 { return vs[0] * 2 })
+	ch, cancel, err := db.Watch("d", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	db.ApplyUpdate(Update{Object: "a", Value: 21})
+	select {
+	case e := <-ch:
+		if e.Value != 42 {
+			t.Fatalf("derived watch = %v", e.Value)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("derived install not delivered")
+	}
+}

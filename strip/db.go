@@ -1,0 +1,306 @@
+package strip
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/uqueue"
+)
+
+// DB is a soft real-time database instance. All methods are safe for
+// concurrent use; transactions and update installation execute on a
+// single internal scheduler goroutine, which is the system's "CPU".
+type DB struct {
+	cfg   Config
+	start time.Time
+
+	ingestCh chan *model.Update
+	txnCh    chan *txnReq
+	stopCh   chan struct{}
+	done     chan struct{}
+
+	// mu guards the registry, view entries, general store and stats.
+	// The update queue and ready list are owned by the scheduler
+	// goroutine and need no locking.
+	mu      sync.RWMutex
+	names   map[string]model.ObjectID
+	defs    []viewDef
+	entries []viewEntry
+	general map[string]float64
+	stats   Stats
+	closed  bool
+
+	// Triggers and derived views (fired on the scheduler goroutine).
+	triggers       map[model.ObjectID][]func(Entry)
+	globalTriggers []func(Entry)
+	derivedByDep   map[model.ObjectID][]*derivedDef
+	derivedByID    map[model.ObjectID]*derivedDef
+
+	// Watch subscriptions.
+	watchers     []*watcher
+	watchersByID map[model.ObjectID][]*watcher
+
+	// wal is the write-ahead log for general data; nil when disabled.
+	wal *walWriter
+
+	// Scheduler-owned state. pending and highCount are written only
+	// by the scheduler but read under mu by Peek, so their mutations
+	// take mu as well.
+	queue     uqueue.Queue
+	pending   []int // per-object queued-update count (UU criterion)
+	highCount int   // queued updates targeting High-importance views
+	ready     []*txnReq
+	seq       uint64
+}
+
+type viewDef struct {
+	name       string
+	importance Importance
+	derived    bool
+}
+
+type viewEntry struct {
+	value     float64
+	generated time.Time
+	// fields holds named attributes for record views (partial
+	// updates, §2); nil for plain scalar views.
+	fields map[string]float64
+	// history is a ring of past values, newest last, bounded by
+	// Config.HistoryDepth.
+	history []historical
+}
+
+// historical is one archived version of a view value.
+type historical struct {
+	value     float64
+	generated time.Time
+}
+
+type txnReq struct {
+	spec     TxnSpec
+	res      chan Result
+	enqueued time.Time
+}
+
+// Open creates a database and starts its scheduler.
+func Open(cfg Config) (*DB, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	db := &DB{
+		cfg:      cfg,
+		start:    cfg.Clock(),
+		ingestCh: make(chan *model.Update, cfg.IngestBuffer),
+		txnCh:    make(chan *txnReq, 256),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		names:    make(map[string]model.ObjectID),
+		general:  make(map[string]float64),
+	}
+	if cfg.Coalesce {
+		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
+	} else {
+		db.queue = uqueue.NewGenQueue(cfg.QueueCapacity, 1)
+	}
+	if cfg.WALPath != "" {
+		general, err := recoverGeneral(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		db.general = general
+		wal, err := openWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = wal
+	}
+	go db.loop()
+	return db, nil
+}
+
+// Close stops the scheduler and releases resources. Transactions
+// still queued when Close is called complete with ErrClosed. Close is
+// idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		<-db.done
+		return nil
+	}
+	db.closed = true
+	db.mu.Unlock()
+	close(db.stopCh)
+	<-db.done
+	db.closeWatchers()
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// DefineView registers a view object refreshed by the update stream.
+func (db *DB) DefineView(name string, importance Importance) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.names[name]; ok {
+		return ErrDuplicateObject
+	}
+	id := model.ObjectID(len(db.defs))
+	db.names[name] = id
+	db.defs = append(db.defs, viewDef{name: name, importance: importance})
+	db.entries = append(db.entries, viewEntry{})
+	db.pending = append(db.pending, 0)
+	return nil
+}
+
+// Views returns the defined view object names in definition order.
+func (db *DB) Views() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, len(db.defs))
+	for i, d := range db.defs {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Peek returns the current value of a view object without a
+// transaction (a dirty read for monitoring).
+func (db *DB) Peek(name string) (Entry, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.names[name]
+	if !ok {
+		return Entry{}, ErrUnknownObject
+	}
+	e := db.entries[id]
+	return Entry{
+		Object:    name,
+		Value:     e.value,
+		Fields:    copyFields(e.fields),
+		Generated: e.generated,
+		Stale:     db.staleLocked(id, db.cfg.Clock()),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.stats
+	s.QueueLen = db.queueLenLocked()
+	return s
+}
+
+// queueLenLocked reads the queue length. The queue itself is owned by
+// the scheduler; the length is read opportunistically for monitoring
+// and is exact only at quiescent points, so it is stored in stats at
+// every scheduler pass instead of read from the structure here.
+func (db *DB) queueLenLocked() int { return db.stats.QueueLen }
+
+// now returns the configured clock's time.
+func (db *DB) now() time.Time { return db.cfg.Clock() }
+
+// secs converts a wall time to float seconds since Open, the time axis
+// used by the internal queue structures.
+func (db *DB) secs(t time.Time) float64 { return t.Sub(db.start).Seconds() }
+
+// lookup resolves a view name.
+func (db *DB) lookup(name string) (model.ObjectID, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.names[name]
+	return id, ok
+}
+
+// staleLocked evaluates the staleness criterion for one object. A
+// derived view is stale when any of its dependencies is. Callers hold
+// db.mu (read or write).
+func (db *DB) staleLocked(id model.ObjectID, now time.Time) bool {
+	if def, ok := db.derivedByID[id]; ok {
+		for _, dep := range def.deps {
+			if db.staleLocked(dep, now) {
+				return true
+			}
+		}
+		return false
+	}
+	if db.cfg.MaxAge > 0 {
+		gen := db.entries[id].generated
+		return now.Sub(gen) > db.cfg.MaxAge
+	}
+	return db.pending[id] > 0
+}
+
+// isStale evaluates staleness with the registry lock.
+func (db *DB) isStale(id model.ObjectID, now time.Time) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.staleLocked(id, now)
+}
+
+// install writes an update into its view if it is worthy (newer than
+// the installed generation), then fires triggers and derived-view
+// recomputation. It is called on the scheduler goroutine.
+func (db *DB) install(u *model.Update, gen time.Time) {
+	db.mu.Lock()
+	e := &db.entries[u.Object]
+	worthy := gen.After(e.generated)
+	if worthy {
+		if fields, ok := u.Aux.(partialFields); ok {
+			// Partial update (§2): only the named attributes change;
+			// the scalar value and other fields are retained.
+			if e.fields == nil {
+				e.fields = make(map[string]float64, len(fields))
+			}
+			for k, v := range fields {
+				e.fields[k] = v
+			}
+		} else {
+			e.value = u.Payload
+			if fields, ok := u.Aux.(completeFields); ok {
+				// Complete update with attributes: replaces them all.
+				e.fields = copyFields(fields)
+			}
+		}
+		e.generated = gen
+		db.recordHistoryLocked(u.Object)
+		db.stats.UpdatesInstalled++
+	} else {
+		db.stats.UpdatesSkipped++
+	}
+	db.mu.Unlock()
+	if worthy {
+		db.fireTriggers(u.Object)
+	}
+}
+
+// partialFields and completeFields tag the Aux payload with the
+// update's completeness.
+type partialFields map[string]float64
+type completeFields map[string]float64
+
+// recordHistoryLocked archives the entry's new version in its history
+// ring. Callers hold db.mu for writing.
+func (db *DB) recordHistoryLocked(id model.ObjectID) {
+	depth := db.cfg.HistoryDepth
+	if depth <= 0 {
+		return
+	}
+	e := &db.entries[id]
+	e.history = append(e.history, historical{value: e.value, generated: e.generated})
+	if len(e.history) > depth {
+		e.history = e.history[len(e.history)-depth:]
+	}
+}
+
+// genTime recovers the wall-clock generation time of an update.
+func (db *DB) genTime(u *model.Update) time.Time {
+	return db.start.Add(time.Duration(u.GenTime * float64(time.Second)))
+}

@@ -1,0 +1,96 @@
+package strip_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/strip"
+)
+
+// The basic loop: define views, feed updates, run a deadline-bearing
+// transaction.
+func ExampleDB_Exec() {
+	db, _ := strip.Open(strip.Config{
+		Policy:  strip.OnDemand,
+		MaxAge:  time.Second,
+		OnStale: strip.Warn,
+	})
+	defer db.Close()
+
+	db.DefineView("DEM/USD", strip.High)
+	db.ApplyUpdate(strip.Update{Object: "DEM/USD", Value: 1.6612, Generated: time.Now()})
+
+	res := db.Exec(strip.TxnSpec{
+		Value:    2.0,
+		Deadline: time.Now().Add(100 * time.Millisecond),
+		Func: func(tx *strip.Tx) error {
+			px, err := tx.Read("DEM/USD")
+			if err != nil {
+				return err
+			}
+			tx.Set("last", px.Value)
+			return nil
+		},
+	})
+	fmt.Println(res.State)
+	// Output: committed
+}
+
+// Derived views recompute whenever a dependency installs.
+func ExampleDB_DefineDerived() {
+	db, _ := strip.Open(strip.Config{Policy: strip.UpdatesFirst})
+	defer db.Close()
+
+	db.DefineView("bid", strip.High)
+	db.DefineView("ask", strip.High)
+	db.DefineDerived("mid", []string{"bid", "ask"}, func(v []float64) float64 {
+		return (v[0] + v[1]) / 2
+	})
+
+	db.ApplyUpdate(strip.Update{Object: "bid", Value: 99})
+	db.ApplyUpdate(strip.Update{Object: "ask", Value: 101})
+
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if e, _ := db.Peek("mid"); e.Value == 100 {
+			fmt.Println(e.Value)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Output: 100
+}
+
+// The query language filters and orders the view snapshot.
+func ExampleDB_Query() {
+	db, _ := strip.Open(strip.Config{Policy: strip.UpdatesFirst})
+	defer db.Close()
+
+	for i, v := range []float64{10, 30, 20} {
+		name := fmt.Sprintf("s%d", i)
+		db.DefineView(name, strip.Low)
+		db.ApplyUpdate(strip.Update{Object: name, Value: v})
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if db.Stats().UpdatesInstalled == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rows, _ := db.Query("SELECT * FROM views WHERE value > 15 ORDER BY value DESC")
+	for _, r := range rows {
+		fmt.Println(r.Object, r.Value)
+	}
+	// Output:
+	// s1 30
+	// s2 20
+}
+
+// The wire format used by Serve and WriteUpdate.
+func ExampleParseUpdateLine() {
+	u, _ := strip.ParseUpdateLine("IBM 1700000000000000000 191.25")
+	fmt.Println(u.Object, u.Value, u.Generated.UTC().Year())
+	// Output: IBM 191.25 2023
+}

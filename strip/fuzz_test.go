@@ -1,0 +1,138 @@
+package strip
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func FuzzParseUpdateLine(f *testing.F) {
+	f.Add("DEM/USD 1700000000000000000 1.6612")
+	f.Add("x 0 3.5")
+	f.Add("a b c")
+	f.Add("")
+	f.Add("obj 123 -1e308")
+	f.Fuzz(func(t *testing.T, line string) {
+		u, err := ParseUpdateLine(line)
+		if err != nil {
+			return
+		}
+		// A successfully parsed update must round-trip.
+		out, err2 := ParseUpdateLine(FormatUpdateLine(u))
+		if err2 != nil {
+			t.Fatalf("round trip of %q failed: %v", line, err2)
+		}
+		if out.Object != u.Object {
+			t.Fatalf("object changed: %q -> %q", u.Object, out.Object)
+		}
+		// NaN values do not compare equal; everything else must.
+		if out.Value != u.Value && u.Value == u.Value {
+			t.Fatalf("value changed: %v -> %v", u.Value, out.Value)
+		}
+	})
+}
+
+func FuzzParseSetLine(f *testing.F) {
+	f.Add(`set "key" 1.5`)
+	f.Add(`set "weird \"key\"" -2`)
+	f.Add(`commit`)
+	f.Add(`set x 1`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, line string) {
+		key, value, err := parseSetLine(line)
+		if err != nil {
+			return
+		}
+		_ = key
+		_ = value
+	})
+}
+
+func FuzzWALRoundTrip(f *testing.F) {
+	f.Add("plain", 1.5)
+	f.Add("key with spaces", -2.25)
+	f.Add("quotes\"and\\slashes", 0.0)
+	f.Add("newline\nkey", 9e99)
+	f.Fuzz(func(t *testing.T, key string, val float64) {
+		if val != val {
+			return // NaN never compares equal
+		}
+		dir := t.TempDir()
+		cfg := Config{WALPath: dir + "/w.wal"}
+		db, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := db.Exec(TxnSpec{
+			Deadline: time.Now().Add(time.Second),
+			Func: func(tx *Tx) error {
+				tx.Set(key, val)
+				return nil
+			},
+		})
+		if !res.Committed() {
+			db.Close()
+			t.Fatalf("commit failed: %+v", res)
+		}
+		db.Close()
+
+		db2, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db2.Close()
+		var got float64
+		var ok bool
+		db2.Exec(TxnSpec{
+			Deadline: time.Now().Add(time.Second),
+			Func: func(tx *Tx) error {
+				got, ok = tx.Get(key)
+				return nil
+			},
+		})
+		if !ok || got != val {
+			t.Fatalf("recovered %q = %v (%v), want %v", key, got, ok, val)
+		}
+	})
+}
+
+func TestLikeMatchTable(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"FX01", "FX%", true},
+		{"FX01", "%01", true},
+		{"FX01", "%X0%", true},
+		{"FX01", "FX01", true},
+		{"FX01", "EQ%", false},
+		{"FX01", "%02", false},
+		{"FX01", "%", true}, // empty core matches anything
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "abc%", true},
+		{"abc", "%abc", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pattern); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestUnquoteToken(t *testing.T) {
+	key, rest, err := unquoteToken(`"hello" world`)
+	if err != nil || key != "hello" || strings.TrimSpace(rest) != "world" {
+		t.Fatalf("unquoteToken = %q, %q, %v", key, rest, err)
+	}
+	if _, _, err := unquoteToken(`nope`); err == nil {
+		t.Fatal("missing quote should fail")
+	}
+	if _, _, err := unquoteToken(`"unterminated`); err == nil {
+		t.Fatal("unterminated quote should fail")
+	}
+	key, _, err = unquoteToken(`"with \"escape\"" 1`)
+	if err != nil || key != `with "escape"` {
+		t.Fatalf("escaped key = %q, %v", key, err)
+	}
+}

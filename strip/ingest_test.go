@@ -1,0 +1,138 @@
+package strip
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseUpdateLine(t *testing.T) {
+	u, err := ParseUpdateLine("DEM/USD 1700000000000000000 1.6612")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Object != "DEM/USD" || u.Value != 1.6612 {
+		t.Fatalf("parsed %+v", u)
+	}
+	if u.Generated.UnixNano() != 1700000000000000000 {
+		t.Fatalf("generated = %v", u.Generated)
+	}
+}
+
+func TestParseUpdateLineZeroTime(t *testing.T) {
+	u, err := ParseUpdateLine("x 0 3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Generated.IsZero() {
+		t.Fatalf("generated = %v, want zero (means now)", u.Generated)
+	}
+}
+
+func TestParseUpdateLineErrors(t *testing.T) {
+	for _, line := range []string{
+		"", "one", "one two", "a b c d",
+		"x notanumber 1.5", "x 0 notafloat",
+	} {
+		if _, err := ParseUpdateLine(line); err == nil {
+			t.Errorf("ParseUpdateLine(%q) should fail", line)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	in := Update{Object: "IBM", Value: math.Pi, Generated: time.Unix(1700000001, 42)}
+	out, err := ParseUpdateLine(FormatUpdateLine(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Object != in.Object || out.Value != in.Value ||
+		!out.Generated.Equal(in.Generated) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestFormatZeroTime(t *testing.T) {
+	line := FormatUpdateLine(Update{Object: "x", Value: 1})
+	if !strings.Contains(line, " 0 ") {
+		t.Fatalf("line = %q, want zero timestamp", line)
+	}
+}
+
+func TestIngestChannel(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("x", Low)
+	ch := make(chan Update)
+	db.IngestChannel(ch)
+	ch <- Update{Object: "x", Value: 9.25}
+	close(ch)
+	waitFor(t, time.Second, func() bool {
+		e, _ := db.Peek("x")
+		return e.Value == 9.25
+	})
+}
+
+func TestServeTCPFeed(t *testing.T) {
+	db := mustOpen(t, Config{Policy: UpdatesFirst})
+	db.DefineView("AAPL", High)
+	db.DefineView("MSFT", High)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go db.Serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	now := time.Now()
+	for _, u := range []Update{
+		{Object: "AAPL", Value: 190.5, Generated: now},
+		{Object: "MSFT", Value: 410.25, Generated: now},
+		{Object: "UNKNOWN", Value: 1, Generated: now}, // silently skipped
+	} {
+		if err := WriteUpdate(conn, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A malformed line must not kill the stream.
+	if _, err := conn.Write([]byte("garbage line here extra\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteUpdate(conn, Update{Object: "AAPL", Value: 191.0, Generated: now.Add(time.Millisecond)}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Second, func() bool {
+		a, _ := db.Peek("AAPL")
+		m, _ := db.Peek("MSFT")
+		return a.Value == 191.0 && m.Value == 410.25
+	})
+}
+
+func TestServeStopsOnClose(t *testing.T) {
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- db.Serve(l) }()
+	db.Close()
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Fatal("Serve should return an error after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop after Close")
+	}
+}

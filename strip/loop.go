@@ -1,0 +1,379 @@
+package strip
+
+import (
+	"time"
+
+	"repro/internal/model"
+)
+
+// loop is the scheduler goroutine: the paper's controller and CPU in
+// one. Each pass receives pending arrivals, discards expired updates,
+// reaps dead transactions, then chooses between update installation
+// and transaction execution according to the policy.
+func (db *DB) loop() {
+	defer close(db.done)
+	for {
+		db.drainIngest()
+		db.expireQueue()
+		db.drainTxnCh()
+		db.reapDeadTxns()
+		db.publishQueueLen()
+
+		select {
+		case <-db.stopCh:
+			db.shutdown()
+			return
+		default:
+		}
+
+		switch {
+		case db.updateHasPriority():
+			db.installNext(db.priorityClass())
+		case len(db.ready) > 0:
+			db.runNextTxn()
+		case db.queue.Len() > 0:
+			db.installNext(-1)
+		default:
+			if !db.idleWait() {
+				db.shutdown()
+				return
+			}
+		}
+	}
+}
+
+// updateHasPriority reports whether queued update work must run before
+// any transaction under the configured policy.
+func (db *DB) updateHasPriority() bool {
+	switch db.cfg.Policy {
+	case UpdatesFirst:
+		return db.queue.Len() > 0
+	case SplitUpdates:
+		return db.highPending() > 0
+	default:
+		return false
+	}
+}
+
+// priorityClass selects which updates the priority install drains.
+func (db *DB) priorityClass() int {
+	if db.cfg.Policy == SplitUpdates {
+		return int(model.High)
+	}
+	return -1
+}
+
+// highPending counts queued updates to High-importance views. The
+// queue stores the model class, which mirrors the view definition.
+func (db *DB) highPending() int {
+	return db.highCount
+}
+
+// drainIngest moves every buffered arrival into the update queue (the
+// paper's receive step) and maintains the UU pending counts.
+func (db *DB) drainIngest() {
+	for {
+		select {
+		case u := <-db.ingestCh:
+			db.enqueue(u)
+		default:
+			return
+		}
+	}
+}
+
+// enqueue inserts one received update, accounting for coalescing and
+// overflow evictions.
+func (db *DB) enqueue(u *model.Update) {
+	evicted := db.queue.Insert(u)
+	db.mu.Lock()
+	db.stats.UpdatesReceived++
+	db.pending[u.Object]++
+	if u.Class == model.High {
+		db.highCount++
+	}
+	for _, ev := range evicted {
+		db.pending[ev.Object]--
+		if ev.Class == model.High {
+			db.highCount--
+		}
+		if ev.Object == u.Object {
+			// Same object: superseded by a newer generation
+			// (coalescing), not a capacity casualty.
+			db.stats.UpdatesSkipped++
+		} else {
+			db.stats.UpdatesEvicted++
+		}
+	}
+	db.mu.Unlock()
+}
+
+// expireQueue drops queued updates older than MaxAge (MA only).
+func (db *DB) expireQueue() {
+	if db.cfg.MaxAge <= 0 || db.queue.Len() == 0 {
+		return
+	}
+	cutoff := db.secs(db.now().Add(-db.cfg.MaxAge))
+	expired := db.queue.DiscardOlderGen(cutoff)
+	if len(expired) == 0 {
+		return
+	}
+	db.mu.Lock()
+	for _, u := range expired {
+		db.pending[u.Object]--
+		if u.Class == model.High {
+			db.highCount--
+		}
+		db.stats.UpdatesExpired++
+	}
+	db.mu.Unlock()
+}
+
+// installNext installs the next queued update of the given class (-1
+// for any), honouring the FIFO/LIFO configuration. It reports whether
+// an update was found.
+func (db *DB) installNext(class int) bool {
+	var u *model.Update
+	if class >= 0 {
+		u = db.popClass(model.Importance(class))
+	} else if db.cfg.LIFO {
+		u = db.queue.PopNewest()
+	} else {
+		u = db.queue.PopOldest()
+	}
+	if u == nil {
+		return false
+	}
+	db.mu.Lock()
+	db.pending[u.Object]--
+	if u.Class == model.High {
+		db.highCount--
+	}
+	db.mu.Unlock()
+	db.install(u, db.genTime(u))
+	return true
+}
+
+// popClass removes the next queued update targeting the given
+// importance class. The shared queue is generation-ordered across
+// classes, so this scans from the configured service end.
+func (db *DB) popClass(class model.Importance) *model.Update {
+	// Collect non-matching updates to put back; class-targeted pops
+	// are only used by SplitUpdates for the High class, which is
+	// drained eagerly, so the put-back list stays short-lived.
+	var back []*model.Update
+	var found *model.Update
+	for {
+		var u *model.Update
+		if db.cfg.LIFO {
+			u = db.queue.PopNewest()
+		} else {
+			u = db.queue.PopOldest()
+		}
+		if u == nil {
+			break
+		}
+		if u.Class == class {
+			found = u
+			break
+		}
+		back = append(back, u)
+	}
+	for _, u := range back {
+		db.queue.Insert(u)
+	}
+	return found
+}
+
+// installAll installs every queued update (class < 0) or every queued
+// update of one class. It is the cooperative preemption run at view
+// read points under UpdatesFirst and SplitUpdates.
+func (db *DB) installAll(class int) {
+	for {
+		if class >= 0 {
+			if db.highCount == 0 {
+				return
+			}
+		} else if db.queue.Len() == 0 {
+			return
+		}
+		if !db.installNext(class) {
+			return
+		}
+	}
+}
+
+// refreshOnDemand applies the newest queued update for the object, if
+// any (the OnDemand in-line refresh). All superseded queued updates
+// for the object are discarded.
+func (db *DB) refreshOnDemand(id model.ObjectID) {
+	newest, n := db.queue.TakeFor(id)
+	if newest == nil {
+		return
+	}
+	db.mu.Lock()
+	db.pending[id] -= n
+	if newest.Class == model.High {
+		db.highCount -= n
+	}
+	if n > 1 {
+		db.stats.UpdatesSkipped += uint64(n - 1)
+	}
+	db.mu.Unlock()
+	db.install(newest, db.genTime(newest))
+}
+
+// publishQueueLen exposes the queue length to Stats.
+func (db *DB) publishQueueLen() {
+	db.mu.Lock()
+	db.stats.QueueLen = db.queue.Len()
+	db.mu.Unlock()
+}
+
+// drainTxnCh admits buffered transaction submissions to the ready
+// list.
+func (db *DB) drainTxnCh() {
+	for {
+		select {
+		case req := <-db.txnCh:
+			db.ready = append(db.ready, req)
+		default:
+			return
+		}
+	}
+}
+
+// reapDeadTxns aborts queued transactions whose firm deadline has
+// passed or that can no longer finish in time (feasible deadline).
+func (db *DB) reapDeadTxns() {
+	now := db.now()
+	kept := db.ready[:0]
+	for _, req := range db.ready {
+		if db.hopeless(req, now) {
+			db.finish(req, Result{State: AbortedDeadline, Err: ErrDeadlineExceeded})
+			continue
+		}
+		kept = append(kept, req)
+	}
+	db.ready = kept
+}
+
+// hopeless reports whether the transaction cannot commit by its
+// deadline.
+func (db *DB) hopeless(req *txnReq, now time.Time) bool {
+	if !now.Before(req.spec.Deadline) {
+		return true
+	}
+	if req.spec.Estimate > 0 && now.Add(req.spec.Estimate).After(req.spec.Deadline) {
+		return true
+	}
+	return false
+}
+
+// runNextTxn executes the highest value-density ready transaction.
+func (db *DB) runNextTxn() {
+	best := -1
+	bestPri := 0.0
+	now := db.now()
+	for i, req := range db.ready {
+		pri := req.priority(now)
+		if best < 0 || pri > bestPri {
+			best, bestPri = i, pri
+		}
+	}
+	if best < 0 {
+		return
+	}
+	req := db.ready[best]
+	db.ready = append(db.ready[:best], db.ready[best+1:]...)
+	db.execute(req)
+}
+
+// priority is the value density: value per second of estimated work,
+// falling back to value per second of remaining slack when no
+// estimate is given.
+func (req *txnReq) priority(now time.Time) float64 {
+	if req.spec.Estimate > 0 {
+		return req.spec.Value / req.spec.Estimate.Seconds()
+	}
+	remaining := req.spec.Deadline.Sub(now).Seconds()
+	if remaining <= 0 {
+		return req.spec.Value * 1e9
+	}
+	return req.spec.Value / remaining
+}
+
+// idleWait blocks until an arrival, a submission, the next queued
+// deadline, or shutdown. It returns false on shutdown.
+func (db *DB) idleWait() bool {
+	var timer *time.Timer
+	var deadlineC <-chan time.Time
+	if next, ok := db.nextDeadline(); ok {
+		d := next.Sub(db.now())
+		if d < 0 {
+			d = 0
+		}
+		timer = time.NewTimer(d)
+		deadlineC = timer.C
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	select {
+	case u := <-db.ingestCh:
+		db.enqueue(u)
+		return true
+	case req := <-db.txnCh:
+		db.ready = append(db.ready, req)
+		return true
+	case <-deadlineC:
+		return true
+	case <-db.stopCh:
+		return false
+	}
+}
+
+// nextDeadline returns the earliest deadline among ready transactions.
+func (db *DB) nextDeadline() (time.Time, bool) {
+	var out time.Time
+	found := false
+	for _, req := range db.ready {
+		if !found || req.spec.Deadline.Before(out) {
+			out = req.spec.Deadline
+			found = true
+		}
+	}
+	return out, found
+}
+
+// shutdown fails every queued and buffered transaction with ErrClosed.
+func (db *DB) shutdown() {
+	db.drainTxnCh()
+	for _, req := range db.ready {
+		db.finish(req, Result{State: Failed, Err: ErrClosed})
+	}
+	db.ready = nil
+}
+
+// finish delivers a transaction result and updates the counters.
+func (db *DB) finish(req *txnReq, res Result) {
+	db.mu.Lock()
+	switch res.State {
+	case Committed:
+		db.stats.TxnsCommitted++
+		db.stats.ValueCommitted += req.spec.Value
+		if res.ReadStale {
+			db.stats.TxnsCommittedStale++
+		}
+	case AbortedDeadline:
+		db.stats.TxnsAbortedDeadline++
+	case AbortedStale:
+		db.stats.TxnsAbortedStale++
+	case Failed:
+		db.stats.TxnsFailed++
+	}
+	db.mu.Unlock()
+	req.res <- res
+}

@@ -1,0 +1,260 @@
+package strip
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// queryDB builds a database with a few populated views for query tests.
+func queryDB(t *testing.T) *DB {
+	t.Helper()
+	clock := newFakeClock()
+	db := mustOpen(t, Config{
+		Policy: UpdatesFirst,
+		MaxAge: 10 * time.Second,
+		Clock:  clock.Now,
+	})
+	now := clock.Now()
+	seed := []struct {
+		name  string
+		value float64
+		age   time.Duration
+		bid   float64
+	}{
+		{"FX01", 100, time.Second, 99.5},
+		{"FX02", 200, 2 * time.Second, 199.5},
+		{"EQ01", 50, 3 * time.Second, 0},
+		{"EQ02", 75, 8 * time.Second, 0},
+	}
+	for _, s := range seed {
+		if err := db.DefineView(s.name, High); err != nil {
+			t.Fatal(err)
+		}
+		u := Update{Object: s.name, Value: s.value, Generated: now.Add(-s.age)}
+		if s.bid > 0 {
+			u.Fields = map[string]float64{"bid": s.bid}
+		}
+		if err := db.ApplyUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return db.Stats().UpdatesInstalled == 4 })
+	// Advance past installation: ages become 6, 7, 8 and 13 s, so
+	// only EQ02 exceeds the 10 s maximum age.
+	clock.Advance(5 * time.Second)
+	return db
+}
+
+func names(entries []Entry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Object
+	}
+	return out
+}
+
+func TestQuerySelectAll(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d rows, want 4", len(got))
+	}
+}
+
+func TestQueryWhereValue(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views WHERE value > 75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", names(got))
+	}
+}
+
+func TestQueryWhereLike(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views WHERE object LIKE 'FX%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Object[:2] != "FX" {
+		t.Fatalf("rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views WHERE object LIKE '%01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("suffix match rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views WHERE object LIKE '%X0%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("contains match rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views WHERE object LIKE 'EQ01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("exact match rows = %v", names(got))
+	}
+}
+
+func TestQueryStaleAndAge(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views WHERE stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Object != "EQ02" {
+		t.Fatalf("stale rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views WHERE age < 7.5 AND NOT stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("young rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views WHERE stale = false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fresh rows = %v", names(got))
+	}
+}
+
+func TestQueryFields(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views WHERE field.bid >= 99.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("field rows = %v", names(got))
+	}
+}
+
+func TestQueryOrderAndLimit(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views ORDER BY value DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Object != "FX02" || got[1].Object != "FX01" {
+		t.Fatalf("ordered rows = %v", names(got))
+	}
+	got, err = db.Query("SELECT * FROM views ORDER BY object ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Object != "EQ01" || got[3].Object != "FX02" {
+		t.Fatalf("string-ordered rows = %v", names(got))
+	}
+}
+
+func TestQueryParensAndLogic(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query(
+		"SELECT * FROM views WHERE (value > 150 OR value < 60) AND NOT stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %v", names(got))
+	}
+}
+
+func TestQueryObjectEquality(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("SELECT * FROM views WHERE object = 'EQ01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Value != 50 {
+		t.Fatalf("rows = %v", got)
+	}
+	got, err = db.Query("SELECT * FROM views WHERE object != 'EQ01' LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("LIMIT 0 should return nothing")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := queryDB(t)
+	for _, q := range []string{
+		"",
+		"SELECT value FROM views",              // only * projection
+		"SELECT * FROM tables",                 // wrong source
+		"SELECT * FROM views WHERE",            // missing expr
+		"SELECT * FROM views WHERE value >",    // missing operand
+		"SELECT * FROM views WHERE (value > 1", // unbalanced paren
+		"SELECT * FROM views WHERE nosuch > 1",
+		"SELECT * FROM views WHERE value AND stale", // non-boolean AND
+		"SELECT * FROM views WHERE NOT value",
+		"SELECT * FROM views WHERE value > 'abc'",  // type mismatch
+		"SELECT * FROM views WHERE stale > true",   // bool ordering
+		"SELECT * FROM views WHERE value LIKE 'x'", // LIKE on number
+		"SELECT * FROM views ORDER BY",
+		"SELECT * FROM views LIMIT x",
+		"SELECT * FROM views LIMIT -1",
+		"SELECT * FROM views WHERE 'unterminated",
+		"SELECT * FROM views trailing garbage",
+		"SELECT * FROM views WHERE value ! 1",
+	} {
+		if _, err := db.Query(q); !errors.Is(err, ErrQuery) {
+			t.Errorf("Query(%q) = %v, want ErrQuery", q, err)
+		}
+	}
+}
+
+func TestQueryCaseInsensitiveKeywords(t *testing.T) {
+	db := queryDB(t)
+	got, err := db.Query("select * from views where VALUE > 75 order by value desc limit 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Object != "FX02" {
+		t.Fatalf("rows = %v", names(got))
+	}
+}
+
+func TestQueryEmptyDatabase(t *testing.T) {
+	db := mustOpen(t, Config{})
+	got, err := db.Query("SELECT * FROM views WHERE value > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("rows = %v", got)
+	}
+}
+
+func FuzzQueryParser(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM views",
+		"SELECT * FROM views WHERE stale AND value > 100 ORDER BY age DESC LIMIT 5",
+		"SELECT * FROM views WHERE object LIKE 'FX%' AND field.bid >= 99",
+		"SELECT * FROM views WHERE (a = 1 OR b != 2) AND NOT c",
+		"SELECT * FROM views WHERE value > 1e-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		// The parser must never panic, whatever the input.
+		_, err := parseQuery(q)
+		_ = err
+	})
+}

@@ -1,0 +1,258 @@
+package strip
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakConcurrentLoad hammers one database from many goroutines at
+// once — feed producers, transaction submitters, queries, watches and
+// monitoring — and checks the counters reconcile at the end. Run with
+// -race; this is the library's concurrency certification.
+func TestSoakConcurrentLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test takes a second")
+	}
+	db := mustOpen(t, Config{
+		Policy:       OnDemand,
+		MaxAge:       500 * time.Millisecond,
+		OnStale:      Warn,
+		HistoryDepth: 8,
+	})
+	const nViews = 64
+	for i := 0; i < nViews; i++ {
+		if err := db.DefineView(fmt.Sprintf("v%02d", i), Importance(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DefineDerived("sum01", []string{"v00", "v01"},
+		func(vs []float64) float64 { return vs[0] + vs[1] }); err != nil {
+		t.Fatal(err)
+	}
+
+	var triggerFires atomic.Int64
+	db.OnInstall("", func(Entry) { triggerFires.Add(1) })
+
+	watchCh, cancelWatch, err := db.Watch("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancelWatch()
+	var watched atomic.Int64
+	go func() {
+		for range watchCh {
+			watched.Add(1)
+		}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Three feed producers.
+	var produced atomic.Int64
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed+1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := db.ApplyUpdate(Update{
+					Object:    fmt.Sprintf("v%02d", rng.IntN(nViews)),
+					Value:     rng.Float64() * 100,
+					Generated: time.Now(),
+				})
+				if err == nil {
+					produced.Add(1)
+				}
+				time.Sleep(time.Duration(rng.IntN(300)) * time.Microsecond)
+			}
+		}(uint64(p) + 1)
+	}
+
+	// Four transaction submitters.
+	var committed, aborted atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, seed+7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj := fmt.Sprintf("v%02d", rng.IntN(nViews))
+				res := db.Exec(TxnSpec{
+					Value:    rng.Float64() * 5,
+					Deadline: time.Now().Add(time.Duration(2+rng.IntN(20)) * time.Millisecond),
+					Func: func(tx *Tx) error {
+						e, err := tx.Read(obj)
+						if err != nil {
+							return err
+						}
+						if _, err := tx.Read("sum01"); err != nil {
+							return err
+						}
+						tx.Set("last."+obj, e.Value)
+						return nil
+					},
+				})
+				switch res.State {
+				case Committed:
+					committed.Add(1)
+				case AbortedDeadline, AbortedStale:
+					aborted.Add(1)
+				case Failed:
+					t.Errorf("unexpected failure: %v", res.Err)
+					return
+				}
+			}
+		}(uint64(w) + 11)
+	}
+
+	// A monitoring goroutine issuing queries and peeks.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Query("SELECT * FROM views WHERE stale LIMIT 5"); err != nil {
+				t.Errorf("query failed: %v", err)
+				return
+			}
+			if _, err := db.Aggregate("SELECT COUNT(*) FROM views WHERE NOT stale"); err != nil {
+				t.Errorf("aggregate failed: %v", err)
+				return
+			}
+			db.Peek("v00")
+			db.Stats()
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	s := db.Stats()
+	if produced.Load() == 0 || committed.Load() == 0 {
+		t.Fatalf("soak did no work: produced=%d committed=%d", produced.Load(), committed.Load())
+	}
+	// Conservation: received + dropped = produced (every accepted
+	// ApplyUpdate either entered the buffer or was counted dropped).
+	if got := s.UpdatesReceived + s.UpdatesDropped; got > uint64(produced.Load()) {
+		t.Fatalf("accounted %d updates > produced %d", got, produced.Load())
+	}
+	if s.TxnsCommitted != uint64(committed.Load()) {
+		t.Fatalf("stats committed %d != observed %d", s.TxnsCommitted, committed.Load())
+	}
+	if s.TxnsAbortedDeadline+s.TxnsAbortedStale != uint64(aborted.Load()) {
+		t.Fatalf("stats aborts %d != observed %d",
+			s.TxnsAbortedDeadline+s.TxnsAbortedStale, aborted.Load())
+	}
+	// Triggers fire exactly once per install (scalar views) plus the
+	// derived recomputations.
+	if triggerFires.Load() < int64(s.UpdatesInstalled) {
+		t.Fatalf("trigger fires %d < installs %d", triggerFires.Load(), s.UpdatesInstalled)
+	}
+	if watched.Load() == 0 {
+		t.Fatal("watch channel saw nothing")
+	}
+	t.Logf("soak: produced=%d installed=%d committed=%d aborted=%d triggers=%d watched=%d",
+		produced.Load(), s.UpdatesInstalled, committed.Load(), aborted.Load(),
+		triggerFires.Load(), watched.Load())
+}
+
+// TestCloseUnderLoad closes the database while transactions are
+// queued behind a blocker: every Exec must return (no deadlock, no
+// panic) with a legitimate terminal state, and the queued ones must
+// see the shutdown.
+func TestCloseUnderLoad(t *testing.T) {
+	db, err := Open(Config{Policy: TransactionsFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.DefineView("x", Low)
+
+	// The blocker holds the scheduler so everything behind it queues.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	blockerRes := make(chan Result, 1)
+	go func() {
+		blockerRes <- db.Exec(TxnSpec{
+			Deadline: time.Now().Add(5 * time.Second),
+			Func: func(tx *Tx) error {
+				close(started)
+				<-gate
+				return nil
+			},
+		})
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	states := make(chan State, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				res := db.Exec(TxnSpec{
+					Deadline: time.Now().Add(5 * time.Second),
+					Func: func(tx *Tx) error {
+						_, err := tx.Read("x")
+						return err
+					},
+				})
+				states <- res.State
+			}
+		}()
+	}
+	// Let the submitters queue up behind the blocker, then shut down
+	// while releasing the blocker.
+	time.Sleep(20 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- db.Close() }()
+	close(gate)
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(states)
+
+	if res := <-blockerRes; !res.Committed() {
+		t.Fatalf("blocker result = %+v", res)
+	}
+	var committed, failed, other int
+	for s := range states {
+		switch s {
+		case Committed:
+			committed++
+		case Failed, AbortedDeadline:
+			failed++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("unexpected states: %d", other)
+	}
+	if failed == 0 {
+		t.Fatal("queued transactions should have been failed by Close")
+	}
+	t.Logf("close under load: %d committed, %d failed/aborted", committed, failed)
+}

@@ -1,0 +1,303 @@
+package strip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+)
+
+// State is a transaction's terminal outcome.
+type State int
+
+const (
+	// Committed: the function returned nil before the deadline.
+	Committed State = iota
+	// AbortedDeadline: the firm deadline passed (before or during
+	// execution), or the feasible-deadline test failed.
+	AbortedDeadline
+	// AbortedStale: a stale view read under the Abort action.
+	AbortedStale
+	// Failed: the transaction function returned an unrelated error,
+	// or the database closed.
+	Failed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Committed:
+		return "committed"
+	case AbortedDeadline:
+		return "aborted-deadline"
+	case AbortedStale:
+		return "aborted-stale"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// TxnSpec describes a transaction submission.
+type TxnSpec struct {
+	// Name is an optional label for diagnostics.
+	Name string
+	// Value is the benefit of committing before the deadline; it
+	// drives value-density scheduling against other transactions.
+	Value float64
+	// Deadline is the firm deadline. A zero deadline means "no
+	// deadline" and is normalized to one hour from submission.
+	Deadline time.Time
+	// Estimate, when positive, is the expected execution time; it
+	// enables precise value density and the feasible-deadline abort.
+	Estimate time.Duration
+	// Func is the transaction body. It runs on the scheduler
+	// goroutine; it must not call Exec (no nesting) and must return
+	// any error received from Tx methods.
+	Func func(tx *Tx) error
+}
+
+// Result is a transaction's outcome.
+type Result struct {
+	// State is the terminal state.
+	State State
+	// ReadStale reports whether any view read observed a stale value.
+	ReadStale bool
+	// StaleReads lists the stale objects read, under the Warn action.
+	StaleReads []string
+	// Err is the error that ended a non-committed transaction.
+	Err error
+	// Started and Finished bound the execution (zero if never run).
+	Started, Finished time.Time
+}
+
+// Committed reports whether the transaction committed.
+func (r Result) Committed() bool { return r.State == Committed }
+
+// Tx is the handle a transaction function uses to access the
+// database. It is only valid during the function's execution.
+type Tx struct {
+	db         *DB
+	spec       *TxnSpec
+	deadline   time.Time
+	readStale  bool
+	staleReads []string
+	writes     map[string]float64
+	abortErr   error
+	active     bool
+}
+
+// Exec submits a transaction and blocks until it commits or aborts.
+// It must not be called from inside a transaction function.
+func (db *DB) Exec(spec TxnSpec) Result {
+	if spec.Func == nil {
+		return Result{State: Failed, Err: errors.New("strip: TxnSpec.Func is nil")}
+	}
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return Result{State: Failed, Err: ErrClosed}
+	}
+	now := db.now()
+	if spec.Deadline.IsZero() {
+		spec.Deadline = now.Add(time.Hour)
+	}
+	db.mu.Lock()
+	db.stats.TxnsSubmitted++
+	db.mu.Unlock()
+	req := &txnReq{spec: spec, res: make(chan Result, 1), enqueued: now}
+	select {
+	case db.txnCh <- req:
+	case <-db.stopCh:
+		return Result{State: Failed, Err: ErrClosed}
+	}
+	select {
+	case res := <-req.res:
+		return res
+	case <-db.done:
+		// The scheduler exited; it drained the queue first, so a
+		// result may still be buffered.
+		select {
+		case res := <-req.res:
+			return res
+		default:
+			return Result{State: Failed, Err: ErrClosed}
+		}
+	}
+}
+
+// execute runs one admitted transaction on the scheduler goroutine.
+func (db *DB) execute(req *txnReq) {
+	now := db.now()
+	if db.hopeless(req, now) {
+		db.finish(req, Result{State: AbortedDeadline, Err: ErrDeadlineExceeded})
+		return
+	}
+	tx := &Tx{
+		db:       db,
+		spec:     &req.spec,
+		deadline: req.spec.Deadline,
+		active:   true,
+	}
+	started := now
+	err := req.spec.Func(tx)
+	tx.active = false
+	finished := db.now()
+
+	res := Result{
+		ReadStale:  tx.readStale,
+		StaleReads: tx.staleReads,
+		Started:    started,
+		Finished:   finished,
+	}
+	switch {
+	case tx.abortErr != nil:
+		// A sticky abort (stale read under Abort, or deadline hit
+		// mid-run) dooms the transaction even if Func returned nil.
+		res.Err = tx.abortErr
+		if errors.Is(tx.abortErr, ErrStaleRead) {
+			res.State = AbortedStale
+		} else {
+			res.State = AbortedDeadline
+		}
+	case err != nil:
+		res.Err = err
+		res.State = Failed
+	case finished.After(tx.deadline):
+		res.Err = ErrDeadlineExceeded
+		res.State = AbortedDeadline
+	default:
+		if cerr := tx.commit(); cerr != nil {
+			res.Err = cerr
+			res.State = Failed
+		} else {
+			res.State = Committed
+		}
+	}
+	db.finish(req, res)
+}
+
+// commit logs and applies the transaction's buffered general-data
+// writes. The WAL append and the in-memory apply happen under one
+// critical section so Checkpoint sees a consistent cut.
+func (tx *Tx) commit() error {
+	if len(tx.writes) == 0 {
+		return nil
+	}
+	tx.db.mu.Lock()
+	defer tx.db.mu.Unlock()
+	if tx.db.wal != nil {
+		if err := tx.db.wal.appendBatch(tx.writes); err != nil {
+			return fmt.Errorf("strip: WAL append failed: %w", err)
+		}
+	}
+	for k, v := range tx.writes {
+		tx.db.general[k] = v
+	}
+	return nil
+}
+
+// checkState validates that the handle is usable and the deadline has
+// not passed.
+func (tx *Tx) checkState() error {
+	if !tx.active {
+		return errors.New("strip: Tx used outside its transaction function")
+	}
+	if tx.abortErr != nil {
+		return tx.abortErr
+	}
+	if tx.db.now().After(tx.deadline) {
+		tx.abortErr = ErrDeadlineExceeded
+		return tx.abortErr
+	}
+	return nil
+}
+
+// Read returns a view object's current value, applying the configured
+// staleness criterion and action. A Read is a cooperative scheduling
+// point: pending updates are received, and under UpdatesFirst /
+// SplitUpdates they are installed before the value is returned
+// (update "preemption"); under OnDemand a stale object is refreshed
+// from the queue if possible.
+func (tx *Tx) Read(name string) (Entry, error) {
+	if err := tx.checkState(); err != nil {
+		return Entry{}, err
+	}
+	db := tx.db
+	id, ok := db.lookup(name)
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+
+	// Receive arrivals; install per policy at this yield point.
+	db.drainIngest()
+	switch db.cfg.Policy {
+	case UpdatesFirst:
+		db.installAll(-1)
+	case SplitUpdates:
+		db.installAll(int(model.High))
+	}
+
+	now := db.now()
+	stale := db.isStale(id, now)
+	if stale && db.cfg.Policy == OnDemand {
+		db.refreshOnDemand(id)
+		stale = db.isStale(id, db.now())
+	}
+
+	db.mu.RLock()
+	e := Entry{
+		Object:    name,
+		Value:     db.entries[id].value,
+		Fields:    copyFields(db.entries[id].fields),
+		Generated: db.entries[id].generated,
+		Stale:     stale,
+	}
+	db.mu.RUnlock()
+
+	if stale {
+		tx.readStale = true
+		switch db.cfg.OnStale {
+		case Warn:
+			tx.staleReads = append(tx.staleReads, name)
+		case Abort:
+			tx.abortErr = ErrStaleRead
+			return e, ErrStaleRead
+		}
+	}
+	return e, nil
+}
+
+// Get reads general data, observing the transaction's own writes.
+func (tx *Tx) Get(key string) (float64, bool) {
+	if tx.checkState() != nil {
+		return 0, false
+	}
+	if v, ok := tx.writes[key]; ok {
+		return v, true
+	}
+	tx.db.mu.RLock()
+	v, ok := tx.db.general[key]
+	tx.db.mu.RUnlock()
+	return v, ok
+}
+
+// Set buffers a general-data write, applied atomically at commit.
+func (tx *Tx) Set(key string, v float64) {
+	if tx.checkState() != nil {
+		return
+	}
+	if tx.writes == nil {
+		tx.writes = make(map[string]float64)
+	}
+	tx.writes[key] = v
+}
+
+// Deadline returns the transaction's firm deadline.
+func (tx *Tx) Deadline() time.Time { return tx.deadline }
+
+// Remaining returns the time left until the deadline.
+func (tx *Tx) Remaining() time.Duration { return tx.deadline.Sub(tx.db.now()) }

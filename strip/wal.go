@@ -1,0 +1,239 @@
+package strip
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The write-ahead log makes general data durable: every committed
+// transaction's Set operations are appended as one record, and Open
+// replays the log (on top of the latest checkpoint snapshot) before
+// accepting work. View data is deliberately not logged — it mirrors
+// the external world and is re-derivable from the update stream, the
+// same reasoning STRIP applied.
+//
+// On-disk format, one token-quoted line per operation:
+//
+//	set <quoted-key> <value>     (one per write in the batch)
+//	commit                       (seals the batch)
+//
+// A batch without its commit line (a crash mid-append) is ignored at
+// replay. Checkpoint writes the full general store to <path>.snap and
+// truncates the log.
+
+// walWriter appends committed batches to the log file.
+type walWriter struct {
+	f   *os.File
+	buf *bufio.Writer
+}
+
+func openWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("strip: opening WAL: %w", err)
+	}
+	return &walWriter{f: f, buf: bufio.NewWriter(f)}, nil
+}
+
+// appendBatch logs one committed transaction's writes. The batch is
+// flushed to the OS before it is considered durable; fsync is left to
+// Close/Checkpoint (group durability, not per-commit).
+func (w *walWriter) appendBatch(writes map[string]float64) error {
+	for k, v := range writes {
+		if _, err := fmt.Fprintf(w.buf, "set %s %s\n",
+			strconv.Quote(k), strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	if _, err := w.buf.WriteString("commit\n"); err != nil {
+		return err
+	}
+	return w.buf.Flush()
+}
+
+func (w *walWriter) sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error {
+	ferr := w.sync()
+	cerr := w.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// snapPath is the checkpoint snapshot file for a WAL path.
+func snapPath(walPath string) string { return walPath + ".snap" }
+
+// recoverGeneral loads the general store from the checkpoint snapshot
+// and the WAL. Missing files mean an empty starting state.
+func recoverGeneral(walPath string) (map[string]float64, error) {
+	general := make(map[string]float64)
+	if err := loadSnapshot(snapPath(walPath), general); err != nil {
+		return nil, err
+	}
+	if err := replayWAL(walPath, general); err != nil {
+		return nil, err
+	}
+	return general, nil
+}
+
+func loadSnapshot(path string, into map[string]float64) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("strip: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	for sc.Scan() {
+		key, value, err := parseSetLine(sc.Text())
+		if err != nil {
+			return fmt.Errorf("strip: corrupt snapshot %s: %w", path, err)
+		}
+		into[key] = value
+	}
+	return sc.Err()
+}
+
+func replayWAL(path string, into map[string]float64) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("strip: opening WAL: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	pending := make(map[string]float64)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "commit" {
+			for k, v := range pending {
+				into[k] = v
+			}
+			clear(pending)
+			continue
+		}
+		key, value, err := parseSetLine(line)
+		if err != nil {
+			// A torn final record: everything before the last commit
+			// is already applied; stop here.
+			return nil
+		}
+		pending[key] = value
+	}
+	// Trailing writes without a commit are discarded.
+	return sc.Err()
+}
+
+// parseSetLine decodes `set <quoted-key> <value>`.
+func parseSetLine(line string) (string, float64, error) {
+	rest, ok := strings.CutPrefix(line, "set ")
+	if !ok {
+		return "", 0, fmt.Errorf("bad record %q", line)
+	}
+	key, tail, err := unquoteToken(rest)
+	if err != nil {
+		return "", 0, err
+	}
+	value, err := strconv.ParseFloat(strings.TrimSpace(tail), 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	return key, value, nil
+}
+
+// unquoteToken reads one Go-quoted string from the front of s and
+// returns it with the remainder.
+func unquoteToken(s string) (string, string, error) {
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("missing quoted key in %q", s)
+	}
+	// Find the closing quote, honouring escapes.
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			key, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return key, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted key in %q", s)
+}
+
+// Checkpoint writes the whole general store to the snapshot file and
+// truncates the WAL, bounding recovery time. It is a no-op without a
+// configured WAL.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return nil
+	}
+	// Snapshot the general store.
+	db.mu.RLock()
+	pairs := make(map[string]float64, len(db.general))
+	for k, v := range db.general {
+		pairs[k] = v
+	}
+	db.mu.RUnlock()
+
+	tmp := snapPath(db.cfg.WALPath) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for k, v := range pairs {
+		if _, err := fmt.Fprintf(w, "set %s %s\n",
+			strconv.Quote(k), strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapPath(db.cfg.WALPath)); err != nil {
+		return err
+	}
+	// Truncate the log: everything it held is now in the snapshot.
+	// Writes are serialized with the scheduler via db.mu in commit,
+	// so truncation is safe under the same lock.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.wal.sync(); err != nil {
+		return err
+	}
+	if err := db.wal.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err = db.wal.f.Seek(0, 0)
+	return err
+}
