@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures extensions verify report clean
+.PHONY: all build test race bench figures extensions verify report clean lint vet striplint
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Static checks: go vet plus the repo-specific determinism/locking
+# rules (see internal/lint and `go run ./cmd/striplint -list`).
+lint: vet striplint
+
+vet:
+	$(GO) vet ./...
+
+striplint:
+	$(GO) run ./cmd/striplint ./...
+
 race:
-	$(GO) test -race ./strip/ ./cmd/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,106 @@
+// Command striplint runs the repo-specific determinism and locking
+// lint rules over the module (see internal/lint). It is stdlib-only
+// and wired into `make lint` and CI:
+//
+//	go run ./cmd/striplint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic is
+// reported, 2 on usage or load errors. Individual findings can be
+// suppressed with a
+//
+//	//striplint:ignore <rule>[,<rule>...] <reason>
+//
+// comment on the offending line or the line directly above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("striplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "list available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: striplint [flags] [packages]\n\n"+
+			"Packages are directories, optionally ending in /... for a subtree\n"+
+			"(default ./...). Flags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *rules != "" {
+		for _, n := range strings.Split(*rules, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	analyzers, err := lint.Select(names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "striplint: %d finding(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

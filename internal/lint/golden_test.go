@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regexps from a // want "..." comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one // want entry pinned to a file and line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every comment in the loaded packages for
+//
+//	// want "regexp" ["regexp" ...]
+//
+// expectations, in the style of golang.org/x/tools analysistest.
+func collectWants(t *testing.T, pkgs []*Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(rest, -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/<name>/... and checks the single rule's
+// diagnostics against the fixtures' want comments, both directions.
+func runGolden(t *testing.T, ruleName string) {
+	t.Helper()
+	analyzers, err := Select([]string{ruleName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", ruleName)
+	pkgs, err := loader.Load(dir + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", dir)
+	}
+
+	diags := RunAnalyzers(pkgs, analyzers)
+	wants := collectWants(t, pkgs)
+
+	for _, d := range diags {
+		if d.Rule == "striplint" {
+			t.Errorf("fixture has a malformed ignore directive: %s", d)
+			continue
+		}
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant consumes the first unmatched expectation on the
+// diagnostic's line whose regexp matches its message.
+func matchWant(wants []*expectation, d Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func TestNondeterministicTimeGolden(t *testing.T) { runGolden(t, "nondeterministic-time") }
+func TestGlobalRandGolden(t *testing.T)           { runGolden(t, "global-rand") }
+func TestMapOrderLeakGolden(t *testing.T)         { runGolden(t, "map-order-leak") }
+func TestConcurrencyInSimGolden(t *testing.T)     { runGolden(t, "concurrency-in-sim") }
+func TestFloatEqGolden(t *testing.T)              { runGolden(t, "float-eq") }
+
+// TestShippedTreeClean is the acceptance gate: the linter must exit
+// clean on the repository itself, with every rule enabled. Any
+// violation must be fixed or carry a reasoned //striplint:ignore.
+func TestShippedTreeClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.Root() + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from the module; loader is missing the tree", len(pkgs))
+	}
+	for _, d := range RunAnalyzers(pkgs, Analyzers()) {
+		t.Errorf("shipped tree violation: %s", d)
+	}
+}
+
+// TestRuleScoping checks that every deterministic package the rules
+// guard actually exists in the tree, so a future rename cannot
+// silently shrink the lint's coverage.
+func TestRuleScoping(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(loader.Root() + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool)
+	for _, p := range pkgs {
+		have[p.Path] = true
+	}
+	for _, scope := range []Scope{DeterministicPkgs, FloatStrictPkgs, RandAllowedPkgs} {
+		for _, entry := range scope {
+			found := false
+			for path := range have {
+				if scope.Match(path) && strings.HasSuffix(path, entry) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("scope entry %q matches no package in the tree; update the scope after the rename", entry)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// useOf resolves an identifier to the object it uses, or nil.
+func useOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// pkgLevelFunc returns the package-level (non-method) function an
+// expression refers to, unwrapping selectors, or nil. It resolves
+// through renamed imports and dot imports because it goes through the
+// type-checker's Uses map rather than matching source text.
+func pkgLevelFunc(info *types.Info, e ast.Expr) *types.Func {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	f, ok := useOf(info, id).(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return f
+}
+
+// calleeIdent returns the rightmost identifier of a call expression's
+// function (the x of x(...) or of pkg.x(...)), or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn
+	case *ast.SelectorExpr:
+		return fn.Sel
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin
+// (append, close, make, ...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id := calleeIdent(call)
+	if id == nil || id.Name != name {
+		return false
+	}
+	b, ok := useOf(info, id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isFloat reports whether the expression's type is (or has an
+// underlying) floating-point basic type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isMap reports whether the expression's type is (or has an
+// underlying) map type.
+func isMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}
+
+// isChan reports whether the expression's type is (or has an
+// underlying) channel type.
+func isChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix is the directive marker. The full syntax is
+//
+//	//striplint:ignore <rule>[,<rule>...] <reason>
+//
+// where <rule> is a rule name or "all" and <reason> is mandatory
+// free text. The directive suppresses matching diagnostics on its own
+// line and, when it stands alone on its line, on the next line as
+// well.
+const ignorePrefix = "striplint:ignore"
+
+// ignoreDirective is one parsed, well-formed directive.
+type ignoreDirective struct {
+	file  string
+	line  int // line the comment appears on
+	rules map[string]bool
+	all   bool
+}
+
+func (d *ignoreDirective) matches(rule string) bool {
+	return d.all || d.rules[rule]
+}
+
+// ignoreIndex answers "is this diagnostic suppressed?" for one
+// package.
+type ignoreIndex struct {
+	// byLine maps file -> line -> directives covering that line.
+	byLine map[string]map[int][]*ignoreDirective
+}
+
+func (idx *ignoreIndex) suppresses(d Diagnostic) bool {
+	for _, dir := range idx.byLine[d.File][d.Line] {
+		if dir.matches(d.Rule) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex scans every comment in the package for ignore
+// directives. Malformed directives (no rule list, or a missing
+// reason) are returned as diagnostics under the pseudo-rule
+// "striplint"; they suppress nothing and cannot themselves be
+// suppressed, so a bare //striplint:ignore can never silently widen.
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []Diagnostic) {
+	idx := &ignoreIndex{byLine: make(map[string]map[int][]*ignoreDirective)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dir, errMsg := parseIgnore(text)
+				if errMsg != "" {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						File:    pos.Filename,
+						Line:    pos.Line,
+						Column:  pos.Column,
+						Rule:    "striplint",
+						Message: errMsg,
+					})
+					continue
+				}
+				dir.file = pos.Filename
+				dir.line = pos.Line
+				lines := idx.byLine[dir.file]
+				if lines == nil {
+					lines = make(map[int][]*ignoreDirective)
+					idx.byLine[dir.file] = lines
+				}
+				lines[dir.line] = append(lines[dir.line], dir)
+				// A directive alone on its line covers the next line,
+				// so it can sit above the offending statement.
+				if standsAlone(fset, f, c) {
+					lines[dir.line+1] = append(lines[dir.line+1], dir)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// directiveText strips the comment marker and reports whether the
+// comment is an ignore directive. Directives must use the //-form
+// with no space before "striplint:", matching go directive style.
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	rest, ok := strings.CutPrefix(body, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. //striplint:ignoreXXX is not ours
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// parseIgnore splits "rule1,rule2 reason..." and validates it against
+// the registered rule names. It returns a directive or a non-empty
+// error message.
+func parseIgnore(text string) (*ignoreDirective, string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, "malformed //striplint:ignore: missing rule name and reason"
+	}
+	if len(fields) < 2 {
+		return nil, "malformed //striplint:ignore: missing reason (syntax: //striplint:ignore <rule> <reason>)"
+	}
+	dir := &ignoreDirective{rules: make(map[string]bool)}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		if r == "all" {
+			dir.all = true
+			continue
+		}
+		if !known[r] {
+			return nil, "malformed //striplint:ignore: unknown rule " + strconv.Quote(r)
+		}
+		dir.rules[r] = true
+	}
+	return dir, ""
+}
+
+// standsAlone reports whether the comment is the only token on its
+// line (i.e. a leading comment rather than a trailing one).
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cLine := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		// Any non-comment node ending on the comment's line means the
+		// comment trails code.
+		if _, isFile := n.(*ast.File); !isFile {
+			if fset.Position(n.End()).Line == cLine && n.End() <= c.Pos() {
+				alone = false
+				return false
+			}
+		}
+		return true
+	})
+	return alone
+}

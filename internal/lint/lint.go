@@ -1,0 +1,217 @@
+// Package lint is a repo-specific static-analysis framework
+// ("striplint") that mechanically enforces the two invariants the
+// compiler cannot see:
+//
+//   - the discrete-event simulation (internal/sim, internal/sched,
+//     internal/uqueue, internal/workload, internal/stats,
+//     internal/metrics, internal/analytic) must be bit-for-bit
+//     deterministic under a fixed seed, and
+//   - the live strip/ runtime must keep its sync.RWMutex locking
+//     discipline race-free.
+//
+// The framework is stdlib-only (go/ast, go/parser, go/types): it
+// loads and type-checks packages itself (see Loader), runs a set of
+// named Analyzers over each package, and reports positioned
+// Diagnostics. Individual diagnostics can be suppressed with a
+//
+//	//striplint:ignore <rule>[,<rule>...] <reason>
+//
+// comment on the offending line or on the line directly above it; the
+// reason is mandatory and a malformed directive is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one positioned finding from one rule.
+type Diagnostic struct {
+	Pos     token.Position `json:"-"`
+	File    string         `json:"file"`
+	Line    int            `json:"line"`
+	Column  int            `json:"column"`
+	Rule    string         `json:"rule"`
+	Message string         `json:"message"`
+}
+
+// String formats the diagnostic in the conventional
+// file:line:col: rule: message shape used by go vet.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Rule, d.Message)
+}
+
+// Pass carries everything one Analyzer needs to inspect one
+// type-checked package, mirroring golang.org/x/tools/go/analysis
+// without the dependency.
+type Pass struct {
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's facts about every expression and
+	// identifier in Files.
+	Info *types.Info
+
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic for the running rule at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named, documented rule.
+type Analyzer struct {
+	// Name identifies the rule on the command line, in output and in
+	// //striplint:ignore directives. Names are kebab-case.
+	Name string
+	// Doc is a one-paragraph description of what the rule enforces
+	// and why.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns every registered rule in stable (alphabetical)
+// order.
+func Analyzers() []*Analyzer {
+	all := []*Analyzer{
+		ConcurrencyInSim,
+		FloatEq,
+		GlobalRand,
+		MapOrderLeak,
+		NondeterministicTime,
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all
+}
+
+// Select resolves a list of rule names to analyzers. An empty list
+// selects every rule; an unknown name is an error.
+func Select(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", n)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// //striplint:ignore suppression, and returns the surviving
+// diagnostics sorted by position. Malformed ignore directives are
+// reported under the pseudo-rule "striplint" and cannot themselves be
+// suppressed.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+				rule:  a.Name,
+				diags: &raw,
+			}
+			a.Run(pass)
+		}
+		idx, bad := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, d := range raw {
+			if !idx.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Scope is a set of package-import-path suffixes, e.g.
+// "internal/sim". A path is in scope when it equals an entry or ends
+// with "/"+entry, so both "repro/internal/sim" and test fixtures
+// living under a deeper prefix match.
+type Scope []string
+
+// Match reports whether the import path is in scope.
+func (s Scope) Match(path string) bool {
+	for _, e := range s {
+		if path == e || hasPathSuffix(path, e) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	n := len(path) - len(suffix)
+	return n > 0 && path[n-1] == '/' && path[n:] == suffix
+}
+
+// DeterministicPkgs lists the packages that make up the
+// discrete-event simulator. Everything here must be bit-for-bit
+// reproducible under a fixed seed: no wall-clock reads, no global
+// randomness, no goroutines, no iteration-order leaks.
+var DeterministicPkgs = Scope{
+	"internal/sim",
+	"internal/sched",
+	"internal/uqueue",
+	"internal/workload",
+	"internal/stats",
+	"internal/metrics",
+	"internal/analytic",
+}
+
+// FloatStrictPkgs lists the packages whose float arithmetic feeds the
+// paper's reported metrics, where == / != on floats silently destroys
+// reproducibility across compilers and optimization levels.
+var FloatStrictPkgs = Scope{
+	"internal/metrics",
+	"internal/analytic",
+}
+
+// RandAllowedPkgs lists the packages allowed to touch math/rand
+// package-level state: only the seeded PCG wrapper in internal/stats.
+var RandAllowedPkgs = Scope{
+	"internal/stats",
+}

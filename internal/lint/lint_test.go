@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestScopeMatch(t *testing.T) {
+	s := Scope{"internal/sim", "internal/stats"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/sim", true},
+		{"internal/sim", true},
+		{"repro/internal/lint/testdata/x/internal/sim", true},
+		{"repro/internal/simx", false},
+		{"repro/xinternal/sim", false},
+		{"repro/strip", false},
+		{"repro/internal/stats", true},
+	}
+	for _, c := range cases {
+		if got := s.Match(c.path); got != c.want {
+			t.Errorf("Match(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("Select(nil) returned %d rules, want 5", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("analyzers out of order: %q before %q", all[i-1].Name, all[i].Name)
+		}
+	}
+	one, err := Select([]string{"float-eq"})
+	if err != nil || len(one) != 1 || one[0].Name != "float-eq" {
+		t.Fatalf("Select(float-eq) = %v, %v", one, err)
+	}
+	if _, err := Select([]string{"no-such-rule"}); err == nil {
+		t.Fatal("Select(no-such-rule) succeeded, want error")
+	}
+}
+
+// buildIndex parses one source string and runs the suppression
+// scanner over it; the ignore layer needs no type information.
+func buildIndex(t *testing.T, src string) (*ignoreIndex, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildIgnoreIndex(fset, []*ast.File{f})
+}
+
+func TestIgnoreSameLineAndNextLine(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	_ = 1 //striplint:ignore float-eq trailing form covers its own line
+	//striplint:ignore global-rand standalone form covers the next line
+	_ = 2
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	cases := []struct {
+		line int
+		rule string
+		want bool
+	}{
+		{4, "float-eq", true},
+		{4, "global-rand", false},
+		{5, "global-rand", true}, // the directive's own line
+		{6, "global-rand", true}, // the line below a standalone directive
+		{7, "global-rand", false},
+		{6, "float-eq", false},
+	}
+	for _, c := range cases {
+		d := Diagnostic{File: "fix.go", Line: c.line, Rule: c.rule}
+		if got := idx.suppresses(d); got != c.want {
+			t.Errorf("suppresses(line %d, %s) = %v, want %v", c.line, c.rule, got, c.want)
+		}
+	}
+}
+
+func TestIgnoreAllAndLists(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	_ = 1 //striplint:ignore all broad waiver with a reason
+	_ = 2 //striplint:ignore float-eq,map-order-leak two rules, one reason
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	for _, rule := range []string{"float-eq", "global-rand", "concurrency-in-sim"} {
+		if !idx.suppresses(Diagnostic{File: "fix.go", Line: 4, Rule: rule}) {
+			t.Errorf("ignore all did not suppress %s", rule)
+		}
+	}
+	if !idx.suppresses(Diagnostic{File: "fix.go", Line: 5, Rule: "map-order-leak"}) {
+		t.Error("comma list did not suppress map-order-leak")
+	}
+	if idx.suppresses(Diagnostic{File: "fix.go", Line: 5, Rule: "global-rand"}) {
+		t.Error("comma list suppressed a rule it does not name")
+	}
+}
+
+func TestIgnoreMalformed(t *testing.T) {
+	_, bad := buildIndex(t, `package p
+
+//striplint:ignore
+func a() {}
+
+//striplint:ignore float-eq
+func b() {}
+
+//striplint:ignore not-a-rule because reasons
+func c() {}
+`)
+	if len(bad) != 3 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 3: %v", len(bad), bad)
+	}
+	wants := []string{"missing rule name", "missing reason", "unknown rule"}
+	for i, w := range wants {
+		if bad[i].Rule != "striplint" {
+			t.Errorf("diagnostic %d rule = %q, want striplint", i, bad[i].Rule)
+		}
+		if !strings.Contains(bad[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, bad[i].Message, w)
+		}
+	}
+}
+
+func TestIgnoreDoesNotMatchLookalikes(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	_ = 1 //striplint:ignoreXXX float-eq not a directive at all
+	_ = 2 // striplint:ignore float-eq spaced marker is prose, not a directive
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("lookalike comments reported as malformed: %v", bad)
+	}
+	for _, line := range []int{4, 5} {
+		if idx.suppresses(Diagnostic{File: "fix.go", Line: line, Rule: "float-eq"}) {
+			t.Errorf("lookalike comment on line %d suppressed a diagnostic", line)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Column: 9, Rule: "float-eq", Message: "m"}
+	if got, want := d.String(), "a/b.go:3:9: float-eq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestLoaderRejectsOutsideModule(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.importPathFor("/"); err == nil {
+		t.Fatal("importPathFor(/) succeeded, want error")
+	}
+}
+
+func TestLoaderModulePath(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.module != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.module)
+	}
+	path, err := loader.importPathFor(loader.root + "/internal/sim")
+	if err != nil || path != "repro/internal/sim" {
+		t.Fatalf("importPathFor(internal/sim) = %q, %v", path, err)
+	}
+}

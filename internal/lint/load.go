@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path, derived from the module path and the
+	// directory's position under the module root.
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset is shared by every package a Loader produces.
+	Fset *token.FileSet
+	// Files are the non-test syntax trees, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the type-checker's output.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages of the enclosing module using
+// only the standard library. Module-local imports are resolved by
+// mapping import paths onto directories under the module root;
+// standard-library imports are type-checked from $GOROOT source by
+// go/importer's source importer. Loaded packages are cached, so a
+// package reached both as an analysis target and as a dependency is
+// parsed once.
+type Loader struct {
+	fset    *token.FileSet
+	root    string // module root (directory containing go.mod)
+	module  string // module path from go.mod
+	std     types.Importer
+	cache   map[string]*Package // by import path
+	loading map[string]bool     // import cycle detection
+}
+
+// NewLoader locates the module enclosing dir (walking up to go.mod)
+// and returns a loader rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Root returns the module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load expands the patterns and returns the matching packages, sorted
+// by import path. A pattern is a directory, optionally ending in
+// "/..." to include every package in its subtree (directories named
+// testdata or starting with "." or "_" are skipped during expansion,
+// matching the go tool). Directories without non-test .go files are
+// skipped silently under "/..." but are an error when named directly.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "...")
+			pat = strings.TrimSuffix(pat, "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if !hasGoFiles(abs) {
+				return nil, fmt.Errorf("lint: no Go files in %s", abs)
+			}
+			dirs[abs] = true
+			continue
+		}
+		err = filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// importPathFor maps an absolute directory under the module root to
+// its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.root)
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer so the type-checker can resolve
+// the dependencies of a package being loaded.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module)))
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package in dir, memoized by import
+// path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	parsed, err := parser.ParseDir(l.fset, dir, func(fi fs.FileInfo) bool {
+		name := fi.Name()
+		return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var files []*ast.File
+	var pkgName string
+	for name, p := range parsed {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		if pkgName != "" {
+			return nil, fmt.Errorf("lint: multiple packages (%s, %s) in %s", pkgName, name, dir)
+		}
+		pkgName = name
+		names := make([]string, 0, len(p.Files))
+		for fname := range p.Files {
+			names = append(names, fname)
+		}
+		sort.Strings(names)
+		for _, fname := range names {
+			files = append(files, p.Files[fname])
+		}
+	}
+	if pkgName == "" {
+		return nil, fmt.Errorf("lint: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

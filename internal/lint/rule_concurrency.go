@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ConcurrencyInSim forbids concurrency constructs inside the
+// single-threaded discrete-event packages. The simulator's
+// determinism contract is that every event handler runs to completion
+// on one goroutine in (time, seq) order; a `go` statement, a channel
+// operation or a `select` reintroduces scheduler nondeterminism that
+// no seed controls. Live-runtime concurrency belongs in strip/, which
+// this rule does not sweep.
+var ConcurrencyInSim = &Analyzer{
+	Name: "concurrency-in-sim",
+	Doc: "forbid go statements, channel operations and select inside the " +
+		"single-threaded simulator packages — event handlers must run to " +
+		"completion deterministically",
+	Run: func(pass *Pass) {
+		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "go statement spawns a goroutine inside deterministic package %s", pass.Pkg.Path())
+				case *ast.SelectStmt:
+					pass.Reportf(n.Pos(), "select is scheduler-nondeterministic inside deterministic package %s", pass.Pkg.Path())
+				case *ast.SendStmt:
+					pass.Reportf(n.Pos(), "channel send inside deterministic package %s", pass.Pkg.Path())
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						pass.Reportf(n.Pos(), "channel receive inside deterministic package %s", pass.Pkg.Path())
+					}
+				case *ast.RangeStmt:
+					if isChan(pass.Info, n.X) {
+						pass.Reportf(n.For, "range over channel inside deterministic package %s", pass.Pkg.Path())
+					}
+				case *ast.CallExpr:
+					if isBuiltin(pass.Info, n, "make") && len(n.Args) > 0 && isChan(pass.Info, n.Args[0]) {
+						pass.Reportf(n.Pos(), "make(chan ...) inside deterministic package %s", pass.Pkg.Path())
+					}
+					if isBuiltin(pass.Info, n, "close") && len(n.Args) == 1 && isChan(pass.Info, n.Args[0]) {
+						pass.Reportf(n.Pos(), "close of channel inside deterministic package %s", pass.Pkg.Path())
+					}
+				}
+				return true
+			})
+		}
+	},
+}

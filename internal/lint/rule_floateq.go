@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands in the
+// metric-computing packages. Exact float equality silently changes
+// meaning under re-association, FMA contraction or a different
+// compiler, which is precisely the kind of nondeterminism the paper's
+// reported numbers must not depend on. The NaN self-test idiom
+// (x != x) is exempt, as is comparison where both operands are
+// untyped constants (folded at compile time).
+var FloatEq = &Analyzer{
+	Name: "float-eq",
+	Doc: "flag == and != on floating-point operands in internal/metrics and " +
+		"internal/analytic — compare with a tolerance or restructure; x != x " +
+		"(the NaN idiom) is exempt",
+	Run: func(pass *Pass) {
+		if !FloatStrictPkgs.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(pass.Info, be.X) && !isFloat(pass.Info, be.Y) {
+					return true
+				}
+				if bothConstant(pass, be) {
+					return true
+				}
+				if isNaNIdiom(pass, be) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison in metrics code; exact float equality is fragile — compare with a tolerance",
+					be.Op)
+				return true
+			})
+		}
+	},
+}
+
+// bothConstant reports whether both operands are compile-time
+// constants, in which case the comparison is folded and harmless.
+func bothConstant(pass *Pass, be *ast.BinaryExpr) bool {
+	xv, xok := pass.Info.Types[be.X]
+	yv, yok := pass.Info.Types[be.Y]
+	return xok && yok && xv.Value != nil && yv.Value != nil
+}
+
+// isNaNIdiom reports whether the comparison is x != x or x == x on
+// the same simple variable — the portable NaN test.
+func isNaNIdiom(pass *Pass, be *ast.BinaryExpr) bool {
+	x := targetObject(pass.Info, be.X)
+	y := targetObject(pass.Info, be.Y)
+	return x != nil && x == y
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderLeak flags `range` over a map, inside the deterministic
+// packages, whose loop body lets Go's randomized iteration order
+// escape into an ordering-sensitive sink: appending to a slice,
+// sending on a channel, or writing output. A loop that only collects
+// the keys and sorts them afterwards (the standard deterministic
+// iteration idiom) is exempt:
+//
+//	for k := range m {           // exempt: keys are sorted below
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { ... }
+var MapOrderLeak = &Analyzer{
+	Name: "map-order-leak",
+	Doc: "flag range over a map whose body appends to a slice, sends on a " +
+		"channel or writes output, unless the collected values are sorted " +
+		"afterwards — map iteration order would leak into results",
+	Run: func(pass *Pass) {
+		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncForMapLeaks(pass, fd)
+			}
+		}
+	},
+}
+
+func checkFuncForMapLeaks(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMap(pass.Info, rs.X) {
+			return true
+		}
+		if sink := findOrderSink(pass, fd, rs); sink != "" {
+			pass.Reportf(rs.For,
+				"range over map%s %s; iteration order is randomized and leaks into results — sort the keys first",
+				describeRangeExpr(rs.X), sink)
+		}
+		return true
+	})
+}
+
+// describeRangeExpr renders a short suffix naming the ranged
+// expression when it is simple enough to print.
+func describeRangeExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return " (" + e.Name + ")"
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return " (" + x.Name + "." + e.Sel.Name + ")"
+		}
+	}
+	return ""
+}
+
+// findOrderSink scans the loop body for an ordering-sensitive sink
+// and returns a short description of the first one found, or "".
+func findOrderSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
+	sink := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+			return false
+		case *ast.AssignStmt:
+			// x = append(x, ...) — exempt when x is sorted later in
+			// the same function.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass.Info, call, "append") {
+					continue
+				}
+				if i < len(n.Lhs) && appendTargetSorted(pass, fd, rs, n.Lhs[i]) {
+					continue
+				}
+				sink = "appends to a slice"
+				return false
+			}
+		case *ast.CallExpr:
+			if name := outputCallName(pass.Info, n); name != "" {
+				sink = "writes output via " + name
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// appendTargetSorted reports whether the append target (an identifier
+// or simple selector) is passed to a sort.* or slices.Sort* call
+// somewhere in the function after the range loop.
+func appendTargetSorted(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	obj := targetObject(pass.Info, lhs)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := pkgLevelFunc(pass.Info, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if targetObject(pass.Info, arg) == obj {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// targetObject resolves an identifier (possibly wrapped in & or
+// parens) to its object, or nil for anything more complex.
+func targetObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return obj
+		}
+		return info.Defs[e]
+	case *ast.UnaryExpr:
+		return targetObject(info, e.X)
+	}
+	return nil
+}
+
+// outputCallName recognizes calls that write externally visible
+// output: anything in fmt, log or os printing families, and Write*
+// methods (io.Writer and friends). It returns a short name for the
+// diagnostic, or "".
+func outputCallName(info *types.Info, call *ast.CallExpr) string {
+	if fn := pkgLevelFunc(info, call.Fun); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "log":
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	// Method calls named Write/WriteString/WriteByte/WriteRune/
+	// WriteTo or Print/Printf/Println on any receiver.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return ""
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+		"Print", "Printf", "Println", "Encode":
+		return "method " + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the seed-explicit entry points of math/rand
+// and math/rand/v2. Constructing a generator from an explicit seed is
+// deterministic; everything reached through one is a method on
+// *rand.Rand, which the rule leaves alone.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+	"NewSource":  true,
+}
+
+// GlobalRand forbids the package-level math/rand state everywhere
+// except internal/stats, whose seeded PCG wrapper (stats.RNG) is the
+// one sanctioned source of randomness. The global generator is seeded
+// from the OS at process start, so any draw from it is a fresh
+// nondeterminism leak; the v1 global can additionally be reseeded
+// behind the caller's back.
+var GlobalRand = &Analyzer{
+	Name: "global-rand",
+	Doc: "forbid package-level math/rand and math/rand/v2 functions outside " +
+		"internal/stats' seeded PCG wrapper (seed-explicit constructors like " +
+		"rand.New(rand.NewPCG(...)) are allowed)",
+	Run: func(pass *Pass) {
+		if RandAllowedPkgs.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := useOf(pass.Info, id)
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				path := obj.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					return true // types like rand.Rand are fine
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on a seeded generator are fine
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"%s.%s draws from the global generator; use the seeded stats.RNG wrapper",
+					path, fn.Name())
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterministicTime forbids wall-clock reads inside the
+// deterministic simulator packages. Simulated time is sim.Simulator's
+// clock; a single time.Now (or time.Since, which calls time.Now
+// internally) makes two runs with the same seed diverge without any
+// test failing.
+var NondeterministicTime = &Analyzer{
+	Name: "nondeterministic-time",
+	Doc: "forbid time.Now and time.Since in deterministic simulator packages " +
+		"(use the sim.Simulator clock instead)",
+	Run: func(pass *Pass) {
+		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := useOf(pass.Info, id).(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(id.Pos(),
+						"time.%s reads the wall clock inside deterministic package %s; use the simulator clock",
+						fn.Name(), pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,34 @@
+// Package sim is a striplint fixture: concurrency constructs are
+// forbidden in the single-threaded event-loop packages.
+package sim
+
+// Bad exercises every forbidden construct.
+func Bad() {
+	ch := make(chan int, 1) // want "make\\(chan \\.\\.\\.\\) inside deterministic package"
+	go func() {             // want "go statement spawns a goroutine"
+		ch <- 1 // want "channel send inside deterministic package"
+	}()
+	<-ch // want "channel receive inside deterministic package"
+	select { // want "select is scheduler-nondeterministic"
+	default:
+	}
+	close(ch) // want "close of channel inside deterministic package"
+}
+
+// BadRange drains a channel in a range loop.
+func BadRange(ch chan int) int { // parameter of channel type alone is not flagged
+	total := 0
+	for v := range ch { // want "range over channel inside deterministic package"
+		total += v
+	}
+	return total
+}
+
+// Good is plain sequential code.
+func Good(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

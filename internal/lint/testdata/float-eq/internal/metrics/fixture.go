@@ -1,0 +1,42 @@
+// Package metrics is a striplint fixture: exact float equality is
+// forbidden in the metric-computing packages.
+package metrics
+
+// Seconds is a named float type; the rule sees through it.
+type Seconds float64
+
+// Bad compares floats exactly.
+func Bad(a, b float64, s Seconds) int {
+	n := 0
+	if a == b { // want "floating-point == comparison"
+		n++
+	}
+	if a != 0 { // want "floating-point != comparison"
+		n++
+	}
+	if s == 1.5 { // want "floating-point == comparison"
+		n++
+	}
+	return n
+}
+
+// GoodNaNIdiom is the portable NaN self-test: exempt.
+func GoodNaNIdiom(x float64) bool {
+	return x != x
+}
+
+// GoodInts compares integers, never flagged.
+func GoodInts(a, b int) bool {
+	return a == b
+}
+
+// GoodOrdering uses <, which is what tolerance comparisons build on.
+func GoodOrdering(a, b float64) bool {
+	return a < b
+}
+
+// Suppressed records a deliberate exact comparison with its reason.
+func Suppressed(a float64) bool {
+	//striplint:ignore float-eq fixture exercises suppression
+	return a == 0.25
+}

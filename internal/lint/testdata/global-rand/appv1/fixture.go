@@ -1,0 +1,17 @@
+// Package appv1 is a striplint fixture for the math/rand (v1)
+// global functions, which are additionally reseedable behind the
+// caller's back.
+package appv1
+
+import "math/rand"
+
+// Bad uses the v1 global generator.
+func Bad() int {
+	return rand.Intn(10) // want "math/rand.Intn draws from the global generator"
+}
+
+// Good is a seed-explicit v1 generator: deterministic, allowed.
+func Good() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(10)
+}

@@ -1,0 +1,12 @@
+// Package stats matches the allowed scope (internal/stats): this is
+// where the seeded wrapper lives, so the rule must stay silent even
+// on global draws.
+package stats
+
+import "math/rand/v2"
+
+// AnythingGoes is allowed here — internal/stats is the one package
+// permitted to touch math/rand directly.
+func AnythingGoes() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,72 @@
+// Package sched is a striplint fixture: map iteration order must not
+// leak into ordering-sensitive sinks here.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend lets map order leak into a slice.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map .* appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadPrint writes output in map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m { // want "range over map .* writes output via fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BadWriter writes through an io.Writer-shaped method in map order.
+func BadWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m { // want "range over map .* writes output via method WriteString"
+		sb.WriteString(k)
+	}
+}
+
+// GoodSortedKeys is the canonical deterministic idiom: collect, sort,
+// then use. The collecting append is exempt because the slice is
+// sorted afterwards.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAccumulate only folds into an order-insensitive accumulator.
+func GoodAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodSliceRange ranges over a slice, not a map: never flagged.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed(m map[string]int) []string {
+	var out []string
+	//striplint:ignore map-order-leak fixture exercises suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -57,13 +57,16 @@ func (s *Simulator) Now() float64 { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in
-// the past panics: the model must never rewind the clock.
+// the past panics: the model must never rewind the clock. The NaN
+// check runs first because NaN comparisons are always false, so a NaN
+// time would otherwise slip past the before-now check and be
+// misreported.
 func (s *Simulator) At(t float64, fn func()) *Event {
-	if t < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
-	}
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -89,6 +91,28 @@ func TestSchedulePastPanics(t *testing.T) {
 			}
 		}()
 		s.At(1, func() {})
+	})
+	s.Run(10)
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	// The NaN check must win even when the clock has advanced: NaN
+	// compares false with everything, so a before-now check running
+	// first would let NaN through to the wrong panic (or none).
+	s := New()
+	s.At(5, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("scheduling at NaN did not panic")
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, "NaN") {
+				t.Errorf("NaN scheduling panicked with %v, want the NaN message", r)
+			}
+		}()
+		s.At(math.NaN(), func() {})
 	})
 	s.Run(10)
 }
