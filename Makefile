@@ -2,7 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures extensions verify report clean lint vet striplint
+# Per-target budget for the fuzz smoke (see `make fuzz`).
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench fuzz figures extensions verify report clean lint vet striplint
 
 all: build lint test
 
@@ -24,6 +27,15 @@ striplint:
 
 race:
 	$(GO) test -race ./...
+
+# Fuzz smoke: run every Fuzz* target in ./strip for FUZZTIME each.
+# `go test -fuzz` accepts only one matching target per invocation, so
+# the targets are listed first and fuzzed one by one.
+fuzz:
+	@set -e; for f in $$($(GO) test -list '^Fuzz' ./strip | grep '^Fuzz'); do \
+		echo "fuzzing $$f ($(FUZZTIME))"; \
+		$(GO) test -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./strip; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -32,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("striplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	scope := fs.String("scope", "", "comma-separated package path suffixes overriding the deterministic scope\n(default: the built-in simulator packages; see striplint -list)")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list available rules and exit")
 	fs.Usage = func() {
@@ -80,7 +81,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.RunAnalyzers(pkgs, analyzers)
+	// The interprocedural rules trace call chains through every module
+	// package the loader touched, including dependency-only ones.
+	opts := &lint.Options{Modules: loader.All()}
+	if *scope != "" {
+		var s lint.Scope
+		for _, e := range strings.Split(*scope, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				s = append(s, e)
+			}
+		}
+		opts.Deterministic = s
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers, opts)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -94,6 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
+			// Chain notes (interprocedural rules) print indented under
+			// the finding, one hop per line.
+			for _, note := range d.Notes {
+				fmt.Fprintf(stdout, "\t%s\n", note)
+			}
 		}
 	}
 	if len(diags) > 0 {

@@ -89,6 +89,69 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+// taintFixture hides nondeterminism sources behind helper functions;
+// see internal/lint/testdata/nondeterminism-taint.
+const taintFixture = "../../internal/lint/testdata/nondeterminism-taint/..."
+
+func TestRunChainNotes(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "nondeterminism-taint", taintFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on taint fixture, want 1\nstderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"transitively reaches time.Now",
+		"\ttick.Wrapped calls tick.deep at ",
+		"\ttick.deep touches time.Now (wall clock) at ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing chain line %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunChainNotesJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-rules", "nondeterminism-taint", taintFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	withNotes := 0
+	for _, d := range diags {
+		if notes, ok := d["notes"].([]any); ok && len(notes) > 0 {
+			withNotes++
+		}
+	}
+	if withNotes == 0 {
+		t.Fatalf("no JSON diagnostic carries notes: %v", diags)
+	}
+}
+
+func TestRunScopeOverride(t *testing.T) {
+	tickDir := "../../internal/lint/testdata/nondeterminism-taint/tick"
+	var out, errb bytes.Buffer
+	// By default the helper package is out of the deterministic scope,
+	// so the direct time.Now inside it passes.
+	if code := run([]string{"-rules", "nondeterministic-time", tickDir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d without -scope, want 0\n%s", code, out.String())
+	}
+	// Pulling it into scope flags the wall-clock read directly.
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-scope", "nondeterminism-taint/tick", "-rules", "nondeterministic-time", tickDir}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d with -scope, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "time.Now") {
+		t.Errorf("scoped run missing the time.Now finding:\n%s", out.String())
+	}
+}
+
 func TestRunBadPattern(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"/no/such/dir"}, &out, &errb); code != 2 {

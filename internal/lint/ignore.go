@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strconv"
@@ -21,8 +22,11 @@ const ignorePrefix = "striplint:ignore"
 type ignoreDirective struct {
 	file  string
 	line  int // line the comment appears on
+	col   int
+	text  string // the rule list as written, for diagnostics
 	rules map[string]bool
 	all   bool
+	used  bool // suppressed at least one diagnostic this run
 }
 
 func (d *ignoreDirective) matches(rule string) bool {
@@ -34,15 +38,42 @@ func (d *ignoreDirective) matches(rule string) bool {
 type ignoreIndex struct {
 	// byLine maps file -> line -> directives covering that line.
 	byLine map[string]map[int][]*ignoreDirective
+	// all lists every well-formed directive once, in scan order.
+	all []*ignoreDirective
 }
 
 func (idx *ignoreIndex) suppresses(d Diagnostic) bool {
+	hit := false
 	for _, dir := range idx.byLine[d.File][d.Line] {
 		if dir.matches(d.Rule) {
-			return true
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// unused reports every well-formed directive that suppressed nothing,
+// so stale suppressions cannot rot in the tree after the code they
+// excused is fixed or deleted. The diagnostics carry the pseudo-rule
+// unused-ignore and — like malformed-directive reports — cannot
+// themselves be suppressed.
+func (idx *ignoreIndex) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range idx.all {
+		if dir.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     token.Position{Filename: dir.file, Line: dir.line, Column: dir.col},
+			File:    dir.file,
+			Line:    dir.line,
+			Column:  dir.col,
+			Rule:    UnusedIgnore.Name,
+			Message: fmt.Sprintf("//striplint:ignore %s suppresses nothing — remove the stale directive", dir.text),
+		})
+	}
+	return out
 }
 
 // buildIgnoreIndex scans every comment in the package for ignore
@@ -75,6 +106,8 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) (*ignoreIndex, []D
 				}
 				dir.file = pos.Filename
 				dir.line = pos.Line
+				dir.col = pos.Column
+				idx.all = append(idx.all, dir)
 				lines := idx.byLine[dir.file]
 				if lines == nil {
 					lines = make(map[int][]*ignoreDirective)
@@ -121,7 +154,7 @@ func parseIgnore(text string) (*ignoreDirective, string) {
 	if len(fields) < 2 {
 		return nil, "malformed //striplint:ignore: missing reason (syntax: //striplint:ignore <rule> <reason>)"
 	}
-	dir := &ignoreDirective{rules: make(map[string]bool)}
+	dir := &ignoreDirective{rules: make(map[string]bool), text: fields[0]}
 	known := make(map[string]bool)
 	for _, a := range Analyzers() {
 		known[a.Name] = true

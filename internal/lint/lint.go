@@ -36,6 +36,10 @@ type Diagnostic struct {
 	Column  int            `json:"column"`
 	Rule    string         `json:"rule"`
 	Message string         `json:"message"`
+	// Notes are secondary lines elaborating the finding — for the
+	// interprocedural rules, one positioned line per hop of the call
+	// chain from the flagged function to the nondeterminism source.
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String formats the diagnostic in the conventional
@@ -57,6 +61,11 @@ type Pass struct {
 	// Info holds the type-checker's facts about every expression and
 	// identifier in Files.
 	Info *types.Info
+	// Opts are the effective analysis options (scopes); never nil.
+	Opts *Options
+	// Facts are the module-wide call-graph facts; non-nil only while
+	// an interprocedural rule runs.
+	Facts *Facts
 
 	rule  string
 	diags *[]Diagnostic
@@ -64,6 +73,16 @@ type Pass struct {
 
 // Reportf records a diagnostic for the running rule at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportfNotes records a diagnostic carrying secondary note lines
+// (e.g. a call chain) for the running rule at pos.
+func (p *Pass) ReportfNotes(pos token.Pos, notes []string, format string, args ...any) {
+	p.report(pos, notes, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, notes []string, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:     position,
@@ -72,6 +91,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Column:  position.Column,
 		Rule:    p.rule,
 		Message: fmt.Sprintf(format, args...),
+		Notes:   notes,
 	})
 }
 
@@ -85,6 +105,13 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// needsFacts marks interprocedural rules: RunAnalyzers builds the
+	// module call graph and taint facts before running them.
+	needsFacts bool
+	// meta marks rules that do not inspect packages themselves but are
+	// evaluated by RunAnalyzers over the results of the others
+	// (unused-ignore).
+	meta bool
 }
 
 // Analyzers returns every registered rule in stable (alphabetical)
@@ -96,6 +123,11 @@ func Analyzers() []*Analyzer {
 		GlobalRand,
 		MapOrderLeak,
 		NondeterministicTime,
+		NondeterminismTaint,
+		LockGuardedField,
+		LockEarlyReturn,
+		LockGoroutineCapture,
+		UnusedIgnore,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all
@@ -123,21 +155,98 @@ func Select(names []string) ([]*Analyzer, error) {
 	return picked, nil
 }
 
+// Options configures an analysis run. The zero value (and a nil
+// *Options) selects the package-level default scopes below.
+type Options struct {
+	// Deterministic overrides DeterministicPkgs, the scope of the
+	// determinism rules (nondeterministic-time, map-order-leak,
+	// concurrency-in-sim, nondeterminism-taint).
+	Deterministic Scope
+	// FloatStrict overrides FloatStrictPkgs (float-eq).
+	FloatStrict Scope
+	// RandAllowed overrides RandAllowedPkgs (global-rand exemption).
+	RandAllowed Scope
+	// LockChecked overrides LockCheckedPkgs, the scope of the lock
+	// discipline rules.
+	LockChecked Scope
+	// Modules is the full set of loaded module packages over which the
+	// interprocedural call graph is built (typically Loader.All()).
+	// When nil the analyzed packages alone are used, so taint chains
+	// passing through unlisted dependency packages become invisible.
+	Modules []*Package
+}
+
+// effective returns a fully populated copy of o (which may be nil).
+func (o *Options) effective() *Options {
+	var e Options
+	if o != nil {
+		e = *o
+	}
+	if e.Deterministic == nil {
+		e.Deterministic = DeterministicPkgs
+	}
+	if e.FloatStrict == nil {
+		e.FloatStrict = FloatStrictPkgs
+	}
+	if e.RandAllowed == nil {
+		e.RandAllowed = RandAllowedPkgs
+	}
+	if e.LockChecked == nil {
+		e.LockChecked = LockCheckedPkgs
+	}
+	return &e
+}
+
 // RunAnalyzers runs every analyzer over every package, applies
 // //striplint:ignore suppression, and returns the surviving
 // diagnostics sorted by position. Malformed ignore directives are
 // reported under the pseudo-rule "striplint" and cannot themselves be
-// suppressed.
-func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// suppressed. When the full rule set runs, well-formed directives that
+// suppressed nothing are reported under unused-ignore. opts may be
+// nil for the default scopes.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, opts *Options) []Diagnostic {
+	eff := opts.effective()
+	var facts *Facts
+	for _, a := range analyzers {
+		if a.needsFacts {
+			modules := eff.Modules
+			if modules == nil {
+				modules = pkgs
+			}
+			facts = BuildFacts(modules, eff)
+			break
+		}
+	}
+	// unused-ignore is only meaningful when every rule had the chance
+	// to use each directive; with a subset selected, directives for
+	// unselected rules would be reported as rotten spuriously.
+	checkUnused := false
+	if selected := make(map[string]bool, len(analyzers)); true {
+		for _, a := range analyzers {
+			selected[a.Name] = true
+		}
+		checkUnused = selected[UnusedIgnore.Name]
+		for _, a := range Analyzers() {
+			if !selected[a.Name] {
+				checkUnused = false
+			}
+		}
+	}
+
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
+			if a.meta {
+				continue
+			}
 			pass := &Pass{
 				Fset:  pkg.Fset,
 				Files: pkg.Files,
 				Pkg:   pkg.Types,
 				Info:  pkg.Info,
+				Opts:  eff,
+				Facts: facts,
 				rule:  a.Name,
 				diags: &raw,
 			}
@@ -150,6 +259,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 		out = append(out, bad...)
+		if checkUnused {
+			out = append(out, idx.unused()...)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -214,4 +326,12 @@ var FloatStrictPkgs = Scope{
 // package-level state: only the seeded PCG wrapper in internal/stats.
 var RandAllowedPkgs = Scope{
 	"internal/stats",
+}
+
+// LockCheckedPkgs lists the packages swept by the lock-discipline
+// rules: the live strip/ runtime, whose sync.RWMutex protocol around
+// the registry, view entries, general store and WAL must hold under
+// heavy concurrent traffic.
+var LockCheckedPkgs = Scope{
+	"strip",
 }

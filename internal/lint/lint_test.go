@@ -34,8 +34,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("Select(nil) returned %d rules, want 5", len(all))
+	if len(all) != 10 {
+		t.Fatalf("Select(nil) returned %d rules, want 10", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -160,6 +160,105 @@ func f() {
 		if idx.suppresses(Diagnostic{File: "fix.go", Line: line, Rule: "float-eq"}) {
 			t.Errorf("lookalike comment on line %d suppressed a diagnostic", line)
 		}
+	}
+}
+
+func TestIgnoreBlockCommentIsNotADirective(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+/*striplint:ignore float-eq block comments are prose, not directives*/
+func a() {}
+
+func f() {
+	_ = 1 /* striplint:ignore float-eq same inline */
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("block comments reported as malformed: %v", bad)
+	}
+	for _, line := range []int{3, 4, 7} {
+		if idx.suppresses(Diagnostic{File: "fix.go", Line: line, Rule: "float-eq"}) {
+			t.Errorf("block comment on/above line %d suppressed a diagnostic", line)
+		}
+	}
+}
+
+func TestIgnoreWrongLineDoesNotSuppress(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	//striplint:ignore float-eq directive two lines above the finding
+
+	_ = 1
+	_ = 2 //striplint:ignore float-eq trailing directive on the previous line
+	_ = 3
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	// The standalone form covers its own line and the next — not the
+	// line after a blank, and a trailing directive never covers the
+	// following line.
+	for _, line := range []int{6, 8} {
+		if idx.suppresses(Diagnostic{File: "fix.go", Line: line, Rule: "float-eq"}) {
+			t.Errorf("directive on the wrong line suppressed line %d", line)
+		}
+	}
+}
+
+func TestUnusedIgnoreReporting(t *testing.T) {
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	_ = 1 //striplint:ignore float-eq,global-rand one used, whole directive counts
+	_ = 2 //striplint:ignore map-order-leak never matches anything
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	if !idx.suppresses(Diagnostic{File: "fix.go", Line: 4, Rule: "float-eq"}) {
+		t.Fatal("directive failed to suppress its own rule")
+	}
+	unused := idx.unused()
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-ignore diagnostics, want 1: %v", len(unused), unused)
+	}
+	d := unused[0]
+	if d.Rule != UnusedIgnore.Name || d.Line != 5 {
+		t.Errorf("unused diagnostic = %s, want unused-ignore at line 5", d)
+	}
+	if !strings.Contains(d.Message, "map-order-leak") || !strings.Contains(d.Message, "suppresses nothing") {
+		t.Errorf("unused diagnostic message = %q, want the rule list and 'suppresses nothing'", d.Message)
+	}
+	// A second run that uses the directive clears it.
+	if !idx.suppresses(Diagnostic{File: "fix.go", Line: 5, Rule: "map-order-leak"}) {
+		t.Fatal("directive failed to suppress map-order-leak")
+	}
+	if left := idx.unused(); len(left) != 0 {
+		t.Errorf("directive still reported unused after suppressing: %v", left)
+	}
+}
+
+func TestUnusedIgnoreMultiRuleDirective(t *testing.T) {
+	// One directive naming several rules is used as soon as any of
+	// them fires; it is reported only when none do.
+	idx, bad := buildIndex(t, `package p
+
+func f() {
+	_ = 1 //striplint:ignore float-eq,map-order-leak,global-rand broad but unused
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-directive diagnostics: %v", bad)
+	}
+	if got := idx.unused(); len(got) != 1 {
+		t.Fatalf("got %d unused diagnostics, want 1: %v", len(got), got)
+	}
+	idx.suppresses(Diagnostic{File: "fix.go", Line: 4, Rule: "global-rand"})
+	if got := idx.unused(); len(got) != 0 {
+		t.Errorf("multi-rule directive still unused after one rule fired: %v", got)
 	}
 }
 

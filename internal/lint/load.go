@@ -82,6 +82,24 @@ func NewLoader(dir string) (*Loader, error) {
 // Root returns the module root directory.
 func (l *Loader) Root() string { return l.root }
 
+// All returns every module package the loader has parsed so far —
+// analysis targets and their module-local dependencies — sorted by
+// import path. Interprocedural rules build their call graph over this
+// set so taint can be traced through helper packages that were loaded
+// only as dependencies.
+func (l *Loader) All() []*Package {
+	paths := make([]string, 0, len(l.cache))
+	for p := range l.cache {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, len(paths))
+	for i, p := range paths {
+		pkgs[i] = l.cache[p]
+	}
+	return pkgs
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

@@ -18,7 +18,7 @@ var ConcurrencyInSim = &Analyzer{
 		"single-threaded simulator packages — event handlers must run to " +
 		"completion deterministically",
 	Run: func(pass *Pass) {
-		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

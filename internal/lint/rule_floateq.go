@@ -18,7 +18,7 @@ var FloatEq = &Analyzer{
 		"internal/analytic — compare with a tolerance or restructure; x != x " +
 		"(the NaN idiom) is exempt",
 	Run: func(pass *Pass) {
-		if !FloatStrictPkgs.Match(pass.Pkg.Path()) {
+		if !pass.Opts.FloatStrict.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

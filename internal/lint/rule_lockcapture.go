@@ -1,0 +1,46 @@
+package lint
+
+// LockGoroutineCapture flags function literals launched with `go` that
+// touch a mutex-guarded field without taking the guarding lock inside
+// the literal itself. A lock held by the launching function proves
+// nothing: the goroutine runs after the launcher releases it, so every
+// guarded access inside the literal needs its own Lock/Unlock span.
+var LockGoroutineCapture = &Analyzer{
+	Name: "lock-goroutine-capture",
+	Doc: "flag go-launched function literals that access mutex-guarded " +
+		"fields without locking inside the literal — the launcher's lock " +
+		"does not outlive the launch",
+	Run: func(pass *Pass) {
+		if !pass.Opts.LockChecked.Match(pass.Pkg.Path()) {
+			return
+		}
+		guarded := inferGuardedFields(pass)
+		if len(guarded) == 0 {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, scope := range funcScopes(f) {
+				if !scope.goLit {
+					continue
+				}
+				events := collectLockEvents(pass.Info, scope.body)
+				spans := heldIntervals(events, scope.body.End())
+				seen := make(map[string]bool)
+				for _, acc := range collectGuardedAccesses(pass.Info, scope.body, guarded) {
+					muPath := acc.base + "." + acc.guard.mu
+					if covered(spans, muPath, acc.sel.Pos(), acc.write) {
+						continue
+					}
+					key := lineKey(pass, acc)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					pass.Reportf(acc.sel.Pos(),
+						"goroutine launched in %s captures guarded field %s.%s without locking %s inside the literal",
+						scope.name, acc.base, acc.field.Name(), muPath)
+				}
+			}
+		}
+	},
+}

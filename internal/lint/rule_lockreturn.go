@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockEarlyReturn flags the manual Lock ... Unlock pattern when the
+// span between the pair contains a return statement: every exit path
+// between the calls either leaks the lock or forces a duplicated
+// Unlock before each return, both of which defer mu.Unlock() fixes in
+// one line. Manual unlocks left unmatched (a second Unlock on a
+// different exit path, after the first already closed the pair) are
+// flagged for the same reason: branch-dependent unlocking is exactly
+// the shape that rots into a missed path.
+var LockEarlyReturn = &Analyzer{
+	Name: "lock-early-return",
+	Doc: "flag manual Lock/Unlock pairs with a return between them, and " +
+		"manual Unlocks on secondary exit paths — prefer defer mu.Unlock()",
+	Run: func(pass *Pass) {
+		if !pass.Opts.LockChecked.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, scope := range funcScopes(f) {
+				checkEarlyReturns(pass, scope)
+			}
+		}
+	},
+}
+
+func checkEarlyReturns(pass *Pass, scope funcScope) {
+	events := collectLockEvents(pass.Info, scope.body)
+	if len(events) == 0 {
+		return
+	}
+
+	// Return positions within this scope, in source order.
+	var returns []token.Pos
+	inspectScope(scope.body, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r.Pos())
+		}
+	})
+
+	// Pair manual locks with manual unlocks, LIFO per mutex path. A
+	// deferred Unlock legitimately closes any span, so it consumes the
+	// open lock without complaint.
+	open := make(map[string][]lockEvent)
+	for _, ev := range events {
+		switch ev.op {
+		case "Lock", "RLock":
+			if !ev.deferred {
+				open[ev.path] = append(open[ev.path], ev)
+			}
+		case "Unlock", "RUnlock":
+			stack := open[ev.path]
+			if len(stack) == 0 {
+				if !ev.deferred {
+					pass.Reportf(ev.pos,
+						"manual %s.%s on a secondary exit path of %s; unlock once with defer instead",
+						ev.path, ev.op, scope.name)
+				}
+				continue
+			}
+			l := stack[len(stack)-1]
+			open[ev.path] = stack[:len(stack)-1]
+			if ev.deferred {
+				continue
+			}
+			for _, rp := range returns {
+				if rp > l.end && rp < ev.pos {
+					pass.Reportf(l.pos,
+						"%s.%s is followed by a return before its %s in %s — the lock leaks on that path; use defer %s.%s",
+						l.path, l.op, ev.op, scope.name, l.path, unlockFor(l.op))
+					break
+				}
+			}
+		}
+	}
+}
+
+func unlockFor(lockOp string) string {
+	if lockOp == "RLock" {
+		return "RUnlock()"
+	}
+	return "Unlock()"
+}

@@ -23,7 +23,7 @@ var MapOrderLeak = &Analyzer{
 		"channel or writes output, unless the collected values are sorted " +
 		"afterwards — map iteration order would leak into results",
 	Run: func(pass *Pass) {
-		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {
@@ -44,7 +44,7 @@ func checkFuncForMapLeaks(pass *Pass, fd *ast.FuncDecl) {
 		if !ok || !isMap(pass.Info, rs.X) {
 			return true
 		}
-		if sink := findOrderSink(pass, fd, rs); sink != "" {
+		if sink := findOrderSink(pass.Info, fd, rs); sink != "" {
 			pass.Reportf(rs.For,
 				"range over map%s %s; iteration order is randomized and leaks into results — sort the keys first",
 				describeRangeExpr(rs.X), sink)
@@ -68,8 +68,10 @@ func describeRangeExpr(e ast.Expr) string {
 }
 
 // findOrderSink scans the loop body for an ordering-sensitive sink
-// and returns a short description of the first one found, or "".
-func findOrderSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
+// and returns a short description of the first one found, or "". It
+// is shared with the call-graph builder, which uses it to mark
+// out-of-scope helpers as intrinsic map-order taint sources.
+func findOrderSink(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
 	sink := ""
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		if sink != "" {
@@ -84,17 +86,17 @@ func findOrderSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
 			// the same function.
 			for i, rhs := range n.Rhs {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isBuiltin(pass.Info, call, "append") {
+				if !ok || !isBuiltin(info, call, "append") {
 					continue
 				}
-				if i < len(n.Lhs) && appendTargetSorted(pass, fd, rs, n.Lhs[i]) {
+				if i < len(n.Lhs) && appendTargetSorted(info, fd, rs, n.Lhs[i]) {
 					continue
 				}
 				sink = "appends to a slice"
 				return false
 			}
 		case *ast.CallExpr:
-			if name := outputCallName(pass.Info, n); name != "" {
+			if name := outputCallName(info, n); name != "" {
 				sink = "writes output via " + name
 				return false
 			}
@@ -107,8 +109,8 @@ func findOrderSink(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
 // appendTargetSorted reports whether the append target (an identifier
 // or simple selector) is passed to a sort.* or slices.Sort* call
 // somewhere in the function after the range loop.
-func appendTargetSorted(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) bool {
-	obj := targetObject(pass.Info, lhs)
+func appendTargetSorted(info *types.Info, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	obj := targetObject(info, lhs)
 	if obj == nil {
 		return false
 	}
@@ -121,7 +123,7 @@ func appendTargetSorted(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast
 		if !ok || call.Pos() < rs.End() {
 			return true
 		}
-		fn := pkgLevelFunc(pass.Info, call.Fun)
+		fn := pkgLevelFunc(info, call.Fun)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -129,7 +131,7 @@ func appendTargetSorted(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, lhs ast
 			return true
 		}
 		for _, arg := range call.Args {
-			if targetObject(pass.Info, arg) == obj {
+			if targetObject(info, arg) == obj {
 				sorted = true
 				return false
 			}

@@ -29,7 +29,7 @@ var GlobalRand = &Analyzer{
 		"internal/stats' seeded PCG wrapper (seed-explicit constructors like " +
 		"rand.New(rand.NewPCG(...)) are allowed)",
 	Run: func(pass *Pass) {
-		if RandAllowedPkgs.Match(pass.Pkg.Path()) {
+		if pass.Opts.RandAllowed.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

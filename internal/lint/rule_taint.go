@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterminismTaint is the interprocedural complement to the
+// syntactic determinism rules. The v1 rules only see a source touched
+// in the flagged package itself, so a one-line helper wrapping
+// time.Now in another package launders the nondeterminism past all of
+// them. This rule builds a call graph over the whole module, closes
+// "transitively reaches a nondeterminism source" backwards over it,
+// and flags every mention, inside the deterministic scope, of a
+// module function carrying taint — with the full witness chain in the
+// diagnostic notes. Direct uses of wall-clock or global-rand sources
+// are left to their dedicated v1 rules (one finding per cause);
+// direct environment reads, which no v1 rule covers, are reported
+// here.
+var NondeterminismTaint = &Analyzer{
+	Name: "nondeterminism-taint",
+	Doc: "flag calls, inside the deterministic simulator packages, to module " +
+		"functions that transitively reach time.Now, global math/rand, " +
+		"os.Getenv or a map-order leak — the full call chain is printed with " +
+		"the diagnostic",
+	needsFacts: true,
+	Run: func(pass *Pass) {
+		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, fd := range sortedFuncDecls(f) {
+				self, _ := pass.Info.Defs[fd.Name].(*types.Func)
+				checkTaintedMentions(pass, fd, self)
+			}
+		}
+	},
+}
+
+func checkTaintedMentions(pass *Pass, fd *ast.FuncDecl, self *types.Func) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := useOf(pass.Info, id).(*types.Func)
+		if !ok || fn == self || fn.Pkg() == nil {
+			return true
+		}
+		if fact := pass.Facts.Tainted(fn); fact != nil {
+			arrows, notes := pass.Facts.chain(fn)
+			pass.ReportfNotes(id.Pos(), notes,
+				"%s transitively reaches %s inside deterministic package %s: %s",
+				funcDisplayName(fn), fact.source, pass.Pkg.Path(), arrows)
+			return true
+		}
+		// Direct source uses not covered by a v1 rule: the process
+		// environment.
+		if fn.Pkg().Path() == "os" {
+			if desc := nondetSource(fn); desc != "" {
+				pass.Reportf(id.Pos(),
+					"%s read inside deterministic package %s; inject the value instead",
+					desc, pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+}

@@ -15,7 +15,7 @@ var NondeterministicTime = &Analyzer{
 	Doc: "forbid time.Now and time.Since in deterministic simulator packages " +
 		"(use the sim.Simulator clock instead)",
 	Run: func(pass *Pass) {
-		if !DeterministicPkgs.Match(pass.Pkg.Path()) {
+		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

@@ -1,0 +1,18 @@
+package lint
+
+// UnusedIgnore is the meta-rule keeping the suppression inventory
+// honest: a //striplint:ignore directive that no longer suppresses
+// any diagnostic is itself reported, so waivers cannot outlive the
+// code they excused. It is evaluated by RunAnalyzers over the other
+// rules' results rather than by walking syntax, and only when the
+// full rule set runs — under a -rules subset, directives for the
+// unselected rules would look stale spuriously, so the check is
+// skipped. Like malformed-directive reports, its findings cannot be
+// suppressed.
+var UnusedIgnore = &Analyzer{
+	Name: "unused-ignore",
+	Doc: "report //striplint:ignore directives that suppress nothing (checked " +
+		"only when every rule runs; not suppressable)",
+	Run:  func(*Pass) {},
+	meta: true,
+}

@@ -1,0 +1,62 @@
+// Package strip is a striplint fixture: its import path ends in
+// strip, so the lock-discipline rules apply. It exercises the two
+// shapes lock-early-return flags — a return between a manual
+// Lock/Unlock pair, and a second Unlock on another exit path — plus
+// the clean forms that stay silent.
+package strip
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (s *Store) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v
+}
+
+func (s *Store) GoodManualPair() int {
+	s.mu.Lock()
+	v := s.v
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Store) BadEarlyReturn(cond bool) int {
+	s.mu.Lock() // want "s.mu.Lock is followed by a return before its Unlock"
+	if cond {
+		return 0
+	}
+	v := s.v
+	s.mu.Unlock()
+	return v
+}
+
+func (s *Store) BadSecondaryExit(cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.v
+	s.mu.Unlock() // want "manual s.mu.Unlock on a secondary exit path"
+	return v
+}
+
+type RW struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *RW) BadReadEarlyReturn(cond bool) int {
+	r.mu.RLock() // want "r.mu.RLock is followed by a return before its RUnlock"
+	if cond {
+		return -1
+	}
+	v := r.v
+	r.mu.RUnlock()
+	return v
+}

@@ -1,0 +1,86 @@
+// Package strip is a striplint fixture: its import path ends in
+// strip, so the lock-discipline rules apply. The DB mirror below
+// exercises both guarded-field inference forms — mu-adjacency and the
+// explicit "guarded by mu" comment — and the zone break a blank line
+// introduces.
+package strip
+
+import "sync"
+
+type DB struct {
+	mu    sync.RWMutex
+	names map[string]int
+	count int
+
+	queue []int // separate group: scheduler-owned, deliberately unguarded
+
+	derived map[string]bool // guarded by mu
+}
+
+func (db *DB) GoodRead() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.count
+}
+
+func (db *DB) GoodWrite(k string, v int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.names[k] = v
+}
+
+func (db *DB) GoodManualPair() int {
+	db.mu.RLock()
+	n := db.count
+	db.mu.RUnlock()
+	return n
+}
+
+func (db *DB) BadRead() int {
+	return db.count // want "read db.count \\(guarded by DB.mu\\) without holding"
+}
+
+func (db *DB) BadWrite(v int) {
+	db.count = v // want "write to db.count \\(guarded by DB.mu\\) without holding db.mu.Lock"
+}
+
+// BadUnderRead holds only the read lock while mutating.
+func (db *DB) BadUnderRead(k string) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.names[k] = 1 // want "write to db.names \\(guarded by DB.mu\\) without holding db.mu.Lock"
+}
+
+// BadDerived shows the explicit-comment form is enforced too.
+func (db *DB) BadDerived() bool {
+	return db.derived["x"] // want "read db.derived \\(guarded by DB.mu\\) without holding"
+}
+
+// Scheduler touches the unguarded group freely.
+func (db *DB) Scheduler() {
+	db.queue = append(db.queue, 1)
+}
+
+// countLocked follows the caller-holds-the-lock convention and is
+// exempt by its name suffix.
+func (db *DB) countLocked() int { return db.count }
+
+func (db *DB) UseLocked() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.countLocked()
+}
+
+// InLiteral shows a plain function literal is its own lock scope: the
+// enclosing function's future callers cannot hold anything for it.
+func (db *DB) InLiteral() func() int {
+	return func() int {
+		return db.count // want "read db.count \\(guarded by DB.mu\\) without holding"
+	}
+}
+
+// Justified documents a sanctioned exception.
+func (db *DB) Justified() int {
+	//striplint:ignore lock-guarded-field fixture exercises suppression
+	return db.count
+}

@@ -32,14 +32,14 @@ type DB struct {
 	closed  bool
 
 	// Triggers and derived views (fired on the scheduler goroutine).
-	triggers       map[model.ObjectID][]func(Entry)
-	globalTriggers []func(Entry)
-	derivedByDep   map[model.ObjectID][]*derivedDef
-	derivedByID    map[model.ObjectID]*derivedDef
+	triggers       map[model.ObjectID][]func(Entry) // guarded by mu
+	globalTriggers []func(Entry)                    // guarded by mu
+	derivedByDep   map[model.ObjectID][]*derivedDef // guarded by mu
+	derivedByID    map[model.ObjectID]*derivedDef   // guarded by mu
 
 	// Watch subscriptions.
-	watchers     []*watcher
-	watchersByID map[model.ObjectID][]*watcher
+	watchers     []*watcher                    // guarded by mu
+	watchersByID map[model.ObjectID][]*watcher // guarded by mu
 
 	// wal is the write-ahead log for general data; nil when disabled.
 	wal *walWriter
@@ -89,6 +89,19 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	cfg.fill()
+	general := make(map[string]float64)
+	var wal *walWriter
+	if cfg.WALPath != "" {
+		var err error
+		general, err = recoverGeneral(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		wal, err = openWAL(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+	}
 	db := &DB{
 		cfg:      cfg,
 		start:    cfg.Clock(),
@@ -97,24 +110,13 @@ func Open(cfg Config) (*DB, error) {
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 		names:    make(map[string]model.ObjectID),
-		general:  make(map[string]float64),
+		general:  general,
+		wal:      wal,
 	}
 	if cfg.Coalesce {
 		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
 	} else {
 		db.queue = uqueue.NewGenQueue(cfg.QueueCapacity, 1)
-	}
-	if cfg.WALPath != "" {
-		general, err := recoverGeneral(cfg.WALPath)
-		if err != nil {
-			return nil, err
-		}
-		db.general = general
-		wal, err := openWAL(cfg.WALPath)
-		if err != nil {
-			return nil, err
-		}
-		db.wal = wal
 	}
 	go db.loop()
 	return db, nil
@@ -124,14 +126,10 @@ func Open(cfg Config) (*DB, error) {
 // still queued when Close is called complete with ErrClosed. Close is
 // idempotent.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	if !db.markClosed() {
 		<-db.done
 		return nil
 	}
-	db.closed = true
-	db.mu.Unlock()
 	close(db.stopCh)
 	<-db.done
 	db.closeWatchers()
@@ -139,6 +137,18 @@ func (db *DB) Close() error {
 		return db.wal.close()
 	}
 	return nil
+}
+
+// markClosed flips the closed flag under the write lock, reporting
+// whether this call was the one that closed the database.
+func (db *DB) markClosed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false
+	}
+	db.closed = true
+	return true
 }
 
 // DefineView registers a view object refreshed by the update stream.
@@ -247,38 +257,47 @@ func (db *DB) isStale(id model.ObjectID, now time.Time) bool {
 
 // install writes an update into its view if it is worthy (newer than
 // the installed generation), then fires triggers and derived-view
-// recomputation. It is called on the scheduler goroutine.
+// recomputation. It is called on the scheduler goroutine. The entry
+// write happens in installEntry so the lock can be released by defer;
+// triggers must fire outside db.mu (fireTriggers and notifyWatchers
+// re-acquire it).
 func (db *DB) install(u *model.Update, gen time.Time) {
-	db.mu.Lock()
-	e := &db.entries[u.Object]
-	worthy := gen.After(e.generated)
-	if worthy {
-		if fields, ok := u.Aux.(partialFields); ok {
-			// Partial update (§2): only the named attributes change;
-			// the scalar value and other fields are retained.
-			if e.fields == nil {
-				e.fields = make(map[string]float64, len(fields))
-			}
-			for k, v := range fields {
-				e.fields[k] = v
-			}
-		} else {
-			e.value = u.Payload
-			if fields, ok := u.Aux.(completeFields); ok {
-				// Complete update with attributes: replaces them all.
-				e.fields = copyFields(fields)
-			}
-		}
-		e.generated = gen
-		db.recordHistoryLocked(u.Object)
-		db.stats.UpdatesInstalled++
-	} else {
-		db.stats.UpdatesSkipped++
-	}
-	db.mu.Unlock()
-	if worthy {
+	if db.installEntry(u, gen) {
 		db.fireTriggers(u.Object)
 	}
+}
+
+// installEntry applies the update under the write lock, reporting
+// whether it was worthy (newer than the installed generation).
+func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := &db.entries[u.Object]
+	worthy := gen.After(e.generated)
+	if !worthy {
+		db.stats.UpdatesSkipped++
+		return false
+	}
+	if fields, ok := u.Aux.(partialFields); ok {
+		// Partial update (§2): only the named attributes change;
+		// the scalar value and other fields are retained.
+		if e.fields == nil {
+			e.fields = make(map[string]float64, len(fields))
+		}
+		for k, v := range fields {
+			e.fields[k] = v
+		}
+	} else {
+		e.value = u.Payload
+		if fields, ok := u.Aux.(completeFields); ok {
+			// Complete update with attributes: replaces them all.
+			e.fields = copyFields(fields)
+		}
+	}
+	e.generated = gen
+	db.recordHistoryLocked(u.Object)
+	db.stats.UpdatesInstalled++
+	return true
 }
 
 // partialFields and completeFields tag the Aux payload with the

@@ -17,24 +17,9 @@ import (
 // dropped and counted in Stats.UpdatesDropped. Updates for undefined
 // objects are rejected with ErrUnknownObject.
 func (db *DB) ApplyUpdate(u Update) error {
-	db.mu.RLock()
-	if db.closed {
-		db.mu.RUnlock()
-		return ErrClosed
-	}
-	id, ok := db.names[u.Object]
-	var imp Importance
-	var derived bool
-	if ok {
-		imp = db.defs[id].importance
-		derived = db.defs[id].derived
-	}
-	db.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownObject, u.Object)
-	}
-	if derived {
-		return fmt.Errorf("%w: %q", ErrDerivedUpdate, u.Object)
+	id, imp, err := db.updateTarget(u.Object)
+	if err != nil {
+		return err
 	}
 
 	gen := u.Generated
@@ -70,6 +55,24 @@ func (db *DB) ApplyUpdate(u Update) error {
 		db.mu.Unlock()
 		return nil
 	}
+}
+
+// updateTarget resolves an update's object under the read lock,
+// rejecting closed databases, unknown objects and derived views.
+func (db *DB) updateTarget(name string) (model.ObjectID, Importance, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, 0, ErrClosed
+	}
+	id, ok := db.names[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	if db.defs[id].derived {
+		return 0, 0, fmt.Errorf("%w: %q", ErrDerivedUpdate, name)
+	}
+	return id, db.defs[id].importance, nil
 }
 
 // IngestChannel forwards updates from ch until it is closed or the

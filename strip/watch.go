@@ -18,27 +18,10 @@ func (db *DB) Watch(object string, buffer int) (<-chan Entry, func(), error) {
 	ch := make(chan Entry, buffer)
 	w := &watcher{ch: ch}
 
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	if err := db.addWatcher(object, w); err != nil {
 		close(ch)
-		return ch, func() {}, ErrClosed
+		return ch, func() {}, err
 	}
-	if object == "" {
-		db.watchers = append(db.watchers, w)
-	} else {
-		id, ok := db.names[object]
-		if !ok {
-			db.mu.Unlock()
-			close(ch)
-			return ch, func() {}, ErrUnknownObject
-		}
-		if db.watchersByID == nil {
-			db.watchersByID = make(map[model.ObjectID][]*watcher)
-		}
-		db.watchersByID[id] = append(db.watchersByID[id], w)
-	}
-	db.mu.Unlock()
 
 	cancel := func() {
 		db.mu.Lock()
@@ -46,6 +29,28 @@ func (db *DB) Watch(object string, buffer int) (<-chan Entry, func(), error) {
 		w.closeOnce()
 	}
 	return ch, cancel, nil
+}
+
+// addWatcher registers the subscription under the write lock.
+func (db *DB) addWatcher(object string, w *watcher) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if object == "" {
+		db.watchers = append(db.watchers, w)
+		return nil
+	}
+	id, ok := db.names[object]
+	if !ok {
+		return ErrUnknownObject
+	}
+	if db.watchersByID == nil {
+		db.watchersByID = make(map[model.ObjectID][]*watcher)
+	}
+	db.watchersByID[id] = append(db.watchersByID[id], w)
+	return nil
 }
 
 // watcher is one Watch subscription.
