@@ -28,13 +28,17 @@ striplint:
 race:
 	$(GO) test -race ./...
 
-# Fuzz smoke: run every Fuzz* target in ./strip for FUZZTIME each.
-# `go test -fuzz` accepts only one matching target per invocation, so
-# the targets are listed first and fuzzed one by one.
+# Fuzz smoke: run every Fuzz* target in ./strip and ./strip/repl for
+# FUZZTIME each. `go test -fuzz` accepts only one matching target per
+# invocation, so the targets are listed first and fuzzed one by one.
+FUZZPKGS = ./strip ./strip/repl
+
 fuzz:
-	@set -e; for f in $$($(GO) test -list '^Fuzz' ./strip | grep '^Fuzz'); do \
-		echo "fuzzing $$f ($(FUZZTIME))"; \
-		$(GO) test -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) ./strip; \
+	@set -e; for pkg in $(FUZZPKGS); do \
+		for f in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "fuzzing $$pkg $$f ($(FUZZTIME))"; \
+			$(GO) test -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) $$pkg; \
+		done; \
 	done
 
 bench:

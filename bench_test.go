@@ -17,6 +17,7 @@ package repro
 
 import (
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/uqueue"
 	"repro/strip"
+	"repro/strip/repl"
 )
 
 // benchOpts is the reduced horizon used by the figure benches.
@@ -315,4 +317,98 @@ func BenchmarkStripQuery(b *testing.B) {
 			b.Fatalf("query: %v (%d rows)", err, len(rows))
 		}
 	}
+}
+
+// BenchmarkReplFrameEncode measures the replication codec's encode
+// path on a representative record-view update.
+func BenchmarkReplFrameEncode(b *testing.B) {
+	ev := strip.ReplEvent{
+		Seq: 1, Kind: strip.ReplUpdate, Object: "DEM/USD.LON",
+		Importance: strip.High, Value: 1.6612,
+		Generated: time.Unix(0, 1700000000000000001),
+		Fields: []strip.KeyValue{
+			{Key: "ask", Value: 1.6624}, {Key: "bid", Value: 1.66},
+			{Key: "volume", Value: 1e6},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i + 1)
+		if _, err := repl.EncodeEvent(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkReplFrameDecode measures the decode path, CRC included.
+func BenchmarkReplFrameDecode(b *testing.B) {
+	payload, err := repl.EncodeEvent(strip.ReplEvent{
+		Seq: 1, Kind: strip.ReplUpdate, Object: "DEM/USD.LON",
+		Importance: strip.High, Value: 1.6612,
+		Generated: time.Unix(0, 1700000000000000001),
+		Fields: []strip.KeyValue{
+			{Key: "ask", Value: 1.6624}, {Key: "bid", Value: 1.66},
+			{Key: "volume", Value: 1e6},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := repl.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkReplIngest measures end-to-end replica ingest throughput:
+// updates applied on a primary, framed, streamed over loopback TCP,
+// decoded and installed through the replica's scheduler.
+func BenchmarkReplIngest(b *testing.B) {
+	primary, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst, IngestBuffer: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+	const nViews = 256
+	for i := 0; i < nViews; i++ {
+		primary.DefineView(fmt.Sprintf("v%03d", i), strip.Low)
+	}
+	p := repl.NewPrimary(primary, repl.PrimaryConfig{RingFrames: 1 << 16})
+	defer p.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go p.Serve(l)
+
+	replica, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst, IngestBuffer: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer replica.Close()
+	r, err := repl.StartReplica(replica, repl.ReplicaConfig{Addr: l.Addr().String()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		primary.ApplyUpdate(strip.Update{
+			Object:    fmt.Sprintf("v%03d", i%nViews),
+			Value:     float64(i),
+			Generated: now.Add(time.Duration(i)),
+		})
+	}
+	target := primary.Sequence()
+	for r.LastSeq() < target {
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(target)/b.Elapsed().Seconds(), "replicated/s")
 }

@@ -10,6 +10,16 @@
 //
 //	stripd -feed 127.0.0.1:7007 -views 100 -rate 400
 //
+// Replication: a primary exports its update stream with -repl-listen,
+// and any number of replicas import it with -replicate-from:
+//
+//	stripd -listen :7007 -repl-listen :7008            # primary
+//	stripd -replicate-from 127.0.0.1:7008 -policy UF   # replica
+//
+// A replica can chain by passing its own -repl-listen. The once-a-
+// second report shows the replication sequence and, on replicas, the
+// MA/UU replication lag.
+//
 // The server also runs a sample read-only transaction each second so
 // the transaction counters move.
 package main
@@ -25,6 +35,7 @@ import (
 	"time"
 
 	"repro/strip"
+	"repro/strip/repl"
 )
 
 func main() {
@@ -43,6 +54,8 @@ func run(args []string) error {
 	maxAge := fs.Duration("maxage", time.Second, "MA staleness bound (0 selects UU)")
 	rate := fs.Float64("rate", 400, "feed mode: updates per second")
 	duration := fs.Duration("duration", 0, "exit after this long (0 = run until signal)")
+	replListen := fs.String("repl-listen", "", "serve the replication frame stream on this TCP address")
+	replicateFrom := fs.String("replicate-from", "", "run as a replica of the primary at this -repl-listen address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,11 +63,30 @@ func run(args []string) error {
 	switch {
 	case *feed != "":
 		return runFeed(*feed, *views, *rate, *duration)
-	case *listen != "":
-		return runServer(*listen, *views, *policyName, *maxAge, *duration)
+	case *listen != "" || *replicateFrom != "":
+		return runServer(serverConfig{
+			listen:        *listen,
+			views:         *views,
+			policyName:    *policyName,
+			maxAge:        *maxAge,
+			duration:      *duration,
+			replListen:    *replListen,
+			replicateFrom: *replicateFrom,
+		})
 	default:
-		return fmt.Errorf("pass -listen <addr> (server) or -feed <addr> (feed client)")
+		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica) or -feed <addr> (feed client)")
 	}
+}
+
+// serverConfig carries runServer's knobs.
+type serverConfig struct {
+	listen        string
+	views         int
+	policyName    string
+	maxAge        time.Duration
+	duration      time.Duration
+	replListen    string
+	replicateFrom string
 }
 
 func parsePolicy(name string) (strip.Policy, error) {
@@ -74,45 +106,73 @@ func parsePolicy(name string) (strip.Policy, error) {
 
 func viewName(i int) string { return fmt.Sprintf("px.%03d", i) }
 
-func runServer(addr string, views int, policyName string, maxAge, duration time.Duration) error {
-	policy, err := parsePolicy(policyName)
+func runServer(cfg serverConfig) error {
+	policy, err := parsePolicy(cfg.policyName)
 	if err != nil {
 		return err
 	}
+	views := cfg.views
 	db, err := strip.Open(strip.Config{
 		Policy:   policy,
-		MaxAge:   maxAge,
+		MaxAge:   cfg.maxAge,
 		OnStale:  strip.Warn,
-		Coalesce: true,
+		Coalesce: cfg.replicateFrom == "", // replicas install the full stream
 	})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
-	for i := 0; i < views; i++ {
-		// Alternate importance so SplitUpdates has both classes.
-		imp := strip.Low
-		if i%2 == 1 {
-			imp = strip.High
-		}
-		if err := db.DefineView(viewName(i), imp); err != nil {
-			return err
+	if cfg.replicateFrom == "" {
+		// Replicas import the primary's schema from the stream; a
+		// primary (or standalone server) defines its own views.
+		for i := 0; i < views; i++ {
+			// Alternate importance so SplitUpdates has both classes.
+			imp := strip.Low
+			if i%2 == 1 {
+				imp = strip.High
+			}
+			if err := db.DefineView(viewName(i), imp); err != nil {
+				return err
+			}
 		}
 	}
 
-	l, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
+	if cfg.listen != "" {
+		l, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stripd serving %d views on %s (policy %s, maxage %v)\n",
+			views, l.Addr(), policy, cfg.maxAge)
+		go db.Serve(l)
 	}
-	fmt.Printf("stripd serving %d views on %s (policy %s, maxage %v)\n",
-		views, l.Addr(), policy, maxAge)
-	go db.Serve(l)
+	if cfg.replListen != "" {
+		primary := repl.NewPrimary(db, repl.PrimaryConfig{})
+		defer primary.Close()
+		rl, err := net.Listen("tcp", cfg.replListen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replication stream on %s\n", rl.Addr())
+		go primary.Serve(rl)
+	}
+	if cfg.replicateFrom != "" {
+		replica, err := repl.StartReplica(db, repl.ReplicaConfig{
+			Addr: cfg.replicateFrom,
+			Seed: uint64(time.Now().UnixNano()),
+		})
+		if err != nil {
+			return err
+		}
+		defer replica.Close()
+		fmt.Printf("replicating from %s (policy %s)\n", cfg.replicateFrom, policy)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	var timeout <-chan time.Time
-	if duration > 0 {
-		timeout = time.After(duration)
+	if cfg.duration > 0 {
+		timeout = time.After(cfg.duration)
 	}
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
@@ -149,9 +209,16 @@ func runServer(addr string, views int, policyName string, maxAge, duration time.
 			})
 			s := db.Stats()
 			staleViews, _ := db.Aggregate("SELECT COUNT(*) FROM views WHERE stale")
-			fmt.Printf("recv=%d installed=%d skipped=%d expired=%d queue=%d txns=%d stale-views=%.0f stale-reads=%v\n",
+			line := fmt.Sprintf("recv=%d installed=%d skipped=%d expired=%d queue=%d txns=%d stale-views=%.0f stale-reads=%v",
 				s.UpdatesReceived, s.UpdatesInstalled, s.UpdatesSkipped,
 				s.UpdatesExpired, s.QueueLen, s.TxnsCommitted, staleViews, res.StaleReads)
+			if cfg.replListen != "" {
+				line += fmt.Sprintf(" repl-seq=%d", s.ReplicationSeq)
+			}
+			if cfg.replicateFrom != "" {
+				line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
+			}
+			fmt.Println(line)
 		}
 	}
 }

@@ -89,3 +89,64 @@ func TestServerAndFeedEndToEnd(t *testing.T) {
 	}
 	_ = fmt.Sprint() // keep fmt imported for future debug output
 }
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestReplicationFlagsEndToEnd(t *testing.T) {
+	feedAddr := freeAddr(t)
+	replAddr := freeAddr(t)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs <- run([]string{
+			"-listen", feedAddr, "-repl-listen", replAddr,
+			"-views", "10", "-duration", "1500ms",
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		errs <- run([]string{
+			"-replicate-from", replAddr, "-policy", "UF",
+			"-views", "10", "-duration", "1500ms",
+		})
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var conn net.Conn
+	var err error
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", feedAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("primary did not come up")
+	}
+	conn.Close()
+	if err := run([]string{
+		"-feed", feedAddr, "-views", "10", "-rate", "200", "-duration", "600ms",
+	}); err != nil {
+		t.Fatalf("feed failed: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("server/replica failed: %v", err)
+		}
+	}
+}

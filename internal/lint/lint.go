@@ -331,7 +331,10 @@ var RandAllowedPkgs = Scope{
 // LockCheckedPkgs lists the packages swept by the lock-discipline
 // rules: the live strip/ runtime, whose sync.RWMutex protocol around
 // the registry, view entries, general store and WAL must hold under
-// heavy concurrent traffic.
+// heavy concurrent traffic, and the replication subsystem, whose
+// frame ring and connection registries are hit by one goroutine per
+// replica.
 var LockCheckedPkgs = Scope{
 	"strip",
+	"strip/repl",
 }

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestReplicaLagMAAndUU(t *testing.T) {
+	l := NewReplicaLag()
+
+	// Nothing seen: zero lag everywhere.
+	if ma, uu := l.Aggregate(); ma != 0 || uu != 0 {
+		t.Fatalf("empty tracker lag = %v, %d", ma, uu)
+	}
+	if ma, uu := l.Object(7); ma != 0 || uu != 0 {
+		t.Fatalf("unknown object lag = %v, %d", ma, uu)
+	}
+
+	// Two updates received for object 0, none installed: UU 2, MA is
+	// receivedGen - appliedGen(0) = 12.
+	l.Received(0, 10)
+	l.Received(0, 12)
+	if ma, uu := l.Object(0); ma != 12 || uu != 2 {
+		t.Fatalf("object 0 lag = %v, %d, want 12, 2", ma, uu)
+	}
+
+	// Install the older generation: backlog shrinks, MA narrows.
+	l.Installed(0, 10)
+	if ma, uu := l.Object(0); ma != 2 || uu != 1 {
+		t.Fatalf("after partial install lag = %v, %d, want 2, 1", ma, uu)
+	}
+
+	// Install the newest: caught up.
+	l.Installed(0, 12)
+	if ma, uu := l.Object(0); ma != 0 || uu != 0 {
+		t.Fatalf("after full install lag = %v, %d, want 0, 0", ma, uu)
+	}
+
+	// A second object contributes to the aggregate max.
+	l.Received(3, 100)
+	l.Received(0, 13)
+	if ma, uu := l.Aggregate(); ma != 100 || uu != 2 {
+		t.Fatalf("aggregate = %v, %d, want 100, 2", ma, uu)
+	}
+	if l.Objects() != 4 {
+		t.Fatalf("Objects() = %d, want 4", l.Objects())
+	}
+}
+
+func TestReplicaLagRemoved(t *testing.T) {
+	l := NewReplicaLag()
+	l.Received(1, 5)
+	l.Received(1, 6)
+
+	// A coalesced drop lowers UU but not MA: the replica still has not
+	// installed generation 6.
+	l.Removed(1)
+	if ma, uu := l.Object(1); ma != 6 || uu != 1 {
+		t.Fatalf("after remove lag = %v, %d, want 6, 1", ma, uu)
+	}
+
+	// Clamp: removals never drive the count negative.
+	l.Removed(1)
+	l.Removed(1)
+	if _, uu := l.Object(1); uu != 0 {
+		t.Fatalf("clamped UU = %d, want 0", uu)
+	}
+	if _, uu := l.Aggregate(); uu != 0 {
+		t.Fatalf("clamped total = %d, want 0", uu)
+	}
+
+	// Installing the newest generation clears MA even after drops.
+	l.Installed(1, 6)
+	if ma, _ := l.Object(1); ma != 0 {
+		t.Fatalf("MA after catch-up = %v, want 0", ma)
+	}
+}
+
+func TestReplicaLagOutOfOrderInstall(t *testing.T) {
+	l := NewReplicaLag()
+	l.Received(model.ObjectID(2), 20)
+	l.Installed(2, 20)
+	// An older install must not regress the applied generation.
+	l.Received(2, 15)
+	l.Installed(2, 15)
+	if ma, uu := l.Object(2); ma != 0 || uu != 0 {
+		t.Fatalf("out-of-order install lag = %v, %d, want 0, 0", ma, uu)
+	}
+}

@@ -60,6 +60,15 @@ type Update struct {
 	// untouched (nil in the simulator; the strip library uses it for
 	// partial-update field sets).
 	Aux any
+	// WallGen is the exact wall-clock generation time in Unix
+	// nanoseconds (zero in the simulator). The strip library carries it
+	// so installed generation timestamps survive replication without
+	// the precision loss of the float-seconds GenTime axis.
+	WallGen int64
+	// Replicated marks an update fed by the replication subsystem; the
+	// strip library uses it to account replica lag when the update is
+	// installed or dropped.
+	Replicated bool
 }
 
 // Age returns the update's age at time now, measured from generation.

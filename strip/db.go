@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/uqueue"
 )
@@ -44,6 +45,17 @@ type DB struct {
 	// wal is the write-ahead log for general data; nil when disabled.
 	wal *walWriter
 
+	// Replication state (see replication.go). seq is the replication
+	// sequence — the total order over worthy view installs and
+	// committed write batches — advanced by emitLocked inside the
+	// critical section that applies the change. arrival is the queue
+	// tie-break counter for incoming updates. lag tracks replica
+	// freshness under the MA and UU criteria.
+	seq     uint64              // guarded by mu
+	arrival uint64              // guarded by mu
+	sink    func(ReplEvent)     // guarded by mu
+	lag     *metrics.ReplicaLag // guarded by mu
+
 	// Scheduler-owned state. pending and highCount are written only
 	// by the scheduler but read under mu by Peek, so their mutations
 	// take mu as well.
@@ -51,7 +63,6 @@ type DB struct {
 	pending   []int // per-object queued-update count (UU criterion)
 	highCount int   // queued updates targeting High-importance views
 	ready     []*txnReq
-	seq       uint64
 }
 
 type viewDef struct {
@@ -112,6 +123,7 @@ func Open(cfg Config) (*DB, error) {
 		names:    make(map[string]model.ObjectID),
 		general:  general,
 		wal:      wal,
+		lag:      metrics.NewReplicaLag(),
 	}
 	if cfg.Coalesce {
 		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
@@ -161,11 +173,7 @@ func (db *DB) DefineView(name string, importance Importance) error {
 	if _, ok := db.names[name]; ok {
 		return ErrDuplicateObject
 	}
-	id := model.ObjectID(len(db.defs))
-	db.names[name] = id
-	db.defs = append(db.defs, viewDef{name: name, importance: importance})
-	db.entries = append(db.entries, viewEntry{})
-	db.pending = append(db.pending, 0)
+	db.defineViewLocked(name, importance)
 	return nil
 }
 
@@ -205,6 +213,8 @@ func (db *DB) Stats() Stats {
 	defer db.mu.RUnlock()
 	s := db.stats
 	s.QueueLen = db.queueLenLocked()
+	s.ReplicationSeq = db.seq
+	s.ReplicaLagSeconds, s.ReplicaLagUpdates = db.lag.Aggregate()
 	return s
 }
 
@@ -268,7 +278,10 @@ func (db *DB) install(u *model.Update, gen time.Time) {
 }
 
 // installEntry applies the update under the write lock, reporting
-// whether it was worthy (newer than the installed generation).
+// whether it was worthy (newer than the installed generation). A
+// worthy install is published to the replication sink — and takes its
+// place in the replication total order — inside the same critical
+// section that writes the entry.
 func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -276,6 +289,9 @@ func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 	worthy := gen.After(e.generated)
 	if !worthy {
 		db.stats.UpdatesSkipped++
+		if u.Replicated {
+			db.lag.Removed(u.Object)
+		}
 		return false
 	}
 	if fields, ok := u.Aux.(partialFields); ok {
@@ -297,6 +313,10 @@ func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 	e.generated = gen
 	db.recordHistoryLocked(u.Object)
 	db.stats.UpdatesInstalled++
+	if u.Replicated {
+		db.lag.Installed(u.Object, u.GenTime)
+	}
+	db.emitInstallLocked(u, gen)
 	return true
 }
 
@@ -319,7 +339,14 @@ func (db *DB) recordHistoryLocked(id model.ObjectID) {
 	}
 }
 
-// genTime recovers the wall-clock generation time of an update.
+// genTime recovers the wall-clock generation time of an update. The
+// exact nanosecond timestamp is preferred when present: the float
+// seconds axis loses precision, and replicas must install the same
+// generation times as their primary for convergence to be
+// byte-identical.
 func (db *DB) genTime(u *model.Update) time.Time {
+	if u.WallGen != 0 {
+		return time.Unix(0, u.WallGen)
+	}
 	return db.start.Add(time.Duration(u.GenTime * float64(time.Second)))
 }

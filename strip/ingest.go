@@ -27,8 +27,8 @@ func (db *DB) ApplyUpdate(u Update) error {
 		gen = db.now()
 	}
 	db.mu.Lock()
-	db.seq++
-	seq := db.seq
+	db.arrival++
+	seq := db.arrival
 	db.mu.Unlock()
 
 	mu := &model.Update{
@@ -38,6 +38,7 @@ func (db *DB) ApplyUpdate(u Update) error {
 		GenTime:     db.secs(gen),
 		ArrivalTime: db.secs(db.now()),
 		Payload:     u.Value,
+		WallGen:     gen.UnixNano(),
 	}
 	if u.Fields != nil {
 		if u.Partial {

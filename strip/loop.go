@@ -97,6 +97,9 @@ func (db *DB) enqueue(u *model.Update) {
 		if ev.Class == model.High {
 			db.highCount--
 		}
+		if ev.Replicated {
+			db.lag.Removed(ev.Object)
+		}
 		if ev.Object == u.Object {
 			// Same object: superseded by a newer generation
 			// (coalescing), not a capacity casualty.
@@ -123,6 +126,9 @@ func (db *DB) expireQueue() {
 		db.pending[u.Object]--
 		if u.Class == model.High {
 			db.highCount--
+		}
+		if u.Replicated {
+			db.lag.Removed(u.Object)
 		}
 		db.stats.UpdatesExpired++
 	}
@@ -218,6 +224,13 @@ func (db *DB) refreshOnDemand(id model.ObjectID) {
 	}
 	if n > 1 {
 		db.stats.UpdatesSkipped += uint64(n - 1)
+		if newest.Replicated {
+			// The superseded queue entries came from the same stream
+			// as the survivor; account them as unapplied drops.
+			for i := 0; i < n-1; i++ {
+				db.lag.Removed(id)
+			}
+		}
 	}
 	db.mu.Unlock()
 	db.install(newest, db.genTime(newest))

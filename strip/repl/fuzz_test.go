@@ -1,0 +1,106 @@
+package repl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// seedPayloads are valid encodings plus boundary junk, the corpus both
+// fuzzers start from.
+func seedPayloads(tb testing.TB) [][]byte {
+	up, err := EncodeEvent(testUpdateEvent())
+	if err != nil {
+		tb.Fatalf("seed encode: %v", err)
+	}
+	ba, err := EncodeEvent(testBatchEvent())
+	if err != nil {
+		tb.Fatalf("seed encode: %v", err)
+	}
+	sn, err := EncodeSnapshot(testSnapshot())
+	if err != nil {
+		tb.Fatalf("seed encode: %v", err)
+	}
+	return [][]byte{
+		up, ba, sn,
+		{},
+		{KindUpdate},
+		{KindBatch, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
+		{KindSnapshot, 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+}
+
+// FuzzFrameDecode asserts Decode's contract on arbitrary payloads:
+// return a message or an error, never panic, never both nil.
+func FuzzFrameDecode(f *testing.F) {
+	for _, p := range seedPayloads(f) {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := Decode(payload)
+		if err == nil && msg == nil {
+			t.Fatalf("Decode returned neither message nor error")
+		}
+		if err != nil && msg != nil {
+			t.Fatalf("Decode returned a partial message alongside error %v", err)
+		}
+	})
+}
+
+// FuzzReadFrame asserts ReadFrame's contract on arbitrary byte
+// streams: errors, never panics, and an accepted payload survives a
+// write/read round trip.
+func FuzzReadFrame(f *testing.F) {
+	for _, p := range seedPayloads(f) {
+		var buf bytes.Buffer
+		if WriteFrame(&buf, p) == nil {
+			f.Add(buf.Bytes())
+		}
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		payload, err := ReadFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("accepted payload rejected on re-write: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-written frame: %v", err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("payload changed across write/read round trip")
+		}
+	})
+}
+
+// FuzzFrameStream feeds ReadFrame from a stream of several frames with
+// arbitrary tails: every frame read before the error must be one that
+// WriteFrame produced.
+func FuzzFrameStream(f *testing.F) {
+	var pipe bytes.Buffer
+	for _, p := range seedPayloads(f) {
+		_ = WriteFrame(&pipe, p)
+	}
+	f.Add(pipe.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for {
+			payload, err := ReadFrame(r)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 || len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned out-of-bounds payload of %d bytes", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/strip"
+)
+
+// PrimaryConfig configures the publishing side.
+type PrimaryConfig struct {
+	// RingFrames bounds the in-memory frame log. A replica that falls
+	// further behind than this is re-bootstrapped with a snapshot.
+	// Default 4096.
+	RingFrames int
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Primary publishes a database's replication stream. It attaches to
+// the database as its replication sink, keeps the bounded frame ring,
+// and serves the frame protocol to replicas:
+//
+//	replica → primary:  one text line, "RESUME <seq>" (the highest
+//	                    sequence the replica holds; 0 for none) or
+//	                    "SNAPSHOT" (force a bootstrap)
+//	primary → replica:  binary frames (see WriteFrame), starting with
+//	                    a snapshot frame when the requested sequence
+//	                    is not resumable from the ring
+type Primary struct {
+	db   *strip.DB
+	ring *ring
+	logf func(string, ...any)
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	ln     net.Listener          // guarded by mu
+	conns  map[net.Conn]struct{} // guarded by mu
+	closed bool                  // guarded by mu
+}
+
+// NewPrimary attaches a Primary to the database and starts capturing
+// its replication stream. Call Serve to accept replicas and Close to
+// detach.
+func NewPrimary(db *strip.DB, cfg PrimaryConfig) *Primary {
+	p := &Primary{
+		db:    db,
+		logf:  cfg.Logf,
+		conns: make(map[net.Conn]struct{}),
+	}
+	if p.logf == nil {
+		p.logf = func(string, ...any) {}
+	}
+	p.ring = newRing(cfg.RingFrames, db.Sequence()+1)
+	db.SetReplicationSink(p.publish)
+	return p
+}
+
+// publish is the database's replication sink: encode and retain. It
+// runs inside the database's write lock and must not call back into
+// the database.
+func (p *Primary) publish(ev strip.ReplEvent) {
+	payload, err := EncodeEvent(ev)
+	if err != nil {
+		// An unencodable event (oversized key) cannot be replicated;
+		// drop it loudly. Replicas that resume across the gap are
+		// re-bootstrapped by the ring reset.
+		p.logf("repl: dropping unencodable event seq %d: %v", ev.Seq, err)
+		return
+	}
+	p.ring.append(ev.Seq, payload)
+}
+
+// Serve accepts replica connections on l until Close (returns nil) or
+// the listener fails (returns the error). Run it on its own
+// goroutine.
+func (p *Primary) Serve(l net.Listener) error {
+	if !p.register(l) {
+		l.Close()
+		return errRingClosed
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if p.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if !p.track(conn) {
+			conn.Close()
+			return nil
+		}
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+// register adopts the listener, refusing when closed.
+func (p *Primary) register(l net.Listener) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.ln = l
+	return true
+}
+
+// isClosed reports whether Close has run.
+func (p *Primary) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// track registers a live connection, refusing when closed.
+func (p *Primary) track(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack forgets a finished connection.
+func (p *Primary) untrack(conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, conn)
+}
+
+// Close detaches from the database, stops the listener, disconnects
+// every replica and waits for the connection handlers to exit.
+func (p *Primary) Close() error {
+	ln, conns, first := p.markClosed()
+	if first {
+		p.db.SetReplicationSink(nil)
+		p.ring.close()
+		if ln != nil {
+			ln.Close()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	p.wg.Wait()
+	return nil
+}
+
+// markClosed flips the closed flag and hands back what Close must
+// tear down; first reports whether this call was the one that closed.
+func (p *Primary) markClosed() (ln net.Listener, conns []net.Conn, first bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, nil, false
+	}
+	p.closed = true
+	conns = make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	return p.ln, conns, true
+}
+
+// serveConn speaks the frame protocol to one replica.
+func (p *Primary) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(conn)
+	defer conn.Close()
+
+	from, err := readHandshake(conn)
+	if err != nil {
+		p.logf("repl: bad handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	w := bufio.NewWriter(conn)
+	for {
+		if !p.ring.resumable(from) {
+			// The replica is cold or has lapsed past the ring:
+			// bootstrap it with a consistent snapshot and resume the
+			// stream right after the snapshot's sequence.
+			snap := p.db.ReplicaSnapshot()
+			payload, err := EncodeSnapshot(snap)
+			if err != nil {
+				p.logf("repl: snapshot encode failed: %v", err)
+				return
+			}
+			if WriteFrame(w, payload) != nil || w.Flush() != nil {
+				return
+			}
+			from = snap.Seq + 1
+		}
+		frames, err := p.ring.awaitFrom(from)
+		if err == errTooOld {
+			continue // lapsed while waiting: snapshot again
+		}
+		if err != nil {
+			return // ring closed
+		}
+		for _, f := range frames {
+			if WriteFrame(w, f) != nil {
+				return
+			}
+		}
+		if w.Flush() != nil {
+			return
+		}
+		from += uint64(len(frames))
+	}
+}
+
+// readHandshake parses the replica's request line into the first
+// sequence it wants (0 forces a snapshot via the resumable check when
+// the stream has moved on).
+func readHandshake(conn net.Conn) (uint64, error) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 256), 1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, err
+		}
+		return 0, fmt.Errorf("connection closed before handshake")
+	}
+	line := strings.TrimSpace(sc.Text())
+	switch {
+	case line == "SNAPSHOT":
+		return 0, nil
+	case strings.HasPrefix(line, "RESUME "):
+		last, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "RESUME ")), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad RESUME sequence: %v", err)
+		}
+		return last + 1, nil
+	default:
+		return 0, fmt.Errorf("unknown handshake %q", line)
+	}
+}

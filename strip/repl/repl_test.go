@@ -1,0 +1,401 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/strip"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// openDB opens a database that closes with the test.
+func openDB(t *testing.T, cfg strip.Config) *strip.DB {
+	t.Helper()
+	db, err := strip.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// servePrimary starts a Primary listening on a loopback port and
+// returns it with its address.
+func servePrimary(t *testing.T, db *strip.DB, cfg PrimaryConfig) (*Primary, string) {
+	t.Helper()
+	p := NewPrimary(db, cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go p.Serve(l)
+	t.Cleanup(func() { p.Close() })
+	return p, l.Addr().String()
+}
+
+// dialTarget is a redirectable dialer that remembers the latest live
+// connection so tests can kill it mid-stream.
+type dialTarget struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+}
+
+func (d *dialTarget) setAddr(addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addr = addr
+}
+
+func (d *dialTarget) dial() (net.Conn, error) {
+	d.mu.Lock()
+	addr := d.addr
+	d.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.conn = conn
+	d.mu.Unlock()
+	return conn, nil
+}
+
+// killConn severs the current session, simulating a network failure.
+func (d *dialTarget) killConn() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.conn != nil {
+		d.conn.Close()
+	}
+}
+
+// frameRec is one OnFrame observation.
+type frameRec struct {
+	kind byte
+	seq  uint64
+}
+
+// recorder collects the replica's applied-frame history.
+type recorder struct {
+	mu    sync.Mutex
+	recs  []frameRec
+	snaps int
+}
+
+func (r *recorder) onFrame(kind byte, seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recs = append(r.recs, frameRec{kind, seq})
+	if kind == KindSnapshot {
+		r.snaps++
+	}
+}
+
+func (r *recorder) history() []frameRec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]frameRec(nil), r.recs...)
+}
+
+// checkContiguous verifies the applied history has no gaps and no
+// duplicates: every non-snapshot frame extends the cursor by exactly
+// one, and snapshots rebase it.
+func checkContiguous(t *testing.T, recs []frameRec, firstSeq uint64) {
+	t.Helper()
+	if len(recs) == 0 {
+		t.Fatalf("replica applied no frames")
+	}
+	cursor := firstSeq - 1
+	for i, rec := range recs {
+		if rec.kind == KindSnapshot {
+			cursor = rec.seq
+			continue
+		}
+		if rec.seq != cursor+1 {
+			t.Fatalf("frame %d: seq %d after %d — %s", i, rec.seq, cursor,
+				map[bool]string{true: "duplicate", false: "gap"}[rec.seq <= cursor])
+		}
+		cursor = rec.seq
+	}
+}
+
+// feedUpdates applies n updates round-robin over objects with strictly
+// increasing generations, returning the next generation time.
+func feedUpdates(t *testing.T, db *strip.DB, objects []string, n int, gen time.Time) time.Time {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		u := strip.Update{
+			Object:    objects[i%len(objects)],
+			Value:     float64(i) + 0.25,
+			Generated: gen,
+		}
+		if i%3 == 0 {
+			u.Fields = map[string]float64{"bid": float64(i), "ask": float64(i) + 0.5}
+		}
+		if err := db.ApplyUpdate(u); err != nil {
+			t.Fatalf("ApplyUpdate %d: %v", i, err)
+		}
+		gen = gen.Add(time.Millisecond)
+	}
+	return gen
+}
+
+// execSet commits one general-data write through a transaction.
+func execSet(t *testing.T, db *strip.DB, key string, v float64) {
+	t.Helper()
+	res := db.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func: func(tx *strip.Tx) error {
+			tx.Set(key, v)
+			return nil
+		},
+	})
+	if !res.Committed() {
+		t.Fatalf("Set(%s) transaction did not commit: %v", key, res.Err)
+	}
+}
+
+// encodedState returns the database's snapshot encoding with the
+// sequence zeroed, the byte-identical convergence fingerprint.
+func encodedState(t *testing.T, db *strip.DB) []byte {
+	t.Helper()
+	s := db.ReplicaSnapshot()
+	s.Seq = 0
+	b, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	return b
+}
+
+// TestReplicaConvergence streams updates and committed batches to a
+// replica, quiesces, and requires the replica's view and general
+// stores to be byte-identical to the primary's.
+func TestReplicaConvergence(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := primary.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.DefineView("fx/b", strip.Low); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := servePrimary(t, primary, PrimaryConfig{})
+
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	rec := &recorder{}
+	r, err := StartReplica(replica, ReplicaConfig{
+		Addr: addr, BackoffBase: 2 * time.Millisecond, Seed: 1, OnFrame: rec.onFrame,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	const updates, batches = 60, 5
+	gen := feedUpdates(t, primary, []string{"fx/a", "fx/b"}, updates/2, time.Now())
+	for i := 0; i < batches; i++ {
+		execSet(t, primary, fmt.Sprintf("book/%d", i), float64(i)*1.5)
+	}
+	feedUpdates(t, primary, []string{"fx/a", "fx/b"}, updates/2, gen)
+
+	want := uint64(updates + batches)
+	waitFor(t, 5*time.Second, "primary to publish every event", func() bool {
+		return primary.Sequence() == want
+	})
+	waitFor(t, 5*time.Second, "replica to apply the whole stream", func() bool {
+		if r.LastSeq() != want {
+			return false
+		}
+		_, uu := replica.ReplicaLag()
+		return uu == 0
+	})
+
+	// Quiesced: the stores must be byte-identical.
+	if p, q := encodedState(t, primary), encodedState(t, replica); !bytes.Equal(p, q) {
+		t.Fatalf("replica state diverged from primary:\nprimary %x\nreplica %x", p, q)
+	}
+	checkContiguous(t, rec.history(), 1)
+	if rec.snaps != 0 {
+		t.Errorf("replica fell back to %d snapshots; expected pure streaming", rec.snaps)
+	}
+	if stats := primary.Stats(); stats.ReplicationSeq != want {
+		t.Errorf("primary ReplicationSeq = %d, want %d", stats.ReplicationSeq, want)
+	}
+	if stats := replica.Stats(); stats.ReplBatchesApplied != batches {
+		t.Errorf("replica ReplBatchesApplied = %d, want %d", stats.ReplBatchesApplied, batches)
+	}
+	if ma, uu := replica.ReplicaLag(); ma != 0 || uu != 0 {
+		t.Errorf("quiesced replica lag = (%v, %d), want (0, 0)", ma, uu)
+	}
+}
+
+// TestReplicaResume kills the replica's connection mid-stream and then
+// restarts the primary entirely; the replica must resume from its last
+// sequence each time, ending with a contiguous history — no gaps, no
+// duplicate installs.
+func TestReplicaResume(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := primary.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	p, addr := servePrimary(t, primary, PrimaryConfig{RingFrames: 1024})
+
+	target := &dialTarget{}
+	target.setAddr(addr)
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	rec := &recorder{}
+	r, err := StartReplica(replica, ReplicaConfig{
+		Dial: target.dial, BackoffBase: 2 * time.Millisecond, Seed: 3, OnFrame: rec.onFrame,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	const phase = 20
+	gen := feedUpdates(t, primary, []string{"fx/a"}, phase, time.Now())
+	waitFor(t, 5*time.Second, "phase 1 replication", func() bool { return r.LastSeq() == phase })
+
+	// Network failure mid-stream: sever the session, keep feeding.
+	target.killConn()
+	gen = feedUpdates(t, primary, []string{"fx/a"}, phase, gen)
+	waitFor(t, 5*time.Second, "resume after connection kill", func() bool { return r.LastSeq() == 2*phase })
+
+	// Full primary restart: new Primary, new port, same database.
+	p.Close()
+	_, addr2 := servePrimary(t, primary, PrimaryConfig{RingFrames: 1024})
+	target.setAddr(addr2)
+	feedUpdates(t, primary, []string{"fx/a"}, phase, gen)
+	waitFor(t, 5*time.Second, "resume after primary restart", func() bool { return r.LastSeq() == 3*phase })
+
+	waitFor(t, 5*time.Second, "replica installs to drain", func() bool {
+		_, uu := replica.ReplicaLag()
+		return uu == 0
+	})
+	history := rec.history()
+	checkContiguous(t, history, 1)
+	if len(history) != 3*phase {
+		t.Errorf("replica applied %d frames, want exactly %d (no duplicates)", len(history), 3*phase)
+	}
+	if rec.snaps != 0 {
+		t.Errorf("replica needed %d snapshots; resume should have healed the stream", rec.snaps)
+	}
+	if p, q := encodedState(t, primary), encodedState(t, replica); !bytes.Equal(p, q) {
+		t.Fatalf("replica state diverged from primary after resumes")
+	}
+}
+
+// TestSnapshotBootstrap connects a cold replica after the ring has
+// lapsed: it must bootstrap from a snapshot, then stream, and still
+// converge byte-identically.
+func TestSnapshotBootstrap(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := primary.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := servePrimary(t, primary, PrimaryConfig{RingFrames: 4})
+
+	execSet(t, primary, "book/base", 10)
+	gen := feedUpdates(t, primary, []string{"fx/a"}, 20, time.Now())
+	const preSeq = 21 // one batch + twenty updates, all before the replica exists
+	waitFor(t, 5*time.Second, "primary to publish history", func() bool {
+		return primary.Sequence() == preSeq
+	})
+
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	rec := &recorder{}
+	r, err := StartReplica(replica, ReplicaConfig{
+		Addr: addr, BackoffBase: 2 * time.Millisecond, Seed: 9, OnFrame: rec.onFrame,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	waitFor(t, 5*time.Second, "snapshot bootstrap", func() bool { return r.LastSeq() >= preSeq })
+	// Feed fewer frames than the ring holds so none can fall off
+	// before the reader forwards them: the tail must stream, not
+	// trigger a second bootstrap.
+	feedUpdates(t, primary, []string{"fx/a"}, 3, gen)
+	waitFor(t, 5*time.Second, "post-snapshot streaming", func() bool {
+		if r.LastSeq() != preSeq+3 {
+			return false
+		}
+		_, uu := replica.ReplicaLag()
+		return uu == 0
+	})
+
+	history := rec.history()
+	if history[0].kind != KindSnapshot {
+		t.Fatalf("first applied frame kind = %d, want snapshot", history[0].kind)
+	}
+	checkContiguous(t, history, 1)
+	if rec.snaps != 1 {
+		t.Errorf("replica installed %d snapshots, want exactly 1", rec.snaps)
+	}
+	if stats := replica.Stats(); stats.ReplSnapshotsInstalled != 1 {
+		t.Errorf("ReplSnapshotsInstalled = %d, want 1", stats.ReplSnapshotsInstalled)
+	}
+	if p, q := encodedState(t, primary), encodedState(t, replica); !bytes.Equal(p, q) {
+		t.Fatalf("replica state diverged from primary after snapshot bootstrap")
+	}
+}
+
+// TestReplicaChaining replicates through a middle tier: primary →
+// relay → leaf, exercising re-publication of applied frames.
+func TestReplicaChaining(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := primary.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := servePrimary(t, primary, PrimaryConfig{})
+
+	relay := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	_, relayAddr := servePrimary(t, relay, PrimaryConfig{})
+	r1, err := StartReplica(relay, ReplicaConfig{Addr: addr, BackoffBase: 2 * time.Millisecond, Seed: 4})
+	if err != nil {
+		t.Fatalf("StartReplica(relay): %v", err)
+	}
+	t.Cleanup(func() { r1.Close() })
+
+	leaf := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	r2, err := StartReplica(leaf, ReplicaConfig{Addr: relayAddr, BackoffBase: 2 * time.Millisecond, Seed: 5})
+	if err != nil {
+		t.Fatalf("StartReplica(leaf): %v", err)
+	}
+	t.Cleanup(func() { r2.Close() })
+
+	feedUpdates(t, primary, []string{"fx/a"}, 10, time.Now())
+	execSet(t, primary, "book/x", 3)
+	waitFor(t, 5*time.Second, "leaf convergence through the relay", func() bool {
+		_, uuRelay := relay.ReplicaLag()
+		_, uuLeaf := leaf.ReplicaLag()
+		return r1.LastSeq() == 11 && uuRelay == 0 && relay.Sequence() == 11 &&
+			r2.LastSeq() == 11 && uuLeaf == 0
+	})
+	pState := encodedState(t, primary)
+	if q := encodedState(t, relay); !bytes.Equal(pState, q) {
+		t.Fatalf("relay diverged from primary")
+	}
+	if q := encodedState(t, leaf); !bytes.Equal(pState, q) {
+		t.Fatalf("leaf diverged from primary")
+	}
+}

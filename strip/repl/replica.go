@@ -1,0 +1,305 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/strip"
+)
+
+// ReplicaConfig configures the importing side.
+type ReplicaConfig struct {
+	// Addr is the primary's replication address, dialed with net.Dial
+	// when Dial is nil.
+	Addr string
+	// Dial overrides how the primary is reached (tests inject pipes
+	// and failure modes here).
+	Dial func() (net.Conn, error)
+
+	// BackoffBase and BackoffMax bound the reconnect delay (defaults
+	// 50ms and 5s); BackoffJitter is the randomized fraction (default
+	// 0.2) and Seed makes the jitter sequence reproducible.
+	BackoffBase   time.Duration
+	BackoffMax    time.Duration
+	BackoffJitter float64
+	Seed          uint64
+
+	// OnFrame, when set, observes every applied frame in order (the
+	// resume tests record the sequence history through it).
+	OnFrame func(kind byte, seq uint64)
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Replica keeps a database continuously fed from a primary: it dials,
+// resumes the frame stream from the last applied sequence, feeds
+// update frames through the database's normal scheduler path and
+// batch frames through the committed-write path, and reconnects with
+// exponential backoff when the stream breaks. The replica is the
+// paper's imported materialized view: the primary is its external
+// world and Stats.ReplicaLag* measures its freshness.
+type Replica struct {
+	db   *strip.DB
+	cfg  ReplicaConfig
+	logf func(string, ...any)
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	lastSeq uint64   // guarded by mu; highest sequence applied
+	conn    net.Conn // guarded by mu; live connection, if any
+	closed  bool     // guarded by mu
+}
+
+// errSeqGap reports a hole in the stream; the replica reconnects and
+// resumes, which either heals the stream or falls back to a snapshot.
+var errSeqGap = errors.New("repl: sequence gap in stream")
+
+// StartReplica connects db to a primary and starts the feed
+// goroutine. Close stops it.
+func StartReplica(db *strip.DB, cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Dial == nil && cfg.Addr == "" {
+		return nil, fmt.Errorf("repl: ReplicaConfig needs Addr or Dial")
+	}
+	r := &Replica{
+		db:   db,
+		cfg:  cfg,
+		logf: cfg.Logf,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if r.logf == nil {
+		r.logf = func(string, ...any) {}
+	}
+	go r.run()
+	return r, nil
+}
+
+// Close stops the feed and waits for it to exit. It does not close
+// the database.
+func (r *Replica) Close() error {
+	conn, first := r.markClosed()
+	if first {
+		close(r.stop)
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	<-r.done
+	return nil
+}
+
+// markClosed flips the closed flag, returning the live connection (if
+// any) and whether this call was the one that closed.
+func (r *Replica) markClosed() (net.Conn, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, false
+	}
+	r.closed = true
+	return r.conn, true
+}
+
+// LastSeq returns the highest replication sequence applied so far.
+func (r *Replica) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSeq
+}
+
+// run is the feed loop: dial, stream, back off, repeat.
+func (r *Replica) run() {
+	defer close(r.done)
+	seed := r.cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	bo := newBackoff(r.cfg.BackoffBase, r.cfg.BackoffMax, r.cfg.BackoffJitter, seed)
+	for {
+		if r.isClosed() {
+			return
+		}
+		conn, err := r.dial()
+		if err == nil {
+			if r.stream(conn) > 0 {
+				bo.reset()
+			}
+		} else {
+			r.logf("repl: dial failed: %v", err)
+		}
+		if !r.sleep(bo.next()) {
+			return
+		}
+	}
+}
+
+// dial reaches the primary.
+func (r *Replica) dial() (net.Conn, error) {
+	if r.cfg.Dial != nil {
+		return r.cfg.Dial()
+	}
+	return net.Dial("tcp", r.cfg.Addr)
+}
+
+// isClosed reports whether Close has run.
+func (r *Replica) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// adopt records the live connection so Close can unblock reads;
+// it refuses when already closed.
+func (r *Replica) adopt(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.conn = conn
+	return true
+}
+
+// release forgets the connection after the stream ends.
+func (r *Replica) release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conn = nil
+}
+
+// sleep waits d or until Close, reporting whether to continue.
+func (r *Replica) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// stream runs one session: handshake with the last applied sequence,
+// then apply frames until the connection breaks. It returns the
+// number of frames applied.
+func (r *Replica) stream(conn net.Conn) int {
+	if !r.adopt(conn) {
+		conn.Close()
+		return 0
+	}
+	defer r.release()
+	defer conn.Close()
+
+	if _, err := fmt.Fprintf(conn, "RESUME %d\n", r.LastSeq()); err != nil {
+		return 0
+	}
+	br := bufio.NewReader(conn)
+	applied := 0
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			r.logStreamEnd(err, applied)
+			return applied
+		}
+		msg, err := Decode(payload)
+		if err != nil {
+			r.logf("repl: dropping connection on corrupt frame: %v", err)
+			return applied
+		}
+		if err := r.apply(msg); err != nil {
+			r.logf("repl: apply failed at seq %d: %v", msg.Seq(), err)
+			return applied
+		}
+		applied++
+	}
+}
+
+// logStreamEnd reports why a session ended, quietly for plain EOF.
+func (r *Replica) logStreamEnd(err error, applied int) {
+	if errors.Is(err, errRingClosed) {
+		return
+	}
+	r.logf("repl: stream ended after %d frames: %v", applied, err)
+}
+
+// apply dispatches one message into the database, enforcing the
+// sequence contract: snapshots rebase the cursor, updates and batches
+// must extend it contiguously. Duplicates (a primary resending across
+// a resume) are skipped without touching the database; gaps break the
+// session so the resume handshake can heal it.
+func (r *Replica) apply(msg Msg) error {
+	switch m := msg.(type) {
+	case *SnapshotMsg:
+		if err := r.db.InstallSnapshot(m.Snap); err != nil {
+			return err
+		}
+		r.setLastSeq(m.Snap.Seq)
+		r.observe(KindSnapshot, m.Snap.Seq)
+		return nil
+	case *UpdateMsg:
+		return r.applyAt(m.Sequence, KindUpdate, func() error {
+			return r.db.ApplyReplicated(strip.Update{
+				Object:    m.Object,
+				Value:     m.Value,
+				Fields:    kvMap(m.Fields),
+				Partial:   m.Partial,
+				Generated: nanosGen(m.Generated),
+			}, m.Importance)
+		})
+	case *BatchMsg:
+		return r.applyAt(m.Sequence, KindBatch, func() error {
+			return r.db.ApplyReplicatedBatch(m.Writes)
+		})
+	default:
+		return fmt.Errorf("%w: unexpected message %T", ErrMalformed, msg)
+	}
+}
+
+// applyAt runs fn for a stream message carrying sequence seq.
+func (r *Replica) applyAt(seq uint64, kind byte, fn func() error) error {
+	last := r.LastSeq()
+	if seq <= last {
+		return nil // duplicate across a resume; already applied
+	}
+	if seq != last+1 {
+		return fmt.Errorf("%w: have %d, got %d", errSeqGap, last, seq)
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	r.setLastSeq(seq)
+	r.observe(kind, seq)
+	return nil
+}
+
+// setLastSeq advances the applied-sequence cursor.
+func (r *Replica) setLastSeq(seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastSeq = seq
+}
+
+// observe feeds the OnFrame hook.
+func (r *Replica) observe(kind byte, seq uint64) {
+	if r.cfg.OnFrame != nil {
+		r.cfg.OnFrame(kind, seq)
+	}
+}
+
+// kvMap converts wire pairs to an attribute map.
+func kvMap(kvs []strip.KeyValue) map[string]float64 {
+	if len(kvs) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(kvs))
+	for _, kv := range kvs {
+		m[kv.Key] = kv.Value
+	}
+	return m
+}

@@ -1,0 +1,123 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+)
+
+// Ring errors, returned by awaitFrom.
+var (
+	// errTooOld reports that the requested sequence has fallen off the
+	// ring (or never existed here); the caller must bootstrap the
+	// replica with a snapshot instead.
+	errTooOld = errors.New("repl: sequence no longer in ring")
+	// errRingClosed reports the primary shut down.
+	errRingClosed = errors.New("repl: ring closed")
+)
+
+// ring is the primary's bounded in-memory frame log: the most recent
+// encoded frames, indexed by their contiguous replication sequence.
+// Writers append in sequence order; readers (one goroutine per
+// replica connection) block on a condition variable until frames past
+// their cursor exist. Appended frames are immutable, so readers share
+// the stored buffers without copying.
+type ring struct {
+	// cond signals appends and close to blocked readers; it wraps mu
+	// and is set once at construction.
+	cond *sync.Cond
+
+	mu     sync.Mutex
+	frames [][]byte // guarded by mu; circular, frames[(head+i)%len]
+	head   int      // guarded by mu
+	count  int      // guarded by mu
+	first  uint64   // guarded by mu; seq of frames[head], valid when count > 0
+	next   uint64   // guarded by mu; seq the next append is expected to carry
+	closed bool     // guarded by mu
+}
+
+// newRing returns a ring holding up to capacity frames, expecting its
+// first append to carry sequence next.
+func newRing(capacity int, next uint64) *ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	r := &ring{frames: make([][]byte, capacity), next: next}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// append stores one encoded frame under sequence seq and wakes
+// waiting readers. Out-of-order sequences reset the ring to start at
+// seq: history that is no longer contiguous is useless for resume,
+// and dropping it makes stale readers fall back to a snapshot.
+func (r *ring) append(seq uint64, frame []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if r.count > 0 && seq != r.first+uint64(r.count) {
+		r.head, r.count = 0, 0
+	}
+	if r.count == 0 {
+		r.first = seq
+	}
+	if r.count == len(r.frames) {
+		// Full: the oldest frame falls off.
+		r.frames[r.head] = nil
+		r.head = (r.head + 1) % len(r.frames)
+		r.first++
+		r.count--
+	}
+	r.frames[(r.head+r.count)%len(r.frames)] = frame
+	r.count++
+	r.next = seq + 1
+	r.cond.Broadcast()
+}
+
+// resumable reports whether a reader at sequence from (wanting from,
+// from+1, ...) can be served from the ring without a snapshot.
+func (r *ring) resumable(from uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return from == r.next
+	}
+	return from >= r.first && from <= r.first+uint64(r.count)
+}
+
+// awaitFrom returns the stored frames from sequence from onward,
+// blocking while none exist yet. It returns errTooOld when from has
+// fallen off the ring (snapshot required) and errRingClosed after
+// close.
+func (r *ring) awaitFrom(from uint64) ([][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, errRingClosed
+		}
+		if r.count == 0 {
+			if from != r.next {
+				return nil, errTooOld
+			}
+		} else if from < r.first || from > r.first+uint64(r.count) {
+			return nil, errTooOld
+		} else if from < r.first+uint64(r.count) {
+			out := make([][]byte, 0, r.first+uint64(r.count)-from)
+			for i := int(from - r.first); i < r.count; i++ {
+				out = append(out, r.frames[(r.head+i)%len(r.frames)])
+			}
+			return out, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// close wakes every waiting reader with errRingClosed.
+func (r *ring) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.cond.Broadcast()
+}

@@ -1,0 +1,129 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fill(r *ring, from, to uint64) {
+	for seq := from; seq <= to; seq++ {
+		r.append(seq, []byte{byte(seq)})
+	}
+}
+
+func TestRingAwaitFrom(t *testing.T) {
+	r := newRing(8, 1)
+	fill(r, 1, 5)
+	frames, err := r.awaitFrom(1)
+	if err != nil {
+		t.Fatalf("awaitFrom(1): %v", err)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("awaitFrom(1) returned %d frames, want 5", len(frames))
+	}
+	for i, f := range frames {
+		if f[0] != byte(i+1) {
+			t.Fatalf("frame %d carries %d, want %d", i, f[0], i+1)
+		}
+	}
+	frames, err = r.awaitFrom(4)
+	if err != nil || len(frames) != 2 {
+		t.Fatalf("awaitFrom(4) = %d frames, %v; want 2, nil", len(frames), err)
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	r := newRing(3, 1)
+	fill(r, 1, 5)
+	if r.resumable(2) {
+		t.Errorf("sequence 2 still resumable after falling off a 3-frame ring")
+	}
+	if !r.resumable(3) {
+		t.Errorf("sequence 3 not resumable; ring should hold 3..5")
+	}
+	if _, err := r.awaitFrom(1); !errors.Is(err, errTooOld) {
+		t.Errorf("awaitFrom(1) = %v, want errTooOld", err)
+	}
+	frames, err := r.awaitFrom(3)
+	if err != nil || len(frames) != 3 {
+		t.Fatalf("awaitFrom(3) = %d frames, %v; want 3, nil", len(frames), err)
+	}
+	if frames[0][0] != 3 || frames[2][0] != 5 {
+		t.Errorf("ring kept wrong window: %d..%d, want 3..5", frames[0][0], frames[2][0])
+	}
+}
+
+func TestRingResumableEmpty(t *testing.T) {
+	r := newRing(4, 10)
+	if !r.resumable(10) {
+		t.Errorf("empty ring must accept its expected next sequence")
+	}
+	if r.resumable(9) || r.resumable(11) {
+		t.Errorf("empty ring must reject anything but its expected next sequence")
+	}
+}
+
+func TestRingOutOfOrderResets(t *testing.T) {
+	r := newRing(8, 1)
+	fill(r, 1, 3)
+	r.append(10, []byte{10}) // gap: history no longer contiguous
+	if r.resumable(1) {
+		t.Errorf("pre-gap sequence still resumable after reset")
+	}
+	frames, err := r.awaitFrom(10)
+	if err != nil || len(frames) != 1 || frames[0][0] != 10 {
+		t.Fatalf("awaitFrom(10) after reset = %v, %v; want frame 10", frames, err)
+	}
+}
+
+func TestRingBlocksUntilAppend(t *testing.T) {
+	r := newRing(8, 1)
+	fill(r, 1, 2)
+	type result struct {
+		frames [][]byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		frames, err := r.awaitFrom(3) // nothing there yet: blocks
+		done <- result{frames, err}
+	}()
+	select {
+	case res := <-done:
+		t.Fatalf("awaitFrom(3) returned early: %v, %v", res.frames, res.err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.append(3, []byte{3})
+	select {
+	case res := <-done:
+		if res.err != nil || len(res.frames) != 1 || res.frames[0][0] != 3 {
+			t.Fatalf("awaitFrom(3) woke with %v, %v; want frame 3", res.frames, res.err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("awaitFrom(3) still blocked after append")
+	}
+}
+
+func TestRingCloseWakesReaders(t *testing.T) {
+	r := newRing(8, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.awaitFrom(1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errRingClosed) {
+			t.Fatalf("awaitFrom after close = %v, want errRingClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("close did not wake the blocked reader")
+	}
+	r.append(1, []byte{1}) // must be a no-op, not a panic
+	if _, err := r.awaitFrom(1); !errors.Is(err, errRingClosed) {
+		t.Errorf("closed ring accepted a read")
+	}
+}

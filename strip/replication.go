@@ -1,0 +1,370 @@
+package strip
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Replication support: the primary side of strip/repl observes the
+// database through a sink of ReplEvents, and the replica side feeds a
+// database through ApplyReplicated / ApplyReplicatedBatch /
+// InstallSnapshot.
+//
+// The database assigns one total order — the replication sequence —
+// to everything that changes durable-or-derived-from-stream state:
+// every worthy view install and every committed general-data batch
+// takes the next sequence number at the moment it is applied, inside
+// the same db.mu critical section that applies it. A snapshot taken
+// under the same lock is therefore exactly consistent with a sequence
+// number: state(S) plus frames S+1, S+2, ... replays to state(S+k)
+// with no gaps and no duplicates. A replica of a strip primary is the
+// paper's imported materialized view with the primary as the external
+// world; its freshness is measured with the paper's own MA and UU
+// criteria (see Stats.ReplicaLagSeconds / ReplicaLagUpdates).
+
+// ReplEventKind discriminates replication events.
+type ReplEventKind int
+
+const (
+	// ReplUpdate is a worthy view install (the update stream).
+	ReplUpdate ReplEventKind = iota
+	// ReplBatch is a committed general-data write batch (the WAL
+	// stream).
+	ReplBatch
+)
+
+// KeyValue is one key/value pair in deterministic (sorted) encodings.
+type KeyValue struct {
+	Key   string
+	Value float64
+}
+
+// ReplEvent is one element of the replication stream, in total order.
+type ReplEvent struct {
+	// Seq is the replication sequence number; consecutive events have
+	// consecutive numbers.
+	Seq uint64
+	// Kind selects which of the field groups below is meaningful.
+	Kind ReplEventKind
+
+	// ReplUpdate fields: the installed view update.
+	Object     string
+	Importance Importance
+	Value      float64
+	Fields     []KeyValue // named attributes, sorted by key
+	Partial    bool
+	Generated  time.Time
+
+	// ReplBatch fields: the committed writes, sorted by key.
+	Writes []KeyValue
+}
+
+// Snapshot is a consistent cut of the database for replica bootstrap:
+// state as of sequence Seq. Views are sorted by name (derived views
+// are excluded — a replica recomputes them if it registers the same
+// definitions) and General is sorted by key, so equal states encode
+// to equal bytes.
+type Snapshot struct {
+	Seq     uint64
+	Views   []SnapshotView
+	General []KeyValue
+}
+
+// SnapshotView is one view object's state inside a Snapshot.
+type SnapshotView struct {
+	Name       string
+	Importance Importance
+	Value      float64
+	Generated  time.Time
+	Fields     []KeyValue // sorted by key
+}
+
+// SetReplicationSink registers fn to receive every replication event,
+// in sequence order. The sink runs inside the database's write lock:
+// it must be fast and must not call back into the database. Passing
+// nil detaches the sink; sequence numbering pauses while no sink is
+// attached.
+func (db *DB) SetReplicationSink(fn func(ReplEvent)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.sink = fn
+}
+
+// Sequence returns the current replication sequence number: the
+// number of events published so far.
+func (db *DB) Sequence() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
+// emitLocked assigns the next sequence number and hands the event to
+// the sink. Callers hold db.mu for writing; emitting inside the
+// critical section that applied the change is what makes the sequence
+// a total order and snapshots consistent.
+func (db *DB) emitLocked(ev ReplEvent) {
+	if db.sink == nil {
+		return
+	}
+	db.seq++
+	ev.Seq = db.seq
+	db.sink(ev)
+}
+
+// emitInstallLocked publishes a worthy view install. Callers hold
+// db.mu for writing.
+func (db *DB) emitInstallLocked(u *model.Update, gen time.Time) {
+	if db.sink == nil {
+		return
+	}
+	ev := ReplEvent{
+		Kind:       ReplUpdate,
+		Object:     db.defs[u.Object].name,
+		Importance: db.defs[u.Object].importance,
+		Value:      u.Payload,
+		Generated:  gen,
+	}
+	switch fields := u.Aux.(type) {
+	case partialFields:
+		ev.Partial = true
+		ev.Fields = sortedKVs(fields)
+	case completeFields:
+		ev.Fields = sortedKVs(fields)
+	}
+	db.emitLocked(ev)
+}
+
+// emitBatchLocked publishes a committed write batch. Callers hold
+// db.mu for writing.
+func (db *DB) emitBatchLocked(writes map[string]float64) {
+	if db.sink == nil {
+		return
+	}
+	db.emitLocked(ReplEvent{Kind: ReplBatch, Writes: sortedKVs(writes)})
+}
+
+// applyWritesLocked logs, applies and publishes one committed batch
+// of general-data writes. Callers hold db.mu for writing. Transaction
+// commit and replicated batches share this path, so both appear in
+// the WAL and in the replication stream.
+func (db *DB) applyWritesLocked(writes map[string]float64) error {
+	if db.wal != nil {
+		if err := db.wal.appendBatch(writes); err != nil {
+			return fmt.Errorf("strip: WAL append failed: %w", err)
+		}
+	}
+	for k, v := range writes {
+		db.general[k] = v
+	}
+	db.emitBatchLocked(writes)
+	return nil
+}
+
+// ApplyReplicated submits one update received from a primary. It
+// differs from ApplyUpdate in three ways: an unknown view object is
+// defined on the fly with the carried importance (the replica imports
+// the primary's schema as it streams), the update is tagged for lag
+// accounting, and a full ingest buffer blocks instead of dropping —
+// replication applies backpressure to the stream rather than losing
+// updates. The update still flows through the normal scheduler queue,
+// so the configured policy governs install order on the replica too.
+func (db *DB) ApplyReplicated(u Update, imp Importance) error {
+	id, err := db.ensureView(u.Object, imp)
+	if err != nil {
+		return err
+	}
+	gen := u.Generated
+	if gen.IsZero() {
+		gen = db.now()
+	}
+	mu := &model.Update{
+		Object:      id,
+		Class:       model.Importance(imp),
+		GenTime:     db.secs(gen),
+		ArrivalTime: db.secs(db.now()),
+		Payload:     u.Value,
+		WallGen:     gen.UnixNano(),
+		Replicated:  true,
+	}
+	if u.Fields != nil {
+		if u.Partial {
+			mu.Aux = partialFields(copyFields(u.Fields))
+		} else {
+			mu.Aux = completeFields(copyFields(u.Fields))
+		}
+	}
+	db.mu.Lock()
+	db.arrival++
+	mu.Seq = db.arrival
+	db.lag.Received(id, mu.GenTime)
+	db.mu.Unlock()
+
+	select {
+	case db.ingestCh <- mu:
+		return nil
+	case <-db.stopCh:
+		return ErrClosed
+	}
+}
+
+// ensureView resolves a view name, defining it with the given
+// importance when missing. Derived views cannot be fed externally.
+func (db *DB) ensureView(name string, imp Importance) (model.ObjectID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	if id, ok := db.names[name]; ok {
+		if db.defs[id].derived {
+			return 0, fmt.Errorf("%w: %q", ErrDerivedUpdate, name)
+		}
+		return id, nil
+	}
+	return db.defineViewLocked(name, imp), nil
+}
+
+// defineViewLocked registers a view object. Callers hold db.mu for
+// writing and have checked the name is unused.
+func (db *DB) defineViewLocked(name string, importance Importance) model.ObjectID {
+	id := model.ObjectID(len(db.defs))
+	db.names[name] = id
+	db.defs = append(db.defs, viewDef{name: name, importance: importance})
+	db.entries = append(db.entries, viewEntry{})
+	db.pending = append(db.pending, 0)
+	return id
+}
+
+// ApplyReplicatedBatch applies one committed write batch received
+// from a primary: it is logged to the WAL, applied to the general
+// store and re-published (so replicas can chain), exactly like a
+// local transaction commit.
+func (db *DB) ApplyReplicatedBatch(writes []KeyValue) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	m := make(map[string]float64, len(writes))
+	for _, kv := range writes {
+		m[kv.Key] = kv.Value
+	}
+	db.stats.ReplBatchesApplied++
+	return db.applyWritesLocked(m)
+}
+
+// ReplicaSnapshot returns a consistent cut of the database: every
+// non-derived view's state, the general store, and the replication
+// sequence they correspond to. It is the bootstrap payload served to
+// cold replicas, deterministic for equal states.
+func (db *DB) ReplicaSnapshot() Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Snapshot{Seq: db.seq, General: sortedKVs(db.general)}
+	for id, def := range db.defs {
+		if def.derived {
+			continue
+		}
+		e := db.entries[id]
+		s.Views = append(s.Views, SnapshotView{
+			Name:       def.name,
+			Importance: def.importance,
+			Value:      e.value,
+			Generated:  e.generated,
+			Fields:     sortedKVs(e.fields),
+		})
+	}
+	sort.Slice(s.Views, func(i, j int) bool { return s.Views[i].Name < s.Views[j].Name })
+	return s
+}
+
+// InstallSnapshot loads a primary's snapshot into the database:
+// missing views are defined, view state newer than the local state is
+// installed, and the general pairs are applied as one logged batch.
+// It does not touch views the snapshot omits, so a replica can also
+// serve local data.
+func (db *DB) InstallSnapshot(s Snapshot) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, v := range s.Views {
+		id, ok := db.names[v.Name]
+		if !ok {
+			id = db.defineViewLocked(v.Name, v.Importance)
+		} else if db.defs[id].derived {
+			continue
+		}
+		e := &db.entries[id]
+		if !v.Generated.After(e.generated) {
+			continue
+		}
+		e.value = v.Value
+		e.fields = kvFields(v.Fields)
+		e.generated = v.Generated
+		db.recordHistoryLocked(id)
+		db.lag.Installed(id, db.secs(v.Generated))
+	}
+	db.stats.ReplSnapshotsInstalled++
+	if len(s.General) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(s.General))
+	for _, kv := range s.General {
+		m[kv.Key] = kv.Value
+	}
+	return db.applyWritesLocked(m)
+}
+
+// ReplicaLag returns the aggregate replication lag under the paper's
+// two criteria: MA — the seconds by which the most out-of-date view
+// trails the newest generation received from the primary — and UU —
+// the count of received-but-uninstalled replicated updates.
+func (db *DB) ReplicaLag() (maSeconds float64, uuUpdates int) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.lag.Aggregate()
+}
+
+// ObjectLag returns one view object's replication lag (MA seconds and
+// UU pending count).
+func (db *DB) ObjectLag(name string) (maSeconds float64, uuUpdates int, err error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	id, ok := db.names[name]
+	if !ok {
+		return 0, 0, ErrUnknownObject
+	}
+	ma, uu := db.lag.Object(id)
+	return ma, uu, nil
+}
+
+// sortedKVs flattens a map into key-sorted pairs; nil and empty maps
+// return nil.
+func sortedKVs(m map[string]float64) []KeyValue {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]KeyValue, 0, len(m))
+	for k, v := range m {
+		out = append(out, KeyValue{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// kvFields converts sorted pairs back into an attribute map.
+func kvFields(kvs []KeyValue) map[string]float64 {
+	if len(kvs) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(kvs))
+	for _, kv := range kvs {
+		m[kv.Key] = kv.Value
+	}
+	return m
+}

@@ -303,4 +303,22 @@ type Stats struct {
 	TxnsFailed uint64
 	// ValueCommitted sums the value of committed transactions.
 	ValueCommitted float64
+
+	// ReplicationSeq is the replication sequence number: how many
+	// events (worthy installs and committed batches) this database has
+	// published to its replication sink.
+	ReplicationSeq uint64
+	// ReplBatchesApplied counts write batches applied from a primary.
+	ReplBatchesApplied uint64
+	// ReplSnapshotsInstalled counts bootstrap snapshots installed from
+	// a primary.
+	ReplSnapshotsInstalled uint64
+	// ReplicaLagSeconds is the MA replication lag: the seconds by
+	// which the most out-of-date view trails the newest generation
+	// received from the primary (§2's maximum-age criterion applied to
+	// the imported stream).
+	ReplicaLagSeconds float64
+	// ReplicaLagUpdates is the UU replication lag: replicated updates
+	// received but not yet installed (§2's unapplied-update criterion).
+	ReplicaLagUpdates int
 }

@@ -181,23 +181,16 @@ func (db *DB) execute(req *txnReq) {
 }
 
 // commit logs and applies the transaction's buffered general-data
-// writes. The WAL append and the in-memory apply happen under one
-// critical section so Checkpoint sees a consistent cut.
+// writes. The WAL append, the in-memory apply and the replication
+// publish happen under one critical section so Checkpoint and
+// ReplicaSnapshot see a consistent cut (see applyWritesLocked).
 func (tx *Tx) commit() error {
 	if len(tx.writes) == 0 {
 		return nil
 	}
 	tx.db.mu.Lock()
 	defer tx.db.mu.Unlock()
-	if tx.db.wal != nil {
-		if err := tx.db.wal.appendBatch(tx.writes); err != nil {
-			return fmt.Errorf("strip: WAL append failed: %w", err)
-		}
-	}
-	for k, v := range tx.writes {
-		tx.db.general[k] = v
-	}
-	return nil
+	return tx.db.applyWritesLocked(tx.writes)
 }
 
 // checkState validates that the handle is usable and the deadline has
