@@ -190,10 +190,10 @@ func BenchmarkGenQueueTakeFor(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obj := model.ObjectID(i % 1000)
-		newest, n := q.TakeFor(obj)
+		newest, superseded := q.TakeFor(obj)
 		if newest != nil {
 			// Put them back so the queue stays populated.
-			for j := 0; j < n; j++ {
+			for j := 0; j <= len(superseded); j++ {
 				q.Insert(&model.Update{Seq: newest.Seq, Object: obj, GenTime: newest.GenTime})
 			}
 		}

@@ -84,6 +84,18 @@ func (l *ReplicaLag) Installed(obj model.ObjectID, gen float64) {
 	}
 }
 
+// Refreshed records a *local* (non-replicated) install for obj with
+// the given generation time. It advances the applied generation — a
+// local value newer than everything received leaves the object fresh
+// under MA — without touching the pending count, which only counts
+// replicated updates.
+func (l *ReplicaLag) Refreshed(obj model.ObjectID, gen float64) {
+	l.ensure(obj)
+	if gen > l.applied[obj] {
+		l.applied[obj] = gen
+	}
+}
+
 // Object returns one object's lag: MA seconds (newest received minus
 // newest installed generation, zero when caught up) and UU pending
 // count. Unknown objects report zero lag.

@@ -113,8 +113,8 @@ func (cq *classQueues) NewestFor(class model.Importance, id model.ObjectID) *mod
 }
 
 // TakeFor removes every queued update for the object, returning the
-// newest and the count removed.
-func (cq *classQueues) TakeFor(class model.Importance, id model.ObjectID) (*model.Update, int) {
+// newest and the superseded remainder.
+func (cq *classQueues) TakeFor(class model.Importance, id model.ObjectID) (*model.Update, []*model.Update) {
 	return cq.q[class].TakeFor(id)
 }
 

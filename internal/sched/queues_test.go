@@ -106,9 +106,9 @@ func TestClassQueuesTakeForAndNewestFor(t *testing.T) {
 	if got := cq.NewestFor(model.Low, 42); got.GenTime != 7 {
 		t.Fatalf("NewestFor gen = %v, want 7", got.GenTime)
 	}
-	newest, n := cq.TakeFor(model.Low, 42)
-	if newest.GenTime != 7 || n != 2 {
-		t.Fatalf("TakeFor = (%v, %d)", newest.GenTime, n)
+	newest, sup := cq.TakeFor(model.Low, 42)
+	if newest.GenTime != 7 || len(sup) != 1 {
+		t.Fatalf("TakeFor = (%v, %d superseded)", newest.GenTime, len(sup))
 	}
 	if cq.Len() != 1 {
 		t.Fatalf("Len after TakeFor = %d", cq.Len())

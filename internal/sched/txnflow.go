@@ -197,7 +197,7 @@ func (c *Controller) odAfterScan(tr *txnRun, obj model.ObjectID) {
 		}
 	}
 
-	newest, n := c.uq.TakeFor(class, obj)
+	newest, superseded := c.uq.TakeFor(class, obj)
 	if newest == nil {
 		// UU-strict can report staleness with an empty queue (the
 		// pending update was dropped); nothing to apply.
@@ -205,7 +205,7 @@ func (c *Controller) odAfterScan(tr *txnRun, obj model.ObjectID) {
 		return
 	}
 	// Superseded older updates for the object are discarded.
-	for i := 0; i < n-1; i++ {
+	for range superseded {
 		c.tracker.Removed(obj, newest.GenTime, now)
 		c.col.UpdateSkippedUnworthy()
 		c.traceUpdate(TraceUpdateSkipped, obj)

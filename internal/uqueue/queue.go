@@ -32,9 +32,12 @@ type Queue interface {
 	// without removing it, or nil.
 	NewestFor(id model.ObjectID) *model.Update
 	// TakeFor removes every queued update for the object and returns
-	// the newest one plus the count removed. It is the On Demand
-	// refresh operation: apply the newest, discard the superseded.
-	TakeFor(id model.ObjectID) (newest *model.Update, removed int)
+	// the newest one plus the superseded remainder (every removed
+	// update except the newest). It is the On Demand refresh
+	// operation: apply the newest, discard the superseded — returned
+	// individually so the caller can account for each one (class
+	// counts, replication lag).
+	TakeFor(id model.ObjectID) (newest *model.Update, superseded []*model.Update)
 	// DiscardOlderGen removes every update whose generation time is
 	// strictly before cutoff (MA expiry at a scheduling point) and
 	// returns them in generation order.
@@ -139,12 +142,12 @@ func (q *GenQueue) NewestFor(id model.ObjectID) *model.Update {
 // CountFor returns the number of queued updates for the object.
 func (q *GenQueue) CountFor(id model.ObjectID) int { return len(q.byObj[id]) }
 
-// TakeFor removes all updates for the object, returning the newest and
-// the total count removed.
-func (q *GenQueue) TakeFor(id model.ObjectID) (*model.Update, int) {
+// TakeFor removes all updates for the object, returning the newest
+// and the superseded remainder.
+func (q *GenQueue) TakeFor(id model.ObjectID) (*model.Update, []*model.Update) {
 	list := q.byObj[id]
 	if len(list) == 0 {
-		return nil, 0
+		return nil, nil
 	}
 	var newest *model.Update
 	for _, u := range list {
@@ -153,9 +156,14 @@ func (q *GenQueue) TakeFor(id model.ObjectID) (*model.Update, int) {
 			newest = u
 		}
 	}
-	n := len(list)
+	var superseded []*model.Update
+	for _, u := range list {
+		if u != newest {
+			superseded = append(superseded, u)
+		}
+	}
 	delete(q.byObj, id)
-	return newest, n
+	return newest, superseded
 }
 
 // DiscardOlderGen removes every update generated strictly before
@@ -268,15 +276,16 @@ func (q *CoalescedQueue) CountFor(id model.ObjectID) int {
 	return 0
 }
 
-// TakeFor removes and returns the update for the object, if any.
-func (q *CoalescedQueue) TakeFor(id model.ObjectID) (*model.Update, int) {
+// TakeFor removes and returns the update for the object, if any; a
+// coalescing queue never holds superseded updates.
+func (q *CoalescedQueue) TakeFor(id model.ObjectID) (*model.Update, []*model.Update) {
 	u, ok := q.byObj[id]
 	if !ok {
-		return nil, 0
+		return nil, nil
 	}
 	q.t.remove(u)
 	delete(q.byObj, id)
-	return u, 1
+	return u, nil
 }
 
 // DiscardOlderGen removes every update generated strictly before cutoff.

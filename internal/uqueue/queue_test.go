@@ -72,7 +72,7 @@ func TestGenQueueEmptyOps(t *testing.T) {
 	if q.PopOldest() != nil || q.PopNewest() != nil || q.PeekOldest() != nil {
 		t.Fatal("pops on empty queue should return nil")
 	}
-	if u, n := q.TakeFor(3); u != nil || n != 0 {
+	if u, sup := q.TakeFor(3); u != nil || len(sup) != 0 {
 		t.Fatal("TakeFor on empty queue should be empty")
 	}
 	if got := q.DiscardOlderGen(100); len(got) != 0 {
@@ -118,9 +118,12 @@ func TestGenQueueTakeFor(t *testing.T) {
 	q.Insert(upd(1, 7, 1))
 	q.Insert(upd(2, 7, 5))
 	q.Insert(upd(3, 8, 3))
-	newest, n := q.TakeFor(7)
-	if newest == nil || newest.GenTime != 5 || n != 2 {
-		t.Fatalf("TakeFor = (%+v, %d), want (gen 5, 2)", newest, n)
+	newest, sup := q.TakeFor(7)
+	if newest == nil || newest.GenTime != 5 || len(sup) != 1 {
+		t.Fatalf("TakeFor = (%+v, %d superseded), want (gen 5, 1)", newest, len(sup))
+	}
+	if sup[0].GenTime != 1 {
+		t.Fatalf("superseded gen = %v, want 1", sup[0].GenTime)
 	}
 	if q.Len() != 1 || q.CountFor(7) != 0 {
 		t.Fatalf("queue after TakeFor: len=%d countFor7=%d", q.Len(), q.CountFor(7))
@@ -196,7 +199,7 @@ func TestQuickGenQueueInvariants(t *testing.T) {
 				delete(shadow, u.Seq)
 			case 3: // take for object
 				obj := model.ObjectID(r.Intn(5))
-				newest, n := q.TakeFor(obj)
+				newest, sup := q.TakeFor(obj)
 				cnt := 0
 				var want *model.Update
 				for _, s := range shadow {
@@ -206,6 +209,10 @@ func TestQuickGenQueueInvariants(t *testing.T) {
 							want = s
 						}
 					}
+				}
+				n := len(sup)
+				if newest != nil {
+					n++
 				}
 				if n != cnt {
 					return false
@@ -272,12 +279,12 @@ func TestCoalescedQueueTakeForAndCount(t *testing.T) {
 	if q.CountFor(7) != 1 || q.CountFor(8) != 0 {
 		t.Fatal("CountFor wrong")
 	}
-	u, n := q.TakeFor(7)
-	if u == nil || n != 1 || q.Len() != 0 {
-		t.Fatalf("TakeFor = (%v, %d)", u, n)
+	u, sup := q.TakeFor(7)
+	if u == nil || len(sup) != 0 || q.Len() != 0 {
+		t.Fatalf("TakeFor = (%v, %d superseded)", u, len(sup))
 	}
-	u, n = q.TakeFor(7)
-	if u != nil || n != 0 {
+	u, sup = q.TakeFor(7)
+	if u != nil || len(sup) != 0 {
 		t.Fatal("second TakeFor should be empty")
 	}
 }

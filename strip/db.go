@@ -48,10 +48,13 @@ type DB struct {
 	// Replication state (see replication.go). seq is the replication
 	// sequence — the total order over worthy view installs and
 	// committed write batches — advanced by emitLocked inside the
-	// critical section that applies the change. arrival is the queue
-	// tie-break counter for incoming updates. lag tracks replica
-	// freshness under the MA and UU criteria.
+	// critical section that applies the change, whether or not a sink
+	// is attached. epoch identifies this instance's sequence history
+	// in the resume handshake; it is set at Open and never changes.
+	// arrival is the queue tie-break counter for incoming updates.
+	// lag tracks replica freshness under the MA and UU criteria.
 	seq     uint64              // guarded by mu
+	epoch   uint64              // immutable after Open
 	arrival uint64              // guarded by mu
 	sink    func(ReplEvent)     // guarded by mu
 	lag     *metrics.ReplicaLag // guarded by mu
@@ -124,6 +127,13 @@ func Open(cfg Config) (*DB, error) {
 		general:  general,
 		wal:      wal,
 		lag:      metrics.NewReplicaLag(),
+	}
+	db.epoch = cfg.ReplicationEpoch
+	if db.epoch == 0 {
+		db.epoch = uint64(db.start.UnixNano())
+	}
+	if db.epoch == 0 {
+		db.epoch = 1
 	}
 	if cfg.Coalesce {
 		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
@@ -315,6 +325,11 @@ func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 	db.stats.UpdatesInstalled++
 	if u.Replicated {
 		db.lag.Installed(u.Object, u.GenTime)
+	} else {
+		// A local install newer than everything received leaves the
+		// object fresh under MA even while replicated updates it
+		// superseded are still being discarded.
+		db.lag.Refreshed(u.Object, u.GenTime)
 	}
 	db.emitInstallLocked(u, gen)
 	return true

@@ -213,24 +213,27 @@ func (db *DB) installAll(class int) {
 // any (the OnDemand in-line refresh). All superseded queued updates
 // for the object are discarded.
 func (db *DB) refreshOnDemand(id model.ObjectID) {
-	newest, n := db.queue.TakeFor(id)
+	newest, superseded := db.queue.TakeFor(id)
 	if newest == nil {
 		return
 	}
 	db.mu.Lock()
-	db.pending[id] -= n
+	db.pending[id] -= len(superseded) + 1
 	if newest.Class == model.High {
-		db.highCount -= n
+		db.highCount--
 	}
-	if n > 1 {
-		db.stats.UpdatesSkipped += uint64(n - 1)
-		if newest.Replicated {
-			// The superseded queue entries came from the same stream
-			// as the survivor; account them as unapplied drops.
-			for i := 0; i < n-1; i++ {
-				db.lag.Removed(id)
-			}
+	for _, u := range superseded {
+		if u.Class == model.High {
+			db.highCount--
 		}
+		if u.Replicated {
+			// Superseded without installing: settle its pending count
+			// in the lag account. Each entry carries its own flag — a
+			// local survivor can supersede replicated entries and vice
+			// versa, so the survivor's flag says nothing about them.
+			db.lag.Removed(id)
+		}
+		db.stats.UpdatesSkipped++
 	}
 	db.mu.Unlock()
 	db.install(newest, db.genTime(newest))

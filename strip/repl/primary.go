@@ -3,10 +3,12 @@ package repl
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/strip"
 )
@@ -25,12 +27,26 @@ type PrimaryConfig struct {
 // the database as its replication sink, keeps the bounded frame ring,
 // and serves the frame protocol to replicas:
 //
-//	replica → primary:  one text line, "RESUME <seq>" (the highest
-//	                    sequence the replica holds; 0 for none) or
-//	                    "SNAPSHOT" (force a bootstrap)
-//	primary → replica:  binary frames (see WriteFrame), starting with
-//	                    a snapshot frame when the requested sequence
-//	                    is not resumable from the ring
+//	replica → primary:  one text line, "RESUME <seq> <epoch>" (the
+//	                    highest sequence the replica holds and the
+//	                    epoch of the history it came from; "RESUME 0 0"
+//	                    when cold) or "SNAPSHOT" (force a bootstrap)
+//	primary → replica:  one text line, "EPOCH <epoch>" (the primary
+//	                    database's replication epoch), then binary
+//	                    frames (see WriteFrame), starting with a
+//	                    snapshot frame when the replica's epoch is not
+//	                    this database's or its sequence is not
+//	                    resumable from the ring
+//
+// The epoch exchange is what makes resume safe across primary
+// restarts: a restarted primary process numbers a brand-new history
+// from zero, and without the epoch check a surviving replica whose
+// old cursor happens to fall inside the new ring would silently
+// splice two unrelated histories together. A cold replica presents
+// epoch 0, which matches no database and therefore always bootstraps
+// from a snapshot — including every bit of primary state that
+// predates the stream (WAL-recovered data, installs before the
+// Primary attached, views defined but never updated).
 type Primary struct {
 	db   *strip.DB
 	ring *ring
@@ -174,19 +190,42 @@ func (p *Primary) markClosed() (ln net.Listener, conns []net.Conn, first bool) {
 func (p *Primary) serveConn(conn net.Conn) {
 	defer p.wg.Done()
 	defer p.untrack(conn)
-	defer conn.Close()
 
-	from, err := readHandshake(conn)
+	from, epoch, err := readHandshake(conn)
 	if err != nil {
+		conn.Close()
 		p.logf("repl: bad handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
+
+	// Watchdog: the replica sends nothing after its handshake, so a
+	// completed read means the peer hung up or the link died. Waking
+	// the ring lets a handler blocked in awaitFrom on a quiet primary
+	// exit now instead of lingering until the next append fails.
+	var gone atomic.Bool
+	watchdogDone := make(chan struct{})
+	go func() {
+		defer close(watchdogDone)
+		io.Copy(io.Discard, conn)
+		gone.Store(true)
+		p.ring.wake()
+	}()
+	defer func() { <-watchdogDone }()
+	defer conn.Close()
+
 	w := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintf(w, "EPOCH %d\n", p.db.ReplicationEpoch()); err != nil {
+		return
+	}
+	// A replica from a different history — a previous primary process,
+	// or no history at all (epoch 0, cold) — cannot resume: its
+	// sequence numbers describe a state this database never held.
+	needSnapshot := epoch != p.db.ReplicationEpoch()
 	for {
-		if !p.ring.resumable(from) {
-			// The replica is cold or has lapsed past the ring:
-			// bootstrap it with a consistent snapshot and resume the
+		if needSnapshot || !p.ring.resumable(from) {
+			// Bootstrap with a consistent snapshot and resume the
 			// stream right after the snapshot's sequence.
+			needSnapshot = false
 			snap := p.db.ReplicaSnapshot()
 			payload, err := EncodeSnapshot(snap)
 			if err != nil {
@@ -198,12 +237,12 @@ func (p *Primary) serveConn(conn net.Conn) {
 			}
 			from = snap.Seq + 1
 		}
-		frames, err := p.ring.awaitFrom(from)
+		frames, err := p.ring.awaitFrom(from, gone.Load)
 		if err == errTooOld {
 			continue // lapsed while waiting: snapshot again
 		}
 		if err != nil {
-			return // ring closed
+			return // ring closed or connection gone
 		}
 		for _, f := range frames {
 			if WriteFrame(w, f) != nil {
@@ -218,28 +257,34 @@ func (p *Primary) serveConn(conn net.Conn) {
 }
 
 // readHandshake parses the replica's request line into the first
-// sequence it wants (0 forces a snapshot via the resumable check when
-// the stream has moved on).
-func readHandshake(conn net.Conn) (uint64, error) {
+// sequence it wants and the epoch of the history that sequence came
+// from. Epoch 0 — a cold replica, or an old-format "RESUME <seq>"
+// line — matches no database and forces a snapshot.
+func readHandshake(conn net.Conn) (from, epoch uint64, err error) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 256), 1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		return 0, fmt.Errorf("connection closed before handshake")
+		return 0, 0, fmt.Errorf("connection closed before handshake")
 	}
-	line := strings.TrimSpace(sc.Text())
+	fields := strings.Fields(strings.TrimSpace(sc.Text()))
 	switch {
-	case line == "SNAPSHOT":
-		return 0, nil
-	case strings.HasPrefix(line, "RESUME "):
-		last, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "RESUME ")), 10, 64)
+	case len(fields) == 1 && fields[0] == "SNAPSHOT":
+		return 0, 0, nil
+	case (len(fields) == 2 || len(fields) == 3) && fields[0] == "RESUME":
+		last, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return 0, fmt.Errorf("bad RESUME sequence: %v", err)
+			return 0, 0, fmt.Errorf("bad RESUME sequence: %v", err)
 		}
-		return last + 1, nil
+		if len(fields) == 3 {
+			if epoch, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				return 0, 0, fmt.Errorf("bad RESUME epoch: %v", err)
+			}
+		}
+		return last + 1, epoch, nil
 	default:
-		return 0, fmt.Errorf("unknown handshake %q", line)
+		return 0, 0, fmt.Errorf("unknown handshake %q", strings.Join(fields, " "))
 	}
 }

@@ -1,9 +1,11 @@
 package repl
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -114,6 +116,12 @@ func (r *recorder) history() []frameRec {
 	return append([]frameRec(nil), r.recs...)
 }
 
+func (r *recorder) snapCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snaps
+}
+
 // checkContiguous verifies the applied history has no gaps and no
 // duplicates: every non-snapshot frame extends the cursor by exactly
 // one, and snapshots rebase it.
@@ -209,6 +217,12 @@ func TestReplicaConvergence(t *testing.T) {
 	}
 	t.Cleanup(func() { r.Close() })
 
+	// Let the cold bootstrap land before feeding so every event below
+	// arrives as a stream frame, not inside the bootstrap snapshot.
+	waitFor(t, 5*time.Second, "cold bootstrap", func() bool {
+		return len(rec.history()) >= 1
+	})
+
 	const updates, batches = 60, 5
 	gen := feedUpdates(t, primary, []string{"fx/a", "fx/b"}, updates/2, time.Now())
 	for i := 0; i < batches; i++ {
@@ -232,9 +246,16 @@ func TestReplicaConvergence(t *testing.T) {
 	if p, q := encodedState(t, primary), encodedState(t, replica); !bytes.Equal(p, q) {
 		t.Fatalf("replica state diverged from primary:\nprimary %x\nreplica %x", p, q)
 	}
-	checkContiguous(t, rec.history(), 1)
-	if rec.snaps != 0 {
-		t.Errorf("replica fell back to %d snapshots; expected pure streaming", rec.snaps)
+	history := rec.history()
+	checkContiguous(t, history, 1)
+	// A cold replica always bootstraps from a snapshot (it has no
+	// epoch, so its empty state cannot be assumed to match sequence
+	// zero); after that one bootstrap it must stream.
+	if history[0].kind != KindSnapshot {
+		t.Errorf("first applied frame kind = %d, want bootstrap snapshot", history[0].kind)
+	}
+	if rec.snapCount() != 1 {
+		t.Errorf("replica used %d snapshots; want exactly the cold bootstrap", rec.snapCount())
 	}
 	if stats := primary.Stats(); stats.ReplicationSeq != want {
 		t.Errorf("primary ReplicationSeq = %d, want %d", stats.ReplicationSeq, want)
@@ -292,11 +313,16 @@ func TestReplicaResume(t *testing.T) {
 	})
 	history := rec.history()
 	checkContiguous(t, history, 1)
-	if len(history) != 3*phase {
-		t.Errorf("replica applied %d frames, want exactly %d (no duplicates)", len(history), 3*phase)
+	if rec.snapCount() != 1 {
+		t.Errorf("replica used %d snapshots; want only the cold bootstrap — both resumes should have healed the stream", rec.snapCount())
 	}
-	if rec.snaps != 0 {
-		t.Errorf("replica needed %d snapshots; resume should have healed the stream", rec.snaps)
+	if history[0].kind != KindSnapshot {
+		t.Fatalf("first applied frame kind = %d, want the cold bootstrap snapshot", history[0].kind)
+	}
+	// Exactly one frame per sequence after the bootstrap: no
+	// duplicate installs across either resume.
+	if want := 3*phase - int(history[0].seq) + 1; len(history) != want {
+		t.Errorf("replica applied %d frames, want exactly %d (no duplicates)", len(history), want)
 	}
 	if p, q := encodedState(t, primary), encodedState(t, replica); !bytes.Equal(p, q) {
 		t.Fatalf("replica state diverged from primary after resumes")
@@ -348,8 +374,8 @@ func TestSnapshotBootstrap(t *testing.T) {
 		t.Fatalf("first applied frame kind = %d, want snapshot", history[0].kind)
 	}
 	checkContiguous(t, history, 1)
-	if rec.snaps != 1 {
-		t.Errorf("replica installed %d snapshots, want exactly 1", rec.snaps)
+	if rec.snapCount() != 1 {
+		t.Errorf("replica installed %d snapshots, want exactly 1", rec.snapCount())
 	}
 	if stats := replica.Stats(); stats.ReplSnapshotsInstalled != 1 {
 		t.Errorf("ReplSnapshotsInstalled = %d, want 1", stats.ReplSnapshotsInstalled)
@@ -385,17 +411,191 @@ func TestReplicaChaining(t *testing.T) {
 
 	feedUpdates(t, primary, []string{"fx/a"}, 10, time.Now())
 	execSet(t, primary, "book/x", 3)
+	waitFor(t, 5*time.Second, "primary to publish every event", func() bool {
+		return primary.Sequence() == 11
+	})
+	// The relay's own sequence space differs from the primary's (its
+	// bootstrap snapshot re-publishes applied views as fresh events),
+	// so convergence is judged on state, not on sequence numbers.
+	pState := encodedState(t, primary)
 	waitFor(t, 5*time.Second, "leaf convergence through the relay", func() bool {
 		_, uuRelay := relay.ReplicaLag()
 		_, uuLeaf := leaf.ReplicaLag()
-		return r1.LastSeq() == 11 && uuRelay == 0 && relay.Sequence() == 11 &&
-			r2.LastSeq() == 11 && uuLeaf == 0
+		return r1.LastSeq() == 11 && uuRelay == 0 && uuLeaf == 0 &&
+			bytes.Equal(pState, encodedState(t, relay)) &&
+			bytes.Equal(pState, encodedState(t, leaf))
 	})
-	pState := encodedState(t, primary)
-	if q := encodedState(t, relay); !bytes.Equal(pState, q) {
-		t.Fatalf("relay diverged from primary")
+}
+
+// TestColdReplicaSeesPreAttachState covers the pre-attach hole: state
+// the primary database accumulated before NewPrimary attached its sink
+// — including a view that was defined but never updated — must still
+// reach a cold replica.
+func TestColdReplicaSeesPreAttachState(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := primary.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
 	}
-	if q := encodedState(t, leaf); !bytes.Equal(pState, q) {
-		t.Fatalf("leaf diverged from primary")
+	if err := primary.DefineView("fx/ghost", strip.Low); err != nil {
+		t.Fatal(err)
 	}
+	feedUpdates(t, primary, []string{"fx/a"}, 5, time.Now())
+	execSet(t, primary, "book/pre", 42)
+	waitFor(t, 5*time.Second, "pre-attach state to apply", func() bool {
+		return primary.Sequence() == 6
+	})
+
+	// Only now does a Primary attach: nothing above ever reached a
+	// replication sink.
+	_, addr := servePrimary(t, primary, PrimaryConfig{})
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	rec := &recorder{}
+	r, err := StartReplica(replica, ReplicaConfig{
+		Addr: addr, BackoffBase: 2 * time.Millisecond, Seed: 11, OnFrame: rec.onFrame,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	waitFor(t, 5*time.Second, "cold replica to converge on pre-attach state", func() bool {
+		_, uu := replica.ReplicaLag()
+		return uu == 0 && bytes.Equal(encodedState(t, primary), encodedState(t, replica))
+	})
+	if rec.snapCount() != 1 {
+		t.Errorf("replica used %d snapshots, want the one cold bootstrap", rec.snapCount())
+	}
+	if e, err := replica.Peek("fx/ghost"); err != nil {
+		t.Errorf("never-updated view did not transfer: %v", err)
+	} else if e.Value != 0 {
+		t.Errorf("ghost view value = %v, want 0", e.Value)
+	}
+}
+
+// TestWALRecoveredStateBootstrapsReplica covers the recovery variant
+// of the pre-attach hole: general data replayed from the WAL on Open
+// exists before any sink attaches, yet must reach a cold replica.
+func TestWALRecoveredStateBootstrapsReplica(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "general.wal")
+	db1, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst, WALPath: wal})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	execSet(t, db1, "book/x", 1)
+	execSet(t, db1, "book/y", 2)
+	if err := db1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst, WALPath: wal})
+	_, addr := servePrimary(t, primary, PrimaryConfig{})
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	r, err := StartReplica(replica, ReplicaConfig{
+		Addr: addr, BackoffBase: 2 * time.Millisecond, Seed: 12,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	waitFor(t, 5*time.Second, "WAL-recovered state to reach the replica", func() bool {
+		_, uu := replica.ReplicaLag()
+		return uu == 0 && bytes.Equal(encodedState(t, primary), encodedState(t, replica))
+	})
+}
+
+// TestPrimaryRestartForcesSnapshot covers cross-history resume: a
+// replica that synced against one database instance must not splice
+// its cursor into a different instance's stream just because the
+// sequence numbers happen to line up — the epoch mismatch has to force
+// a snapshot.
+func TestPrimaryRestartForcesSnapshot(t *testing.T) {
+	base := time.Now()
+	db1 := openDB(t, strip.Config{Policy: strip.UpdatesFirst, ReplicationEpoch: 101})
+	if err := db1.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	p1, addr1 := servePrimary(t, db1, PrimaryConfig{})
+
+	target := &dialTarget{}
+	target.setAddr(addr1)
+	replica := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	rec := &recorder{}
+	r, err := StartReplica(replica, ReplicaConfig{
+		Dial: target.dial, BackoffBase: 2 * time.Millisecond, Seed: 13, OnFrame: rec.onFrame,
+	})
+	if err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	feedUpdates(t, db1, []string{"fx/a"}, 10, base)
+	waitFor(t, 5*time.Second, "first-instance sync", func() bool {
+		_, uu := replica.ReplicaLag()
+		return r.LastSeq() == 10 && uu == 0
+	})
+
+	// "Process restart": a different database instance takes over the
+	// same role with its own history, whose sequence numbers overlap
+	// the replica's cursor exactly.
+	p1.Close()
+	db2 := openDB(t, strip.Config{Policy: strip.UpdatesFirst, ReplicationEpoch: 202})
+	if err := db2.DefineView("fx/a", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	feedUpdates(t, db2, []string{"fx/a"}, 10, base.Add(time.Hour))
+	waitFor(t, 5*time.Second, "second instance to apply its history", func() bool {
+		return db2.Sequence() == 10
+	})
+	_, addr2 := servePrimary(t, db2, PrimaryConfig{})
+	target.setAddr(addr2)
+	target.killConn()
+
+	waitFor(t, 5*time.Second, "replica to re-bootstrap onto the new instance", func() bool {
+		_, uu := replica.ReplicaLag()
+		return uu == 0 && bytes.Equal(encodedState(t, db2), encodedState(t, replica))
+	})
+	if rec.snapCount() != 2 {
+		t.Errorf("replica used %d snapshots, want 2 (cold bootstrap + epoch change)", rec.snapCount())
+	}
+}
+
+// openConns counts a primary's live replica connections.
+func openConns(p *Primary) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// TestDeadConnectionReaped covers the quiet-primary leak: a replica
+// connection that dies while its handler waits for frames must be
+// noticed and released without waiting for the next append.
+func TestDeadConnectionReaped(t *testing.T) {
+	primary := openDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	p, addr := servePrimary(t, primary, PrimaryConfig{})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := fmt.Fprintf(conn, "RESUME 0 0\n"); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	// Drain the greeting and the bootstrap snapshot so the handler is
+	// parked in awaitFrom on a primary that will never append again.
+	br := bufio.NewReader(conn)
+	if _, err := readGreeting(br); err != nil {
+		t.Fatalf("greeting: %v", err)
+	}
+	if _, err := ReadFrame(br); err != nil {
+		t.Fatalf("bootstrap frame: %v", err)
+	}
+	waitFor(t, 5*time.Second, "connection to register", func() bool {
+		return openConns(p) == 1
+	})
+
+	conn.Close()
+	waitFor(t, 5*time.Second, "dead connection to be reaped", func() bool {
+		return openConns(p) == 0
+	})
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +54,7 @@ type Replica struct {
 
 	mu      sync.Mutex
 	lastSeq uint64   // guarded by mu; highest sequence applied
+	epoch   uint64   // guarded by mu; history lastSeq belongs to (0 = none)
 	conn    net.Conn // guarded by mu; live connection, if any
 	closed  bool     // guarded by mu
 }
@@ -185,9 +188,10 @@ func (r *Replica) sleep(d time.Duration) bool {
 	}
 }
 
-// stream runs one session: handshake with the last applied sequence,
-// then apply frames until the connection breaks. It returns the
-// number of frames applied.
+// stream runs one session: handshake with the last applied sequence
+// and its epoch, read the primary's epoch greeting, then apply frames
+// until the connection breaks. It returns the number of frames
+// applied.
 func (r *Replica) stream(conn net.Conn) int {
 	if !r.adopt(conn) {
 		conn.Close()
@@ -196,10 +200,16 @@ func (r *Replica) stream(conn net.Conn) int {
 	defer r.release()
 	defer conn.Close()
 
-	if _, err := fmt.Fprintf(conn, "RESUME %d\n", r.LastSeq()); err != nil {
+	last, epoch := r.cursor()
+	if _, err := fmt.Fprintf(conn, "RESUME %d %d\n", last, epoch); err != nil {
 		return 0
 	}
 	br := bufio.NewReader(conn)
+	connEpoch, err := readGreeting(br)
+	if err != nil {
+		r.logf("repl: bad greeting: %v", err)
+		return 0
+	}
 	applied := 0
 	for {
 		payload, err := ReadFrame(br)
@@ -212,12 +222,46 @@ func (r *Replica) stream(conn net.Conn) int {
 			r.logf("repl: dropping connection on corrupt frame: %v", err)
 			return applied
 		}
-		if err := r.apply(msg); err != nil {
+		if err := r.apply(msg, connEpoch); err != nil {
 			r.logf("repl: apply failed at seq %d: %v", msg.Seq(), err)
 			return applied
 		}
 		applied++
 	}
+}
+
+// readGreeting parses the primary's "EPOCH <n>" line, reading at most
+// greetingMax bytes so a garbage peer cannot make it buffer
+// unboundedly.
+func readGreeting(br *bufio.Reader) (uint64, error) {
+	const greetingMax = 64
+	var line []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b == '\n' {
+			break
+		}
+		if len(line) >= greetingMax {
+			return 0, fmt.Errorf("repl: greeting line too long")
+		}
+		line = append(line, b)
+	}
+	s := strings.TrimSpace(string(line))
+	rest, ok := strings.CutPrefix(s, "EPOCH ")
+	if !ok {
+		return 0, fmt.Errorf("repl: unexpected greeting %q", s)
+	}
+	epoch, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: bad greeting epoch: %v", err)
+	}
+	if epoch == 0 {
+		return 0, fmt.Errorf("repl: primary sent zero epoch")
+	}
+	return epoch, nil
 }
 
 // logStreamEnd reports why a session ended, quietly for plain EOF.
@@ -229,21 +273,23 @@ func (r *Replica) logStreamEnd(err error, applied int) {
 }
 
 // apply dispatches one message into the database, enforcing the
-// sequence contract: snapshots rebase the cursor, updates and batches
-// must extend it contiguously. Duplicates (a primary resending across
-// a resume) are skipped without touching the database; gaps break the
+// sequence contract: snapshots rebase the cursor (and adopt the
+// sending primary's epoch — the snapshot is the state its sequence
+// numbers describe), updates and batches must extend it contiguously
+// within the same epoch. Duplicates (a primary resending across a
+// resume) are skipped without touching the database; gaps break the
 // session so the resume handshake can heal it.
-func (r *Replica) apply(msg Msg) error {
+func (r *Replica) apply(msg Msg, connEpoch uint64) error {
 	switch m := msg.(type) {
 	case *SnapshotMsg:
 		if err := r.db.InstallSnapshot(m.Snap); err != nil {
 			return err
 		}
-		r.setLastSeq(m.Snap.Seq)
+		r.rebase(m.Snap.Seq, connEpoch)
 		r.observe(KindSnapshot, m.Snap.Seq)
 		return nil
 	case *UpdateMsg:
-		return r.applyAt(m.Sequence, KindUpdate, func() error {
+		return r.applyAt(m.Sequence, connEpoch, KindUpdate, func() error {
 			return r.db.ApplyReplicated(strip.Update{
 				Object:    m.Object,
 				Value:     m.Value,
@@ -253,7 +299,7 @@ func (r *Replica) apply(msg Msg) error {
 			}, m.Importance)
 		})
 	case *BatchMsg:
-		return r.applyAt(m.Sequence, KindBatch, func() error {
+		return r.applyAt(m.Sequence, connEpoch, KindBatch, func() error {
 			return r.db.ApplyReplicatedBatch(m.Writes)
 		})
 	default:
@@ -262,8 +308,14 @@ func (r *Replica) apply(msg Msg) error {
 }
 
 // applyAt runs fn for a stream message carrying sequence seq.
-func (r *Replica) applyAt(seq uint64, kind byte, fn func() error) error {
-	last := r.LastSeq()
+func (r *Replica) applyAt(seq, connEpoch uint64, kind byte, fn func() error) error {
+	last, epoch := r.cursor()
+	if epoch != connEpoch {
+		// The primary promised a snapshot first (our handshake epoch
+		// cannot have matched); a stream frame before it would splice
+		// another history onto our state.
+		return fmt.Errorf("repl: stream frame from epoch %d before snapshot (cursor epoch %d)", connEpoch, epoch)
+	}
 	if seq <= last {
 		return nil // duplicate across a resume; already applied
 	}
@@ -278,11 +330,28 @@ func (r *Replica) applyAt(seq uint64, kind byte, fn func() error) error {
 	return nil
 }
 
+// cursor returns the applied-sequence cursor and the epoch of the
+// history it belongs to.
+func (r *Replica) cursor() (lastSeq, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSeq, r.epoch
+}
+
 // setLastSeq advances the applied-sequence cursor.
 func (r *Replica) setLastSeq(seq uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lastSeq = seq
+}
+
+// rebase moves the cursor onto a snapshot's sequence and adopts the
+// epoch of the history that sequence numbers.
+func (r *Replica) rebase(seq, epoch uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastSeq = seq
+	r.epoch = epoch
 }
 
 // observe feeds the OnFrame hook.

@@ -13,6 +13,9 @@ var (
 	errTooOld = errors.New("repl: sequence no longer in ring")
 	// errRingClosed reports the primary shut down.
 	errRingClosed = errors.New("repl: ring closed")
+	// errConnGone reports the reader's connection died while it waited
+	// for frames (see awaitFrom's gone parameter).
+	errConnGone = errors.New("repl: connection lost while waiting")
 )
 
 // ring is the primary's bounded in-memory frame log: the most recent
@@ -88,14 +91,20 @@ func (r *ring) resumable(from uint64) bool {
 
 // awaitFrom returns the stored frames from sequence from onward,
 // blocking while none exist yet. It returns errTooOld when from has
-// fallen off the ring (snapshot required) and errRingClosed after
-// close.
-func (r *ring) awaitFrom(from uint64) ([][]byte, error) {
+// fallen off the ring (snapshot required), errRingClosed after close,
+// and errConnGone once gone reports true (a connection watchdog sets
+// its flag and calls wake, so a reader on a quiet primary exits
+// instead of lingering until the next append). A nil gone never
+// cancels.
+func (r *ring) awaitFrom(from uint64, gone func() bool) ([][]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
 		if r.closed {
 			return nil, errRingClosed
+		}
+		if gone != nil && gone() {
+			return nil, errConnGone
 		}
 		if r.count == 0 {
 			if from != r.next {
@@ -119,5 +128,13 @@ func (r *ring) close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true
+	r.cond.Broadcast()
+}
+
+// wake rouses every blocked reader so it re-checks its cancellation
+// condition; readers whose condition still holds go back to waiting.
+func (r *ring) wake() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.cond.Broadcast()
 }

@@ -15,7 +15,7 @@ func fill(r *ring, from, to uint64) {
 func TestRingAwaitFrom(t *testing.T) {
 	r := newRing(8, 1)
 	fill(r, 1, 5)
-	frames, err := r.awaitFrom(1)
+	frames, err := r.awaitFrom(1, nil)
 	if err != nil {
 		t.Fatalf("awaitFrom(1): %v", err)
 	}
@@ -27,7 +27,7 @@ func TestRingAwaitFrom(t *testing.T) {
 			t.Fatalf("frame %d carries %d, want %d", i, f[0], i+1)
 		}
 	}
-	frames, err = r.awaitFrom(4)
+	frames, err = r.awaitFrom(4, nil)
 	if err != nil || len(frames) != 2 {
 		t.Fatalf("awaitFrom(4) = %d frames, %v; want 2, nil", len(frames), err)
 	}
@@ -42,10 +42,10 @@ func TestRingOverflowDropsOldest(t *testing.T) {
 	if !r.resumable(3) {
 		t.Errorf("sequence 3 not resumable; ring should hold 3..5")
 	}
-	if _, err := r.awaitFrom(1); !errors.Is(err, errTooOld) {
+	if _, err := r.awaitFrom(1, nil); !errors.Is(err, errTooOld) {
 		t.Errorf("awaitFrom(1) = %v, want errTooOld", err)
 	}
-	frames, err := r.awaitFrom(3)
+	frames, err := r.awaitFrom(3, nil)
 	if err != nil || len(frames) != 3 {
 		t.Fatalf("awaitFrom(3) = %d frames, %v; want 3, nil", len(frames), err)
 	}
@@ -71,7 +71,7 @@ func TestRingOutOfOrderResets(t *testing.T) {
 	if r.resumable(1) {
 		t.Errorf("pre-gap sequence still resumable after reset")
 	}
-	frames, err := r.awaitFrom(10)
+	frames, err := r.awaitFrom(10, nil)
 	if err != nil || len(frames) != 1 || frames[0][0] != 10 {
 		t.Fatalf("awaitFrom(10) after reset = %v, %v; want frame 10", frames, err)
 	}
@@ -86,7 +86,7 @@ func TestRingBlocksUntilAppend(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		frames, err := r.awaitFrom(3) // nothing there yet: blocks
+		frames, err := r.awaitFrom(3, nil) // nothing there yet: blocks
 		done <- result{frames, err}
 	}()
 	select {
@@ -109,7 +109,7 @@ func TestRingCloseWakesReaders(t *testing.T) {
 	r := newRing(8, 1)
 	done := make(chan error, 1)
 	go func() {
-		_, err := r.awaitFrom(1)
+		_, err := r.awaitFrom(1, nil)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -123,7 +123,7 @@ func TestRingCloseWakesReaders(t *testing.T) {
 		t.Fatalf("close did not wake the blocked reader")
 	}
 	r.append(1, []byte{1}) // must be a no-op, not a panic
-	if _, err := r.awaitFrom(1); !errors.Is(err, errRingClosed) {
+	if _, err := r.awaitFrom(1, nil); !errors.Is(err, errRingClosed) {
 		t.Errorf("closed ring accepted a read")
 	}
 }

@@ -85,8 +85,11 @@ type SnapshotView struct {
 // SetReplicationSink registers fn to receive every replication event,
 // in sequence order. The sink runs inside the database's write lock:
 // it must be fast and must not call back into the database. Passing
-// nil detaches the sink; sequence numbering pauses while no sink is
-// attached.
+// nil detaches the sink. Sequence numbering continues while no sink
+// is attached: the sequence numbers the database's history itself, so
+// state changed while detached can never be mistaken for state a
+// resuming replica already holds — its cursor lands before the next
+// ring base and it falls back to a snapshot.
 func (db *DB) SetReplicationSink(fn func(ReplEvent)) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -94,30 +97,39 @@ func (db *DB) SetReplicationSink(fn func(ReplEvent)) {
 }
 
 // Sequence returns the current replication sequence number: the
-// number of events published so far.
+// number of replicable state changes applied so far.
 func (db *DB) Sequence() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.seq
 }
 
+// ReplicationEpoch identifies this database instance's sequence
+// history (see Config.ReplicationEpoch). Two databases with different
+// epochs share no sequence numbering, and a replica moving between
+// them must re-bootstrap from a snapshot.
+func (db *DB) ReplicationEpoch() uint64 { return db.epoch }
+
 // emitLocked assigns the next sequence number and hands the event to
-// the sink. Callers hold db.mu for writing; emitting inside the
-// critical section that applied the change is what makes the sequence
-// a total order and snapshots consistent.
+// the sink when one is attached. Callers hold db.mu for writing;
+// emitting inside the critical section that applied the change is
+// what makes the sequence a total order and snapshots consistent.
 func (db *DB) emitLocked(ev ReplEvent) {
+	db.seq++
 	if db.sink == nil {
 		return
 	}
-	db.seq++
 	ev.Seq = db.seq
 	db.sink(ev)
 }
 
 // emitInstallLocked publishes a worthy view install. Callers hold
-// db.mu for writing.
+// db.mu for writing. With no sink attached only the sequence
+// advances; building the event would be wasted work on the
+// non-replicated hot path.
 func (db *DB) emitInstallLocked(u *model.Update, gen time.Time) {
 	if db.sink == nil {
+		db.seq++
 		return
 	}
 	ev := ReplEvent{
@@ -141,9 +153,31 @@ func (db *DB) emitInstallLocked(u *model.Update, gen time.Time) {
 // db.mu for writing.
 func (db *DB) emitBatchLocked(writes map[string]float64) {
 	if db.sink == nil {
+		db.seq++
 		return
 	}
 	db.emitLocked(ReplEvent{Kind: ReplBatch, Writes: sortedKVs(writes)})
+}
+
+// emitSnapshotViewLocked re-publishes one view state applied from a
+// bootstrap snapshot. Callers hold db.mu for writing. Without this, a
+// mid-tier replica that re-bootstraps would apply the snapshot's view
+// state silently and a still-resumable downstream replica would never
+// see it; publishing each applied view as an ordinary update keeps
+// the outgoing stream complete.
+func (db *DB) emitSnapshotViewLocked(v SnapshotView) {
+	if db.sink == nil {
+		db.seq++
+		return
+	}
+	db.emitLocked(ReplEvent{
+		Kind:       ReplUpdate,
+		Object:     v.Name,
+		Importance: v.Importance,
+		Value:      v.Value,
+		Fields:     v.Fields,
+		Generated:  v.Generated,
+	})
 }
 
 // applyWritesLocked logs, applies and publishes one committed batch
@@ -308,6 +342,7 @@ func (db *DB) InstallSnapshot(s Snapshot) error {
 		e.generated = v.Generated
 		db.recordHistoryLocked(id)
 		db.lag.Installed(id, db.secs(v.Generated))
+		db.emitSnapshotViewLocked(v)
 	}
 	db.stats.ReplSnapshotsInstalled++
 	if len(s.General) == 0 {

@@ -117,7 +117,10 @@ func TestReplicationSequenceTotalOrder(t *testing.T) {
 		t.Errorf("Stats.ReplicationSeq = %d, want %d", got, want)
 	}
 
-	// Detaching the sink pauses sequence numbering.
+	// Detaching the sink must NOT pause sequence numbering: the
+	// sequence numbers the database's history itself, so a change
+	// applied while detached still consumes a number and a replica
+	// resuming from before it cannot silently skip it.
 	db.SetReplicationSink(nil)
 	if err := db.ApplyUpdate(strip.Update{Object: "obj", Value: 99, Generated: base.Add(time.Second)}); err != nil {
 		t.Fatal(err)
@@ -126,8 +129,11 @@ func TestReplicationSequenceTotalOrder(t *testing.T) {
 		e, err := db.Peek("obj")
 		return err == nil && e.Value == 99
 	})
-	if got := db.Sequence(); got != want {
-		t.Errorf("sequence advanced to %d with no sink attached, want %d", got, want)
+	if got := db.Sequence(); got != want+1 {
+		t.Errorf("sequence = %d after a detached install, want %d (numbering continues without a sink)", got, want+1)
+	}
+	if got := len(log.snapshot()); got != want {
+		t.Errorf("detached sink received %d events, want %d (no delivery after detach)", got, want)
 	}
 }
 
@@ -286,6 +292,134 @@ func TestSnapshotRoundTripBetweenDatabases(t *testing.T) {
 	again.Seq = 0
 	if !reflect.DeepEqual(snap, again) {
 		t.Errorf("re-installing a snapshot changed state")
+	}
+}
+
+// TestInstallSnapshotRepublishes verifies that a database applying a
+// bootstrap snapshot re-publishes the applied state to its own sink,
+// so replicas chained below a re-bootstrapped mid-tier see it.
+func TestInstallSnapshotRepublishes(t *testing.T) {
+	src := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	base := time.Now()
+	for i, obj := range []string{"v1", "v2"} {
+		if err := src.DefineView(obj, strip.High); err != nil {
+			t.Fatal(err)
+		}
+		err := src.ApplyUpdate(strip.Update{
+			Object: obj, Value: float64(i + 1), Generated: base.Add(time.Duration(i) * time.Millisecond),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	replWaitFor(t, "source installs", func() bool { return src.Stats().UpdatesInstalled == 2 })
+	res := src.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func:     func(tx *strip.Tx) error { tx.Set("g", 7); return nil },
+	})
+	if !res.Committed() {
+		t.Fatal(res.Err)
+	}
+
+	dst := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	log := &eventLog{}
+	dst.SetReplicationSink(log.sink)
+	if err := dst.InstallSnapshot(src.ReplicaSnapshot()); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+
+	events := log.snapshot()
+	if len(events) != 3 {
+		t.Fatalf("sink saw %d events, want 2 view updates + 1 batch: %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d carries seq %d; re-published events must be contiguous", i, ev.Seq)
+		}
+	}
+	for i, obj := range []string{"v1", "v2"} {
+		if events[i].Kind != strip.ReplUpdate || events[i].Object != obj || events[i].Value != float64(i+1) {
+			t.Errorf("event %d = %+v, want update of %s", i, events[i], obj)
+		}
+	}
+	if events[2].Kind != strip.ReplBatch || len(events[2].Writes) != 1 || events[2].Writes[0].Key != "g" {
+		t.Errorf("event 2 = %+v, want the general-data batch", events[2])
+	}
+}
+
+// TestOnDemandMixedFeedSettlesLag pins the OnDemand refresh accounting
+// for a mixed local/replicated queue: when a newer local update
+// supersedes an older replicated one, the replicated entry's pending
+// count must settle (UU back to zero) and the local install must clear
+// the MA lag.
+func TestOnDemandMixedFeedSettlesLag(t *testing.T) {
+	db := openReplDB(t, strip.Config{Policy: strip.OnDemand})
+	if err := db.DefineView("obj", strip.High); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the scheduler so both updates queue before any read.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go db.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func: func(tx *strip.Tx) error {
+			close(started)
+			<-gate
+			return nil
+		},
+	})
+	<-started
+
+	base := time.Now()
+	if err := db.ApplyReplicated(strip.Update{Object: "obj", Value: 1, Generated: base}, strip.High); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ApplyUpdate(strip.Update{Object: "obj", Value: 2, Generated: base.Add(time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+
+	type readResult struct {
+		e   strip.Entry
+		err error
+	}
+	readDone := make(chan readResult, 1)
+	go func() {
+		var rr readResult
+		res := db.Exec(strip.TxnSpec{
+			Value:    1,
+			Deadline: time.Now().Add(5 * time.Second),
+			Func: func(tx *strip.Tx) error {
+				rr.e, rr.err = tx.Read("obj")
+				return rr.err
+			},
+		})
+		if !res.Committed() {
+			rr.err = res.Err
+		}
+		readDone <- rr
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	rr := <-readDone
+	if rr.err != nil {
+		t.Fatalf("reader transaction: %v", rr.err)
+	}
+	if rr.e.Value != 2 {
+		t.Errorf("read value %v, want 2 (the newer local update)", rr.e.Value)
+	}
+	s := db.Stats()
+	if s.UpdatesInstalled != 1 || s.UpdatesSkipped != 1 {
+		t.Errorf("installed/skipped = %d/%d, want 1/1", s.UpdatesInstalled, s.UpdatesSkipped)
+	}
+	if s.ReplicaLagUpdates != 0 {
+		t.Errorf("ReplicaLagUpdates = %d, want 0 (superseded replicated entry must settle)", s.ReplicaLagUpdates)
+	}
+	if s.ReplicaLagSeconds != 0 {
+		t.Errorf("ReplicaLagSeconds = %v, want 0 (local install is newer than everything received)", s.ReplicaLagSeconds)
 	}
 }
 

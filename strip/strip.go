@@ -196,6 +196,12 @@ type Config struct {
 	WALPath string
 	// Clock overrides the time source (tests). Default time.Now.
 	Clock func() time.Time
+	// ReplicationEpoch identifies this database instance's replication
+	// history in the resume handshake (see strip/repl): a replica
+	// presenting a sequence from a different epoch is re-bootstrapped
+	// from a snapshot instead of resuming into a stream its numbers do
+	// not describe. Zero derives an epoch from the Clock at Open.
+	ReplicationEpoch uint64
 }
 
 func (c *Config) fill() {
