@@ -5,7 +5,7 @@ GO ?= go
 # Per-target budget for the fuzz smoke (see `make fuzz`).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench fuzz figures extensions verify report clean lint vet striplint
+.PHONY: all build test race bench fuzz torture figures extensions verify report clean lint vet striplint
 
 all: build lint test
 
@@ -40,6 +40,13 @@ fuzz:
 			$(GO) test -run='^$$' -fuzz="^$$f$$" -fuzztime=$(FUZZTIME) $$pkg; \
 		done; \
 	done
+
+# Crash-recovery torture: every byte-level crash point of a scripted
+# workload, seeded WAL fault schedules, degraded-mode policy and
+# replication connection chaos, all under the race detector.
+torture:
+	$(GO) test -race -count=1 -run 'Torture|CrashPoint|Chaos|Degraded|Replay|Checkpoint|Fault|MemFS|Schedule' \
+		./strip ./strip/fault ./strip/repl
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -56,6 +56,8 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 0, "exit after this long (0 = run until signal)")
 	replListen := fs.String("repl-listen", "", "serve the replication frame stream on this TCP address")
 	replicateFrom := fs.String("replicate-from", "", "run as a replica of the primary at this -repl-listen address")
+	walPath := fs.String("wal", "", "write-ahead log path: makes general data durable across restarts")
+	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (also heals a degraded log)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +74,8 @@ func run(args []string) error {
 			duration:      *duration,
 			replListen:    *replListen,
 			replicateFrom: *replicateFrom,
+			walPath:       *walPath,
+			ckptEvery:     *ckptEvery,
 		})
 	default:
 		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica) or -feed <addr> (feed client)")
@@ -87,6 +91,8 @@ type serverConfig struct {
 	duration      time.Duration
 	replListen    string
 	replicateFrom string
+	walPath       string
+	ckptEvery     time.Duration
 }
 
 func parsePolicy(name string) (strip.Policy, error) {
@@ -117,11 +123,15 @@ func runServer(cfg serverConfig) error {
 		MaxAge:   cfg.maxAge,
 		OnStale:  strip.Warn,
 		Coalesce: cfg.replicateFrom == "", // replicas install the full stream
+		WALPath:  cfg.walPath,
 	})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	if cfg.walPath != "" {
+		fmt.Printf("write-ahead log at %s (checkpoint every %v)\n", cfg.walPath, cfg.ckptEvery)
+	}
 	if cfg.replicateFrom == "" {
 		// Replicas import the primary's schema from the stream; a
 		// primary (or standalone server) defines its own views.
@@ -176,6 +186,14 @@ func runServer(cfg serverConfig) error {
 	}
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
+	// Periodic checkpoints bound recovery time; a checkpoint is also
+	// the degraded-mode heal path after a WAL failure.
+	var ckptC <-chan time.Time
+	if cfg.walPath != "" && cfg.ckptEvery > 0 {
+		ckptTicker := time.NewTicker(cfg.ckptEvery)
+		defer ckptTicker.Stop()
+		ckptC = ckptTicker.C
+	}
 	rng := rand.New(rand.NewPCG(1, uint64(time.Now().UnixNano())))
 	for {
 		select {
@@ -184,6 +202,10 @@ func runServer(cfg serverConfig) error {
 			return nil
 		case <-timeout:
 			return nil
+		case <-ckptC:
+			if err := db.Checkpoint(); err != nil {
+				fmt.Printf("checkpoint failed: %v\n", err)
+			}
 		case <-ticker.C:
 			// A sample monitoring transaction: average a few views.
 			idx := rng.IntN(views)
@@ -217,6 +239,12 @@ func runServer(cfg serverConfig) error {
 			}
 			if cfg.replicateFrom != "" {
 				line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
+			}
+			if cfg.walPath != "" {
+				line += fmt.Sprintf(" wal-errors=%d", s.WALErrors)
+				if s.Degraded {
+					line += " DEGRADED(commits failing; awaiting checkpoint)"
+				}
 			}
 			fmt.Println(line)
 		}

@@ -115,7 +115,7 @@ func BuildFacts(modules []*Package, opts *Options) *Facts {
 // stdlib functions become the intrinsic source. A map-range whose
 // iteration order escapes (same sink analysis as map-order-leak) is
 // also an intrinsic source, but only for functions outside the
-// deterministic scope — in-scope leaks are map-order-leak's own,
+// map-order scope — in-scope leaks are map-order-leak's own,
 // directly positioned findings.
 func collectEdges(n *cgNode, modPaths map[string]bool, opts *Options) {
 	info := n.pkg.Info
@@ -137,7 +137,7 @@ func collectEdges(n *cgNode, modPaths map[string]bool, opts *Options) {
 				}
 			}
 		case *ast.RangeStmt:
-			if n.intrinsic != nil || opts.Deterministic.Match(n.pkg.Path) {
+			if n.intrinsic != nil || opts.MapOrder.Match(n.pkg.Path) {
 				return true
 			}
 			if !isMap(info, nd.X) {

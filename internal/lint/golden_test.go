@@ -227,7 +227,7 @@ func TestRuleScoping(t *testing.T) {
 	for _, p := range pkgs {
 		have[p.Path] = true
 	}
-	for _, scope := range []Scope{DeterministicPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs} {
+	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs} {
 		for _, entry := range scope {
 			found := false
 			for path := range have {

@@ -159,9 +159,11 @@ func Select(names []string) ([]*Analyzer, error) {
 // *Options) selects the package-level default scopes below.
 type Options struct {
 	// Deterministic overrides DeterministicPkgs, the scope of the
-	// determinism rules (nondeterministic-time, map-order-leak,
-	// concurrency-in-sim, nondeterminism-taint).
+	// determinism rules (nondeterministic-time, concurrency-in-sim,
+	// nondeterminism-taint).
 	Deterministic Scope
+	// MapOrder overrides MapOrderPkgs, the scope of map-order-leak.
+	MapOrder Scope
 	// FloatStrict overrides FloatStrictPkgs (float-eq).
 	FloatStrict Scope
 	// RandAllowed overrides RandAllowedPkgs (global-rand exemption).
@@ -184,6 +186,9 @@ func (o *Options) effective() *Options {
 	}
 	if e.Deterministic == nil {
 		e.Deterministic = DeterministicPkgs
+	}
+	if e.MapOrder == nil {
+		e.MapOrder = MapOrderPkgs
 	}
 	if e.FloatStrict == nil {
 		e.FloatStrict = FloatStrictPkgs
@@ -313,6 +318,18 @@ var DeterministicPkgs = Scope{
 	"internal/metrics",
 	"internal/analytic",
 }
+
+// MapOrderPkgs is the scope of map-order-leak: the deterministic
+// simulator packages plus the strip durability code. WAL segments,
+// checkpoint snapshots and replication frames must be byte-identical
+// for equal states (the crash-point torture tests and the replica
+// convergence checks compare them bit for bit), so map iteration
+// order must never leak into a record sequence there either.
+var MapOrderPkgs = append(append(Scope{}, DeterministicPkgs...),
+	"strip",
+	"strip/fault",
+	"strip/repl",
+)
 
 // FloatStrictPkgs lists the packages whose float arithmetic feeds the
 // paper's reported metrics, where == / != on floats silently destroys

@@ -5,8 +5,9 @@ import (
 	"go/types"
 )
 
-// MapOrderLeak flags `range` over a map, inside the deterministic
-// packages, whose loop body lets Go's randomized iteration order
+// MapOrderLeak flags `range` over a map, inside the map-order scope
+// (the deterministic simulator packages plus the strip durability
+// code), whose loop body lets Go's randomized iteration order
 // escape into an ordering-sensitive sink: appending to a slice,
 // sending on a channel, or writing output. A loop that only collects
 // the keys and sorts them afterwards (the standard deterministic
@@ -23,7 +24,7 @@ var MapOrderLeak = &Analyzer{
 		"channel or writes output, unless the collected values are sorted " +
 		"afterwards — map iteration order would leak into results",
 	Run: func(pass *Pass) {
-		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
+		if !pass.Opts.MapOrder.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

@@ -1,0 +1,52 @@
+package metrics
+
+// Durability tracks the health of a database's write-ahead log and
+// its degraded-mode episodes. The strip database degrades when a WAL
+// append, sync or rotation fails: commits fail fast with a typed
+// durability error while view ingest and reads continue, and a
+// successful checkpoint heals the log by rotating to a fresh segment.
+// This tracker counts the failures and the heals and exposes the
+// current mode.
+//
+// Like ReplicaLag it is not safe for concurrent use; the strip
+// database calls it under its registry lock.
+type Durability struct {
+	walErrors uint64
+	episodes  uint64
+	heals     uint64
+	degraded  bool
+}
+
+// NewDurability returns a healthy tracker.
+func NewDurability() *Durability { return &Durability{} }
+
+// Failure records one WAL failure and enters degraded mode. Repeated
+// failures inside one episode count as errors but not new episodes.
+func (d *Durability) Failure() {
+	d.walErrors++
+	if !d.degraded {
+		d.degraded = true
+		d.episodes++
+	}
+}
+
+// Heal records a successful checkpoint ending a degraded episode. It
+// is idempotent: healing a healthy tracker changes nothing.
+func (d *Durability) Heal() {
+	if d.degraded {
+		d.degraded = false
+		d.heals++
+	}
+}
+
+// Degraded reports whether the database is in degraded mode.
+func (d *Durability) Degraded() bool { return d.degraded }
+
+// WALErrors returns the count of WAL failures recorded.
+func (d *Durability) WALErrors() uint64 { return d.walErrors }
+
+// Episodes returns the number of degraded episodes entered.
+func (d *Durability) Episodes() uint64 { return d.episodes }
+
+// Heals returns the number of episodes ended by a checkpoint.
+func (d *Durability) Heals() uint64 { return d.heals }

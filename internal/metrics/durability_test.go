@@ -1,0 +1,37 @@
+package metrics
+
+import "testing"
+
+func TestDurabilityEpisodes(t *testing.T) {
+	d := NewDurability()
+	if d.Degraded() || d.WALErrors() != 0 || d.Episodes() != 0 || d.Heals() != 0 {
+		t.Fatal("fresh tracker not healthy")
+	}
+
+	// Healing a healthy tracker is a no-op.
+	d.Heal()
+	if d.Heals() != 0 {
+		t.Fatalf("heal counted on healthy tracker: %d", d.Heals())
+	}
+
+	// Three failures inside one episode: three errors, one episode.
+	d.Failure()
+	d.Failure()
+	d.Failure()
+	if !d.Degraded() || d.WALErrors() != 3 || d.Episodes() != 1 {
+		t.Fatalf("after failures: degraded=%v errors=%d episodes=%d",
+			d.Degraded(), d.WALErrors(), d.Episodes())
+	}
+
+	d.Heal()
+	if d.Degraded() || d.Heals() != 1 {
+		t.Fatalf("after heal: degraded=%v heals=%d", d.Degraded(), d.Heals())
+	}
+
+	// A second episode is counted separately.
+	d.Failure()
+	if !d.Degraded() || d.WALErrors() != 4 || d.Episodes() != 2 {
+		t.Fatalf("second episode: degraded=%v errors=%d episodes=%d",
+			d.Degraded(), d.WALErrors(), d.Episodes())
+	}
+}

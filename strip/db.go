@@ -1,12 +1,14 @@
 package strip
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/uqueue"
+	"repro/strip/fault"
 )
 
 // DB is a soft real-time database instance. All methods are safe for
@@ -43,7 +45,12 @@ type DB struct {
 	watchersByID map[model.ObjectID][]*watcher // guarded by mu
 
 	// wal is the write-ahead log for general data; nil when disabled.
+	// The pointer and fs (the filesystem it writes through; fault.OS
+	// outside tests) are immutable after Open; the writer's fields are
+	// only mutated under mu.
 	wal *walWriter
+	fs  fault.FS
+	dur *metrics.Durability // WAL health and degraded mode, guarded by mu
 
 	// Replication state (see replication.go). seq is the replication
 	// sequence — the total order over worthy view installs and
@@ -66,6 +73,9 @@ type DB struct {
 	pending   []int // per-object queued-update count (UU criterion)
 	highCount int   // queued updates targeting High-importance views
 	ready     []*txnReq
+
+	// ckptMu serializes Checkpoint calls; it guards no fields.
+	ckptMu sync.Mutex
 }
 
 type viewDef struct {
@@ -103,15 +113,20 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	cfg.fill()
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fault.OS
+	}
 	general := make(map[string]float64)
 	var wal *walWriter
 	if cfg.WALPath != "" {
+		var st walState
 		var err error
-		general, err = recoverGeneral(cfg.WALPath)
+		general, st, err = recoverGeneral(fsys, cfg.WALPath)
 		if err != nil {
 			return nil, err
 		}
-		wal, err = openWAL(cfg.WALPath)
+		wal, err = openWAL(fsys, cfg.WALPath, st)
 		if err != nil {
 			return nil, err
 		}
@@ -126,6 +141,8 @@ func Open(cfg Config) (*DB, error) {
 		names:    make(map[string]model.ObjectID),
 		general:  general,
 		wal:      wal,
+		fs:       fsys,
+		dur:      metrics.NewDurability(),
 		lag:      metrics.NewReplicaLag(),
 	}
 	db.epoch = cfg.ReplicationEpoch
@@ -156,7 +173,9 @@ func (db *DB) Close() error {
 	<-db.done
 	db.closeWatchers()
 	if db.wal != nil {
-		return db.wal.close()
+		if err := db.wal.close(); err != nil {
+			return fmt.Errorf("%w: %v", ErrDurability, err)
+		}
 	}
 	return nil
 }
@@ -225,7 +244,19 @@ func (db *DB) Stats() Stats {
 	s.QueueLen = db.queueLenLocked()
 	s.ReplicationSeq = db.seq
 	s.ReplicaLagSeconds, s.ReplicaLagUpdates = db.lag.Aggregate()
+	s.WALErrors = db.dur.WALErrors()
+	s.Degraded = db.dur.Degraded()
+	s.DegradedHeals = db.dur.Heals()
 	return s
+}
+
+// Degraded reports whether the database is in degraded durability
+// mode: the write-ahead log has failed, commits fail fast with
+// ErrDurability, and a successful Checkpoint is needed to heal.
+func (db *DB) Degraded() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.dur.Degraded()
 }
 
 // queueLenLocked reads the queue length. The queue itself is owned by

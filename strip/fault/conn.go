@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnChaos parameterizes a chaotic connection wrapper. Probabilities
+// are per operation (one Read or Write call) in [0, 1]; they are
+// evaluated in the order Reset, Partial, Flip with one uniform draw,
+// so Reset+Partial+Flip should not exceed 1.
+type ConnChaos struct {
+	// Seed fixes the chaos; the read and write directions each get
+	// their own generator derived from it, so a direction's fault
+	// sequence depends only on the seed and that direction's call
+	// sequence.
+	Seed uint64
+	// Reset closes the connection and fails the operation — a
+	// mid-stream connection reset.
+	Reset float64
+	// Partial applies to writes only: a strict prefix of the buffer
+	// is written, then the connection is reset.
+	Partial float64
+	// Flip applies to writes only: one random bit of the buffer is
+	// inverted before the full write — corruption in flight that the
+	// frame CRC must catch.
+	Flip float64
+	// MaxDelay, when positive, sleeps a uniform duration in
+	// [0, MaxDelay) before each operation — injected latency.
+	MaxDelay time.Duration
+	// OnFault, when set, observes every injected fault (for the
+	// seed-determinism tests). side is "read" or "write".
+	OnFault func(side, kind string, arg int)
+}
+
+// ChaosConn wraps a net.Conn with seeded fault injection. Disable
+// turns the wrapper into a passthrough (used by tests to let a
+// tortured link settle and converge).
+type ChaosConn struct {
+	net.Conn
+	cfg      ConnChaos
+	disabled atomic.Bool
+
+	wmu  sync.Mutex
+	wrng *rand.Rand // guarded by wmu
+	rmu  sync.Mutex
+	rrng *rand.Rand // guarded by rmu
+}
+
+// WrapConn wraps c in seeded chaos.
+func WrapConn(c net.Conn, cfg ConnChaos) *ChaosConn {
+	return &ChaosConn{
+		Conn: c,
+		cfg:  cfg,
+		wrng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xbb67ae8584caa73b)),
+		rrng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x3c6ef372fe94f82b)),
+	}
+}
+
+// Disable turns off all further injection; in-flight faults stand.
+func (c *ChaosConn) Disable() { c.disabled.Store(true) }
+
+// fault reports one injected fault to the observer.
+func (c *ChaosConn) fault(side, kind string, arg int) {
+	if c.cfg.OnFault != nil {
+		c.cfg.OnFault(side, kind, arg)
+	}
+}
+
+// writeDraws consumes the write-direction randomness for one call:
+// a delay, the fault selector, and an auxiliary draw for the fault's
+// position. Drawing a fixed number of values per call keeps the
+// sequence aligned across runs.
+func (c *ChaosConn) writeDraws() (delay time.Duration, u float64, aux uint64) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.wrng.Uint64() % uint64(c.cfg.MaxDelay))
+	}
+	return delay, c.wrng.Float64(), c.wrng.Uint64()
+}
+
+// readDraws consumes the read-direction randomness for one call.
+func (c *ChaosConn) readDraws() (delay time.Duration, u float64) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.cfg.MaxDelay > 0 {
+		delay = time.Duration(c.rrng.Uint64() % uint64(c.cfg.MaxDelay))
+	}
+	return delay, c.rrng.Float64()
+}
+
+func (c *ChaosConn) Write(p []byte) (int, error) {
+	if c.disabled.Load() {
+		return c.Conn.Write(p)
+	}
+	delay, u, aux := c.writeDraws()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch {
+	case u < c.cfg.Reset:
+		c.fault("write", "reset", 0)
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset before write", ErrInjected)
+	case u < c.cfg.Reset+c.cfg.Partial && len(p) > 1:
+		keep := int(aux % uint64(len(p)))
+		c.fault("write", "partial", keep)
+		n, _ := c.Conn.Write(p[:keep])
+		c.Conn.Close()
+		return n, fmt.Errorf("%w: connection reset mid-write after %d bytes", ErrInjected, n)
+	case u < c.cfg.Reset+c.cfg.Partial+c.cfg.Flip && len(p) > 0:
+		bit := int(aux % uint64(len(p)*8))
+		c.fault("write", "flip", bit)
+		corrupted := append([]byte(nil), p...)
+		corrupted[bit/8] ^= 1 << (bit % 8)
+		return c.Conn.Write(corrupted)
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+func (c *ChaosConn) Read(p []byte) (int, error) {
+	if c.disabled.Load() {
+		return c.Conn.Read(p)
+	}
+	delay, u := c.readDraws()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if u < c.cfg.Reset {
+		c.fault("read", "reset", 0)
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: connection reset before read", ErrInjected)
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sinkConn is a trivial net.Conn: writes are recorded, reads return
+// EOF. It lets the chaos tests drive the wrapper without a peer.
+type sinkConn struct {
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sinkConn) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, net.ErrClosed
+	}
+	return s.buf.Write(p)
+}
+
+func (s *sinkConn) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func (s *sinkConn) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *sinkConn) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+func (s *sinkConn) LocalAddr() net.Addr                { return nil }
+func (s *sinkConn) RemoteAddr() net.Addr               { return nil }
+func (s *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// runConnChaos drives a fixed write sequence through a seeded chaos
+// wrapper and returns the fault trace.
+func runConnChaos(seed uint64) []string {
+	var (
+		mu    sync.Mutex
+		trace []string
+	)
+	c := WrapConn(&sinkConn{}, ConnChaos{
+		Seed:    seed,
+		Reset:   0.1,
+		Partial: 0.15,
+		Flip:    0.15,
+		OnFault: func(side, kind string, arg int) {
+			mu.Lock()
+			trace = append(trace, fmt.Sprintf("%s %s %d", side, kind, arg))
+			mu.Unlock()
+		},
+	})
+	msg := []byte("frame payload frame payload frame payload")
+	for i := 0; i < 80; i++ {
+		c.Write(msg)
+	}
+	var rbuf [16]byte
+	for i := 0; i < 20; i++ {
+		c.Read(rbuf[:])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]string(nil), trace...)
+}
+
+// TestConnChaosDeterminism is the acceptance check on the network
+// surface: same seed, same call sequence, same injected faults.
+func TestConnChaosDeterminism(t *testing.T) {
+	a, b := runConnChaos(7), runConnChaos(7)
+	if len(a) == 0 {
+		t.Fatal("chaos injected no faults; probabilities too low for the test")
+	}
+	if !equalStrings(a, b) {
+		t.Fatalf("same seed, different fault traces:\n%v\n%v", a, b)
+	}
+	c := runConnChaos(8)
+	if equalStrings(a, c) {
+		t.Fatalf("different seeds produced identical %d-fault traces", len(a))
+	}
+}
+
+func TestConnChaosBitFlip(t *testing.T) {
+	sink := &sinkConn{}
+	c := WrapConn(sink, ConnChaos{Seed: 1, Flip: 1})
+	msg := []byte("abcdefgh")
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("flip write = %d, %v", n, err)
+	}
+	got := sink.bytes()
+	if bytes.Equal(got, msg) {
+		t.Fatal("flip injected but bytes unchanged")
+	}
+	diff := 0
+	for i := range msg {
+		diff += popcount8(got[i] ^ msg[i])
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bits, want exactly 1", diff)
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestConnChaosPartialThenReset(t *testing.T) {
+	sink := &sinkConn{}
+	c := WrapConn(sink, ConnChaos{Seed: 3, Partial: 1})
+	msg := []byte("0123456789")
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write error = %v", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("partial write kept %d of %d bytes", n, len(msg))
+	}
+	if got := sink.bytes(); !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("sink holds %q, want prefix %q", got, msg[:n])
+	}
+	// The underlying conn was reset.
+	if _, err := sink.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("underlying conn not closed after partial: %v", err)
+	}
+}
+
+func TestConnChaosDisable(t *testing.T) {
+	sink := &sinkConn{}
+	c := WrapConn(sink, ConnChaos{Seed: 5, Reset: 1})
+	c.Disable()
+	msg := []byte("clean")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("disabled write = %d, %v", n, err)
+	}
+	if got := sink.bytes(); !bytes.Equal(got, msg) {
+		t.Fatalf("disabled write corrupted: %q", got)
+	}
+}

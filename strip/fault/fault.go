@@ -1,0 +1,99 @@
+// Package fault is a deterministic fault injector for the strip
+// durability and replication paths. It has two surfaces:
+//
+//   - A small filesystem abstraction (FS / File) that strip's WAL and
+//     checkpoint code is written against. OS passes straight through
+//     to the os package; MemFS is a deterministic in-memory
+//     implementation that records every mutating operation so a crash
+//     can be simulated at any byte of any write ("stop persisting at
+//     byte N, then reopen") and that injects scripted or seeded
+//     faults: write errors, short (torn) writes, failed Sync.
+//
+//   - A net.Conn wrapper (WrapConn) that injects seeded latency,
+//     partial writes, mid-stream resets and bit flips into a
+//     replication link, driving the RESUME/snapshot/backoff paths.
+//
+// Everything is deterministic under a seed: a Schedule is a pure
+// function of (seed, operation sequence), so a chaos run is exactly
+// reproducible — rerun with the same seed and the same faults fire at
+// the same points. The package deliberately imports nothing from
+// strip, so strip can depend on it.
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sort"
+)
+
+// FS is the filesystem surface the strip durability code uses. The
+// method set mirrors the os package calls the WAL and checkpoint
+// paths need — nothing more.
+type FS interface {
+	// OpenFile opens a file with the given flags (os.O_*).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// Create truncates or creates a file for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file. Removing a missing file is an error
+	// (os.ErrNotExist), as with os.Remove.
+	Remove(name string) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+}
+
+// File is one open file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes previously written data durable across a crash.
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Seek repositions the read/write offset.
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// ErrInjected is the default error returned by injected faults.
+// Errors produced by the injector wrap it, so callers can test
+// errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrCrashed is returned by every operation on a MemFS after Crash:
+// the simulated machine is down until the harness rebuilds the disk
+// state and reopens.
+var ErrCrashed = errors.New("fault: filesystem crashed")
+
+// OS is the passthrough FS used in production: every call goes
+// straight to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,551 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// OpKind discriminates recorded filesystem mutations.
+type OpKind uint8
+
+const (
+	// OpCreate records a file coming into existence (Create, or
+	// OpenFile with O_CREATE on a missing file). The file is empty
+	// afterwards.
+	OpCreate OpKind = iota
+	// OpWrite records one write of Data at absolute offset Off.
+	OpWrite
+	// OpSync records a File.Sync.
+	OpSync
+	// OpTruncate records a truncation to Size bytes.
+	OpTruncate
+	// OpRename records an atomic rename of Name to To.
+	OpRename
+	// OpRemove records a file deletion.
+	OpRemove
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one recorded mutating filesystem operation. The sequence of
+// Ops a workload produced is the raw material for crash simulation:
+// rebuilding a MemFS from any prefix of the log — cut mid-write at
+// any byte — reproduces exactly the disk state a crash at that point
+// would leave behind.
+type Op struct {
+	Kind OpKind
+	Name string // the file operated on (for OpRename, the old name)
+	To   string // OpRename: the new name
+	Data []byte // OpWrite: the bytes written (a private copy)
+	Off  int64  // OpWrite: absolute file offset of the write
+	Size int64  // OpTruncate: the new length
+}
+
+// Injector inspects each operation before MemFS applies it and can
+// fail it. Returning a nil error lets the operation proceed. For
+// OpWrite, returning (keep, err) with err != nil and 0 <= keep <
+// len(Data) applies a torn prefix of keep bytes before reporting the
+// error — a short write. For every other kind keep is ignored.
+//
+// The injector runs without any MemFS lock held, so it may itself
+// perform filesystem (or database) operations; it must guard against
+// its own recursion.
+type Injector func(op Op) (keep int, err error)
+
+// MemFS is a deterministic in-memory filesystem. It records every
+// mutating operation, supports fault injection through an Injector,
+// and simulates crashes: Crash freezes the filesystem (every later
+// operation fails with ErrCrashed), and BuildFS reconstructs the disk
+// as of any crash point of a recorded operation log.
+//
+// Determinism: ReadDir is sorted, operations are recorded in the
+// order they are applied, and the same operation sequence always
+// yields the same state — MemFS itself introduces no randomness.
+//
+// Renames are modelled as atomic and immediately durable (the
+// journalled-metadata assumption); file data is durable only up to
+// the crash point chosen when the log is replayed.
+//
+// A limitation shared with the recording model: a file must not be
+// written through a handle opened before a Rename of that file; the
+// strip durability code closes before renaming.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string][]byte // guarded by mu
+	ops     []Op              // guarded by mu
+	crashed bool              // guarded by mu
+
+	injMu  sync.Mutex
+	inject Injector // guarded by injMu
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte)}
+}
+
+// SetInjector installs (or, with nil, removes) the fault injector.
+func (fs *MemFS) SetInjector(inj Injector) {
+	fs.injMu.Lock()
+	defer fs.injMu.Unlock()
+	fs.inject = inj
+}
+
+// injector returns the current injector.
+func (fs *MemFS) injector() Injector {
+	fs.injMu.Lock()
+	defer fs.injMu.Unlock()
+	return fs.inject
+}
+
+// consult runs the injector for op, returning the torn-write byte
+// count and the injected error. It is called without fs.mu held.
+func (fs *MemFS) consult(op Op) (int, error) {
+	if inj := fs.injector(); inj != nil {
+		return inj(op)
+	}
+	return 0, nil
+}
+
+// Crash freezes the filesystem: every subsequent operation, on the FS
+// and on every open handle, fails with ErrCrashed. State frozen at
+// the crash is still readable through Ops and BuildFS.
+func (fs *MemFS) Crash() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+}
+
+// Ops returns a copy of the recorded mutation log.
+func (fs *MemFS) Ops() []Op {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]Op, len(fs.ops))
+	copy(out, fs.ops)
+	return out
+}
+
+// OpCount returns the number of recorded mutations so far. The
+// torture harness samples it between workload actions to mark
+// durability guarantee points in the op log.
+func (fs *MemFS) OpCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.ops)
+}
+
+// ReadFile returns a copy of a file's current contents.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WriteFile sets a file's contents directly (test setup); the write
+// is recorded as a create plus one write.
+func (fs *MemFS) WriteFile(name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- FS interface ---
+
+// OpenFile opens a file. Supported flags: os.O_RDONLY, os.O_WRONLY,
+// os.O_RDWR, os.O_CREATE, os.O_APPEND, os.O_TRUNC.
+func (fs *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	create := flag&os.O_CREATE != 0
+	trunc := flag&os.O_TRUNC != 0
+	if create || trunc {
+		if _, err := fs.consult(Op{Kind: OpCreate, Name: name}); err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	_, exists := fs.files[name]
+	if !exists && !create {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	if !exists || trunc {
+		// Creation and truncation-by-open both leave an empty file.
+		fs.files[name] = nil
+		fs.record(Op{Kind: OpCreate, Name: name})
+	}
+	return &memFile{fs: fs, name: name, append: flag&os.O_APPEND != 0}, nil
+}
+
+// Open opens a file read-only.
+func (fs *MemFS) Open(name string) (File, error) {
+	return fs.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create truncates or creates a file for writing.
+func (fs *MemFS) Create(name string) (File, error) {
+	return fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Rename atomically replaces newpath with oldpath.
+func (fs *MemFS) Rename(oldpath, newpath string) error {
+	if _, err := fs.consult(Op{Kind: OpRename, Name: oldpath, To: newpath}); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	data, ok := fs.files[oldpath]
+	if !ok {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: os.ErrNotExist}
+	}
+	delete(fs.files, oldpath)
+	fs.files[newpath] = data
+	fs.record(Op{Kind: OpRename, Name: oldpath, To: newpath})
+	return nil
+}
+
+// Remove deletes a file.
+func (fs *MemFS) Remove(name string) error {
+	if _, err := fs.consult(Op{Kind: OpRemove, Name: name}); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	fs.record(Op{Kind: OpRemove, Name: name})
+	return nil
+}
+
+// ReadDir lists the names of the files whose parent directory is dir,
+// sorted.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	clean := filepath.Clean(dir)
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == clean {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// record appends one op to the log. Callers hold fs.mu.
+func (fs *MemFS) record(op Op) {
+	fs.ops = append(fs.ops, op)
+}
+
+// --- file handle ---
+
+// memFile is one open handle. The offset is handle state; appends
+// resolve their offset at write time, like O_APPEND.
+type memFile struct {
+	fs     *MemFS
+	name   string
+	append bool
+
+	mu     sync.Mutex
+	off    int64 // guarded by mu
+	closed bool  // guarded by mu
+}
+
+// errIfUnusable reports ErrCrashed / closed-handle errors.
+func (f *memFile) errIfUnusable() error {
+	f.fs.mu.Lock()
+	crashed := f.fs.crashed
+	f.fs.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	return nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if err := f.errIfUnusable(); err != nil {
+		return 0, err
+	}
+	// Resolve the absolute offset before consulting the injector so
+	// the recorded op carries it; under O_APPEND the offset is the
+	// current end of file.
+	off := f.writeOffset()
+	op := Op{Kind: OpWrite, Name: f.name, Data: append([]byte(nil), p...), Off: off}
+	keep, injErr := f.fs.consult(op)
+	if injErr != nil {
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > len(p) {
+			keep = len(p)
+		}
+		op.Data = op.Data[:keep]
+	}
+	n := f.fs.applyWrite(op)
+	f.advance(op.Off + int64(n))
+	if injErr != nil {
+		return n, injErr
+	}
+	return n, nil
+}
+
+// writeOffset resolves where the next write lands.
+func (f *memFile) writeOffset() int64 {
+	if f.append {
+		f.fs.mu.Lock()
+		defer f.fs.mu.Unlock()
+		return int64(len(f.fs.files[f.name]))
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.off
+}
+
+// advance moves the handle offset after a write.
+func (f *memFile) advance(to int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.off = to
+}
+
+// applyWrite records and applies one (possibly torn) write, returning
+// the byte count applied.
+func (fs *MemFS) applyWrite(op Op) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0
+	}
+	fs.record(op)
+	fs.files[op.Name] = spliceAt(fs.files[op.Name], op.Off, op.Data)
+	return len(op.Data)
+}
+
+// spliceAt writes data into buf at off, zero-filling any gap.
+func spliceAt(buf []byte, off int64, data []byte) []byte {
+	end := off + int64(len(data))
+	for int64(len(buf)) < end {
+		buf = append(buf, 0)
+	}
+	copy(buf[off:end], data)
+	return buf
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	if err := f.errIfUnusable(); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	data := f.fs.files[f.name]
+	f.fs.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Sync() error {
+	if err := f.errIfUnusable(); err != nil {
+		return err
+	}
+	op := Op{Kind: OpSync, Name: f.name}
+	if _, err := f.fs.consult(op); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	f.fs.record(op)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if err := f.errIfUnusable(); err != nil {
+		return err
+	}
+	op := Op{Kind: OpTruncate, Name: f.name, Size: size}
+	if _, err := f.fs.consult(op); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	f.fs.record(op)
+	data := f.fs.files[f.name]
+	if size < int64(len(data)) {
+		f.fs.files[f.name] = data[:size]
+	}
+	return nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.errIfUnusable(); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	size := int64(len(f.fs.files[f.name]))
+	f.fs.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = size + offset
+	default:
+		return 0, fmt.Errorf("fault: bad whence %d", whence)
+	}
+	if f.off < 0 {
+		f.off = 0
+	}
+	return f.off, nil
+}
+
+func (f *memFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+// --- crash-point replay ---
+
+// CrashPoint identifies one simulated crash instant in an op log: the
+// first OpIdx ops applied in full, plus — when ops[OpIdx] is a write —
+// its first ByteOff bytes. OpIdx == len(ops) is "no crash".
+type CrashPoint struct {
+	OpIdx   int
+	ByteOff int
+}
+
+// CrashPoints enumerates every distinct disk state a crash could
+// leave behind: a point before each operation, every torn prefix of
+// every write, and the final complete state.
+func CrashPoints(ops []Op) []CrashPoint {
+	var pts []CrashPoint
+	for i, op := range ops {
+		pts = append(pts, CrashPoint{OpIdx: i})
+		if op.Kind == OpWrite {
+			for b := 1; b < len(op.Data); b++ {
+				pts = append(pts, CrashPoint{OpIdx: i, ByteOff: b})
+			}
+		}
+	}
+	pts = append(pts, CrashPoint{OpIdx: len(ops)})
+	return pts
+}
+
+// BuildFS reconstructs the filesystem as of a crash point: ops before
+// pt.OpIdx are applied in full; when ops[pt.OpIdx] is a write, its
+// first pt.ByteOff bytes are applied (the torn tail a crash mid-write
+// leaves). The result records a fresh op log of its own.
+func BuildFS(ops []Op, pt CrashPoint) *MemFS {
+	fs := NewMemFS()
+	n := pt.OpIdx
+	if n > len(ops) {
+		n = len(ops)
+	}
+	for i := 0; i < n; i++ {
+		fs.replayOp(ops[i], -1)
+	}
+	if n < len(ops) && ops[n].Kind == OpWrite && pt.ByteOff > 0 {
+		fs.replayOp(ops[n], pt.ByteOff)
+	}
+	fs.ops = nil
+	return fs
+}
+
+// replayOp applies one recorded op directly, bypassing injection and
+// crash state. limit >= 0 truncates a write's data (torn write).
+func (fs *MemFS) replayOp(op Op, limit int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	switch op.Kind {
+	case OpCreate:
+		fs.files[op.Name] = nil
+	case OpWrite:
+		data := op.Data
+		if limit >= 0 && limit < len(data) {
+			data = data[:limit]
+		}
+		fs.files[op.Name] = spliceAt(fs.files[op.Name], op.Off, data)
+	case OpSync:
+		// Durability bookkeeping lives in the op log, not the state.
+	case OpTruncate:
+		if data := fs.files[op.Name]; op.Size < int64(len(data)) {
+			fs.files[op.Name] = data[:op.Size]
+		}
+	case OpRename:
+		if data, ok := fs.files[op.Name]; ok {
+			delete(fs.files, op.Name)
+			fs.files[op.To] = data
+		}
+	case OpRemove:
+		delete(fs.files, op.Name)
+	}
+}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+)
+
+// ScheduleConfig parameterizes a seeded fault schedule for the
+// filesystem surface. Probabilities are per matching operation, in
+// [0, 1]; WriteErr and ShortWrite apply to writes, SyncErr to syncs.
+type ScheduleConfig struct {
+	// Seed fixes the schedule; the same seed over the same operation
+	// sequence injects exactly the same faults.
+	Seed uint64
+	// Match, when non-empty, restricts injection to operations whose
+	// file name contains it.
+	Match string
+	// WriteErr is the probability a write fails entirely.
+	WriteErr float64
+	// ShortWrite is the probability a write is torn: a strict prefix
+	// is applied, then an error returned.
+	ShortWrite float64
+	// SyncErr is the probability a Sync fails.
+	SyncErr float64
+}
+
+// Schedule is a deterministic, seeded source of injection decisions.
+// It consumes exactly one uniform draw per matching operation (plus
+// one for the cut point of a torn write), so the decision sequence is
+// a pure function of the seed and the operation sequence. Every
+// decision that injects a fault is logged; Log lets a determinism
+// test assert two same-seed runs agree.
+type Schedule struct {
+	cfg ScheduleConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+	log []string   // guarded by mu
+}
+
+// NewSchedule returns a schedule for the given configuration.
+func NewSchedule(cfg ScheduleConfig) *Schedule {
+	return &Schedule{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x6a09e667f3bcc909)),
+	}
+}
+
+// Injector returns the schedule as a MemFS injector.
+func (s *Schedule) Injector() Injector { return s.decide }
+
+// Log returns the injected-fault decisions so far, in order.
+func (s *Schedule) Log() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.log...)
+}
+
+// decide is the Injector implementation.
+func (s *Schedule) decide(op Op) (int, error) {
+	if s.cfg.Match != "" && !strings.Contains(op.Name, s.cfg.Match) {
+		return 0, nil
+	}
+	switch op.Kind {
+	case OpWrite:
+		return s.decideWrite(op)
+	case OpSync:
+		return 0, s.decideSync(op)
+	default:
+		return 0, nil
+	}
+}
+
+func (s *Schedule) decideWrite(op Op) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.rng.Float64()
+	switch {
+	case u < s.cfg.WriteErr:
+		s.log = append(s.log, fmt.Sprintf("write-err %s", op.Name))
+		return 0, fmt.Errorf("%w: write %s", ErrInjected, op.Name)
+	case u < s.cfg.WriteErr+s.cfg.ShortWrite && len(op.Data) > 1:
+		keep := int(s.rng.Uint64() % uint64(len(op.Data)))
+		s.log = append(s.log, fmt.Sprintf("short-write %s keep=%d", op.Name, keep))
+		return keep, fmt.Errorf("%w: short write %s", ErrInjected, op.Name)
+	default:
+		return 0, nil
+	}
+}
+
+func (s *Schedule) decideSync(op Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rng.Float64() < s.cfg.SyncErr {
+		s.log = append(s.log, fmt.Sprintf("sync-err %s", op.Name))
+		return fmt.Errorf("%w: sync %s", ErrInjected, op.Name)
+	}
+	return nil
+}

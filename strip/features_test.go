@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -398,9 +399,14 @@ func TestWALCheckpointAndRecovery(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// The WAL is truncated after the checkpoint.
-	if fi, err := os.Stat(cfg.WALPath); err != nil || fi.Size() != 0 {
-		t.Fatalf("WAL after checkpoint: size=%v err=%v", fi.Size(), err)
+	// The checkpoint rotated to a fresh active segment: only the
+	// generation header remains, and the sealed predecessor is pruned.
+	data, err := os.ReadFile(cfg.WALPath)
+	if err != nil || !strings.HasPrefix(string(data), "wal ") || strings.Contains(string(data), "set ") {
+		t.Fatalf("WAL after checkpoint: %q err=%v", data, err)
+	}
+	if _, err := os.Stat(cfg.WALPath + ".g00000001"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("sealed segment not pruned after checkpoint: %v", err)
 	}
 	setKey(t, db, "b", 2) // lands in the fresh WAL
 	db.Close()

@@ -1,9 +1,13 @@
 package strip
 
 import (
+	"errors"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/strip/fault"
 )
 
 func FuzzParseUpdateLine(f *testing.F) {
@@ -92,6 +96,95 @@ func FuzzWALRoundTrip(f *testing.F) {
 		})
 		if !ok || got != val {
 			t.Fatalf("recovered %q = %v (%v), want %v", key, got, ok, val)
+		}
+	})
+}
+
+// referenceReplay is a deliberately straightforward model of the
+// active-segment replay contract, independent of the staged
+// implementation in wal.go: batches apply only with a terminated
+// commit line, the final record may be torn (unparsable or missing
+// its newline), and any record after a torn one is mid-log corruption.
+// It returns corrupt=true where recovery must fail.
+func referenceReplay(data []byte) (state map[string]float64, corrupt bool) {
+	lines, _, term := splitLines(data)
+	state = map[string]float64{}
+	start := 0
+	if len(lines) > 0 && strings.HasPrefix(lines[0], "wal ") {
+		if len(lines) == 1 && !term {
+			return state, false // torn header: segment died at birth
+		}
+		if _, err := strconv.ParseUint(lines[0][len("wal "):], 10, 64); err != nil {
+			return nil, true
+		}
+		start = 1
+	}
+	batch := map[string]float64{}
+	torn := false
+	for i := start; i < len(lines); i++ {
+		if torn {
+			return nil, true // a record after damage proves it mid-log
+		}
+		last := i == len(lines)-1 && !term
+		if lines[i] == "commit" && !last {
+			for k, v := range batch {
+				state[k] = v
+			}
+			batch = map[string]float64{}
+			continue
+		}
+		key, value, err := parseSetLine(lines[i])
+		if last || err != nil {
+			torn = true // tolerated only as the final record
+			continue
+		}
+		batch[key] = value
+	}
+	return state, false
+}
+
+// FuzzReplayWAL feeds arbitrary bytes to recovery as the active WAL
+// segment and checks it against referenceReplay: recovery must never
+// panic, must fail with a typed *WALCorruptError exactly when the
+// model says the log is corrupt, and must otherwise produce exactly
+// the model's state.
+func FuzzReplayWAL(f *testing.F) {
+	f.Add([]byte("wal 1\nset \"a\" 1\ncommit\n"))
+	f.Add([]byte("wal 1\nset \"a\" 1\ncommit\nset \"b\" 2\nGARB"))
+	f.Add([]byte("wal 1\nset \"a\" 1\ncommit\nGARBAGE\nset \"b\" 2\ncommit\n"))
+	f.Add([]byte("set \"legacy\" 3\ncommit\n")) // headerless generation 0
+	f.Add([]byte("wal 1\nset \"a\" 1\ncommit")) // unterminated commit token
+	f.Add([]byte("wal x\n"))
+	f.Add([]byte("wal 2"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := fault.NewMemFS()
+		if err := fs.WriteFile("wal", data); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := recoverGeneral(fs, "wal")
+		want, corrupt := referenceReplay(data)
+		if corrupt {
+			var ce *WALCorruptError
+			if err == nil || !errors.As(err, &ce) {
+				t.Fatalf("corrupt log %q: recovery returned %v, want *WALCorruptError", data, err)
+			}
+			if got != nil {
+				t.Fatalf("corrupt log %q: recovery leaked partial state %v", data, got)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("clean log %q: recovery failed: %v", data, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("log %q: recovered %v, want %v", data, got, want)
+		}
+		for k, v := range want {
+			if gv, ok := got[k]; !ok || (gv != v && v == v) {
+				t.Fatalf("log %q: recovered %v, want %v", data, got, want)
+			}
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package strip
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/model"
@@ -389,6 +390,9 @@ func (db *DB) finish(req *txnReq, res Result) {
 		db.stats.TxnsAbortedStale++
 	case Failed:
 		db.stats.TxnsFailed++
+		if errors.Is(res.Err, ErrDurability) {
+			db.stats.TxnsFailedDurability++
+		}
 	}
 	db.mu.Unlock()
 	req.res <- res

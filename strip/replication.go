@@ -183,11 +183,17 @@ func (db *DB) emitSnapshotViewLocked(v SnapshotView) {
 // applyWritesLocked logs, applies and publishes one committed batch
 // of general-data writes. Callers hold db.mu for writing. Transaction
 // commit and replicated batches share this path, so both appear in
-// the WAL and in the replication stream.
+// the WAL and in the replication stream. A batch the WAL cannot
+// record fails fast with ErrDurability and is neither applied to
+// memory nor published — a replica never sees a batch the primary
+// could lose.
 func (db *DB) applyWritesLocked(writes map[string]float64) error {
 	if db.wal != nil {
+		if db.dur.Degraded() {
+			return db.degradedErrLocked()
+		}
 		if err := db.wal.appendBatch(writes); err != nil {
-			return fmt.Errorf("strip: WAL append failed: %w", err)
+			return db.walFailedLocked(err)
 		}
 	}
 	for k, v := range writes {

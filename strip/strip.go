@@ -51,6 +51,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/strip/fault"
 )
 
 // Policy selects how the scheduler divides time between installing
@@ -154,6 +156,15 @@ var (
 	// ErrInTransaction reports a nested Exec from inside a
 	// transaction function.
 	ErrInTransaction = errors.New("strip: nested transactions are not supported")
+	// ErrDurability reports that a commit could not be made durable:
+	// the write-ahead log failed to record it. The failed batch is not
+	// applied — the caller sees consistent all-or-nothing behaviour —
+	// and the database enters degraded mode: further commits fail fast
+	// with this error while view ingest and reads continue (view data
+	// is re-derivable from the update stream and does not need the
+	// log). A successful Checkpoint heals the log and ends degraded
+	// mode. Test with errors.Is.
+	ErrDurability = errors.New("strip: durability failure")
 )
 
 // Config configures a database. The zero value is usable: policy
@@ -194,6 +205,11 @@ type Config struct {
 	// Open with the same path. View data is not logged — it is
 	// re-derivable from the update stream.
 	WALPath string
+	// FS overrides the filesystem the write-ahead log and checkpoint
+	// machinery write through; nil means the real filesystem. Tests
+	// substitute a fault.MemFS to inject write errors, torn writes,
+	// failed syncs and byte-exact crash points.
+	FS fault.FS
 	// Clock overrides the time source (tests). Default time.Now.
 	Clock func() time.Time
 	// ReplicationEpoch identifies this database instance's replication
@@ -307,8 +323,23 @@ type Stats struct {
 	// TxnsFailed counts transactions whose function returned an
 	// unrelated error.
 	TxnsFailed uint64
+	// TxnsFailedDurability counts transactions that failed because
+	// their commit could not be made durable (ErrDurability); they are
+	// a subset of TxnsFailed.
+	TxnsFailedDurability uint64
 	// ValueCommitted sums the value of committed transactions.
 	ValueCommitted float64
+
+	// WALErrors counts write-ahead log I/O failures (append, sync or
+	// rotation).
+	WALErrors uint64
+	// Degraded reports the database is in degraded durability mode:
+	// commits fail fast with ErrDurability until a Checkpoint heals
+	// the log.
+	Degraded bool
+	// DegradedHeals counts degraded episodes ended by a successful
+	// Checkpoint.
+	DegradedHeals uint64
 
 	// ReplicationSeq is the replication sequence number: how many
 	// events (worthy installs and committed batches) this database has
