@@ -173,7 +173,14 @@ func (db *DB) Close() error {
 	<-db.done
 	db.closeWatchers()
 	if db.wal != nil {
-		if err := db.wal.close(); err != nil {
+		// The writer's fields are guarded by db.mu: a Checkpoint that
+		// passed its rotate phase before markClosed may still be
+		// writing its snapshot and will read db.wal.broken under mu
+		// in checkpointHeal.
+		db.mu.Lock()
+		err := db.wal.close()
+		db.mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrDurability, err)
 		}
 	}

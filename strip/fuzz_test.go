@@ -186,6 +186,21 @@ func FuzzReplayWAL(f *testing.F) {
 				t.Fatalf("log %q: recovered %v, want %v", data, got, want)
 			}
 		}
+		// Recovery repairs a torn tail in place (truncating discarded
+		// bytes so later appends cannot land after them); the repair
+		// must be idempotent and must not change the recovered state.
+		again, _, err := recoverGeneral(fs, "wal")
+		if err != nil {
+			t.Fatalf("log %q: second recovery failed after tail repair: %v", data, err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("log %q: tail repair changed state: %v vs %v", data, again, got)
+		}
+		for k, v := range got {
+			if gv, ok := again[k]; !ok || (gv != v && v == v) {
+				t.Fatalf("log %q: tail repair changed state: %v vs %v", data, again, got)
+			}
+		}
 	})
 }
 

@@ -492,6 +492,205 @@ func waitForValue(t *testing.T, db *DB, name string, want float64) {
 	t.Fatalf("view %s never reached %v", name, want)
 }
 
+// TestTornTailSurvivesReopenCommitReopen is the regression for
+// recovery tolerating a torn active-segment tail but leaving its
+// bytes in place: the writer reopened with O_APPEND, new commits
+// landed after the torn bytes, and the NEXT Open refused the log as
+// mid-log damage — a single crash plus continued operation bricked
+// the database. Recovery must truncate the torn tail so the
+// crash/reopen/commit/reopen cycle converges.
+func TestTornTailSurvivesReopenCommitReopen(t *testing.T) {
+	fs := fault.NewMemFS()
+	db, err := Open(Config{Policy: TransactionsFirst, WALPath: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setKey(t, db, "a", 1)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last 3 bytes off the active segment (a crash mid-append
+	// of the "commit" line), as the disk after a real crash would look.
+	data, err := fs.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfs := fault.NewMemFS()
+	if err := rfs.WriteFile("wal", data[:len(data)-3]); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Policy: TransactionsFirst, WALPath: "wal", FS: rfs})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if _, ok := getKey(t, db2, "a"); ok {
+		t.Fatal("torn batch resurrected on first reopen")
+	}
+	setKey(t, db2, "b", 2)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second reopen is the one the old code failed with a
+	// *WALCorruptError: the new commit sat after the torn bytes.
+	state, err := recoveredState(rfs)
+	if err != nil {
+		t.Fatalf("reopen after post-crash commit: %v", err)
+	}
+	if state["b"] != 2 {
+		t.Fatalf("post-crash commit lost: %v", state)
+	}
+	if _, ok := state["a"]; ok {
+		t.Fatalf("torn batch resurrected: %v", state)
+	}
+}
+
+// TestUncommittedTailDoesNotMergeWithNextBatch: a cleanly-parsing set
+// line without its commit (a crash between buffered flushes) is
+// discarded at replay — so its bytes must not survive for the next
+// appended batch's commit line to adopt, silently committing writes
+// that never committed.
+func TestUncommittedTailDoesNotMergeWithNextBatch(t *testing.T) {
+	fs := fault.NewMemFS()
+	if err := fs.WriteFile("wal",
+		[]byte("wal 1\nset \"a\" 1\ncommit\nset \"b\" 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(Config{Policy: TransactionsFirst, WALPath: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := getKey(t, db, "b"); ok {
+		t.Fatal("uncommitted tail applied")
+	}
+	setKey(t, db, "c", 3)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := recoveredState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state["a"] != 1 || state["c"] != 3 {
+		t.Fatalf("committed batches lost: %v", state)
+	}
+	if _, ok := state["b"]; ok {
+		t.Fatalf("uncommitted write merged into the next batch's commit: %v", state)
+	}
+}
+
+// TestCheckpointHealsAfterSegmentCreateFailure is the regression for
+// the poisoned rotation path: when the seal rename succeeded but
+// creating the successor segment failed (transient ENOSPC), retrying
+// Checkpoint used to re-run the rename — now ENOENT, forever — so
+// degraded mode could never heal without reopening the database.
+func TestCheckpointHealsAfterSegmentCreateFailure(t *testing.T) {
+	fs := fault.NewMemFS()
+	db, err := Open(Config{Policy: TransactionsFirst, WALPath: "wal", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	setKey(t, db, "a", 1)
+
+	// Fail the creation of the fresh active segment; the seal rename
+	// before it succeeds.
+	broken := true
+	fs.SetInjector(func(op fault.Op) (int, error) {
+		if broken && op.Kind == fault.OpCreate && op.Name == "wal" {
+			return 0, fault.ErrInjected
+		}
+		return 0, nil
+	})
+	if err := db.Checkpoint(); !errors.Is(err, ErrDurability) {
+		t.Fatalf("checkpoint with failing segment create: %v", err)
+	}
+	if !db.Degraded() {
+		t.Fatal("not degraded after failed rotation")
+	}
+
+	// The transient fault clears; the documented contract is that a
+	// successful Checkpoint heals.
+	broken = false
+	fs.SetInjector(nil)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("healing checkpoint after partial rotation: %v", err)
+	}
+	if db.Degraded() {
+		t.Fatal("checkpoint did not heal")
+	}
+	setKey(t, db, "b", 2)
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := recoveredState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state["a"] != 1 || state["b"] != 2 {
+		t.Fatalf("commits lost across the healed rotation: %v", state)
+	}
+}
+
+// TestSealedSegmentsWideGenerations: generation numbers wider than the
+// %08d pad (1e8 and up) must still be listed and replayed — an
+// exact-length name check used to silently drop them, losing their
+// committed data.
+func TestSealedSegmentsWideGenerations(t *testing.T) {
+	fs := fault.NewMemFS()
+	if err := fs.WriteFile(segmentName("wal", 100000000),
+		[]byte("wal 100000000\nset \"a\" 1\ncommit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("wal",
+		[]byte("wal 100000001\nset \"b\" 2\ncommit\n")); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := sealedSegments(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].gen != 100000000 {
+		t.Fatalf("9-digit segment not listed: %+v", segs)
+	}
+	state, err := recoveredState(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state["a"] != 1 || state["b"] != 2 {
+		t.Fatalf("wide-generation segment dropped at replay: %v", state)
+	}
+}
+
+// TestCloseCheckpointConcurrent drives Close against in-flight
+// Checkpoints; under -race this is the regression for Close mutating
+// the mu-guarded writer fields without the lock.
+func TestCloseCheckpointConcurrent(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		fs := fault.NewMemFS()
+		db, err := Open(Config{Policy: TransactionsFirst, WALPath: "wal", FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setKey(t, db, "a", 1)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				if err := db.Checkpoint(); err != nil {
+					return // ErrClosed once Close wins
+				}
+			}
+		}()
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+}
+
 // TestDegradedCloseReportsError: Close on a poisoned WAL surfaces
 // ErrDurability instead of pretending the tail is durable.
 func TestDegradedCloseReportsError(t *testing.T) {

@@ -50,6 +50,14 @@ import (
 // record of the log. Corruption followed by later records cannot be
 // explained by a crash and surfaces as a *WALCorruptError. Headerless
 // files written by earlier versions are read as generation 0.
+//
+// Tolerating a torn tail obliges recovery to remove it: the tail's
+// bytes are still in the file, and appending new commits after them
+// would either merge uncommitted writes into the next batch or turn
+// the tolerated tail into mid-log damage that bricks the next Open.
+// So recovery truncates the segment holding the torn or uncommitted
+// tail back to its last terminated commit before the writer reopens
+// it — the discarded bytes are exactly the ones replay ignores.
 
 // WALCorruptError reports damage to the write-ahead log or snapshot
 // that cannot be explained by a crash mid-append: a record that fails
@@ -77,11 +85,16 @@ func (e *WALCorruptError) Error() string {
 // every call fails fast until a checkpoint rotates to a fresh
 // segment.
 type walWriter struct {
-	fs     fault.FS
-	path   string
-	gen    uint64
-	f      fault.File
-	buf    *bufio.Writer
+	fs   fault.FS
+	path string
+	gen  uint64
+	f    fault.File
+	buf  *bufio.Writer
+	// sealed means rotation renamed the active segment for gen away
+	// but failed before creating its successor: the active path does
+	// not exist, and the next rotation must skip straight to creating
+	// the fresh segment instead of renaming again.
+	sealed bool
 	broken error
 }
 
@@ -215,7 +228,11 @@ func sealedSegments(fsys fault.FS, walPath string) ([]sealedSegment, error) {
 	prefix := filepath.Base(walPath) + ".g"
 	var segs []sealedSegment
 	for _, name := range names {
-		if !strings.HasPrefix(name, prefix) || len(name) != len(prefix)+8 {
+		// Any run of digits after the prefix is a generation: %08d
+		// pads short generations to 8 digits but grows past 8 at
+		// generation 1e8, and an exact-length check would silently
+		// drop those segments (and their committed data) at replay.
+		if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
 			continue
 		}
 		gen, err := strconv.ParseUint(name[len(prefix):], 10, 64)
@@ -232,7 +249,9 @@ func sealedSegments(fsys fault.FS, walPath string) ([]sealedSegment, error) {
 // and the log segments it does not cover. Missing files mean an empty
 // starting state. Replay is staged: batches are collected first and
 // applied only when the whole log has parsed clean, so an error never
-// leaves a partial state behind.
+// leaves a partial state behind. A torn or uncommitted tail in the
+// last segment with records is truncated away before returning, so
+// the writer never appends after bytes replay discarded.
 func recoverGeneral(fsys fault.FS, path string) (map[string]float64, walState, error) {
 	general := make(map[string]float64)
 	var st walState
@@ -249,6 +268,11 @@ func recoverGeneral(fsys fault.FS, path string) (map[string]float64, walState, e
 	}
 
 	rs := &replayState{}
+	// The segment with a tolerated torn/uncommitted tail, and the
+	// offset of its last terminated commit — everything past it is
+	// discarded bytes that must not survive on disk.
+	tailFile := ""
+	tailEnd := int64(0)
 	var maxSealed uint64
 	haveSealed := false
 	for _, sg := range segs {
@@ -264,8 +288,12 @@ func recoverGeneral(fsys fault.FS, path string) (map[string]float64, walState, e
 		if err != nil {
 			return nil, st, fmt.Errorf("strip: reading WAL segment: %w", err)
 		}
-		if err := replaySegment(sg.name, data, sg.gen, rs); err != nil {
+		commitEnd, err := replaySegment(sg.name, data, sg.gen, rs)
+		if err != nil {
 			return nil, st, err
+		}
+		if rs.torn != nil && tailFile == "" {
+			tailFile, tailEnd = sg.name, commitEnd
 		}
 	}
 
@@ -285,8 +313,17 @@ func recoverGeneral(fsys fault.FS, path string) (map[string]float64, walState, e
 		if usable {
 			st.activeOK = true
 			st.activeGen = gen
-			if err := replaySegment(path, data, gen, rs); err != nil {
+			commitEnd, err := replaySegment(path, data, gen, rs)
+			if err != nil {
 				return nil, st, err
+			}
+			// The active segment is reopened for appending, so even a
+			// cleanly-parsing uncommitted tail (set lines without
+			// their commit) must go: appending the next batch after
+			// it would merge the discarded writes into that batch's
+			// commit.
+			if tailFile == "" && commitEnd < int64(len(data)) {
+				tailFile, tailEnd = path, commitEnd
 			}
 		}
 	}
@@ -300,12 +337,41 @@ func recoverGeneral(fsys fault.FS, path string) (map[string]float64, walState, e
 		st.nextGen = 1
 	}
 
+	if tailFile != "" {
+		if err := truncateTail(fsys, tailFile, tailEnd); err != nil {
+			return nil, st, err
+		}
+	}
+
 	for _, b := range rs.batches {
 		for k, v := range b {
 			general[k] = v
 		}
 	}
 	return general, st, nil
+}
+
+// truncateTail cuts a recovered segment back to the end of its last
+// terminated commit, removing a torn or uncommitted tail replay has
+// already discarded. Failing to do so is unsafe — later appends would
+// land after the dead bytes — so an error here fails the Open.
+func truncateTail(fsys fault.FS, name string, size int64) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("strip: truncating torn WAL tail: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return fmt.Errorf("strip: truncating torn WAL tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("strip: syncing truncated WAL tail: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("strip: truncating torn WAL tail: %w", err)
+	}
+	return nil
 }
 
 // activeHeader classifies the active segment's first line: its
@@ -343,23 +409,27 @@ type replayState struct {
 
 // replaySegment parses one segment's batches into rs. expectGen is
 // the generation the segment's header must carry (headerless is
-// tolerated for generation 0, the legacy format).
-func replaySegment(name string, data []byte, expectGen uint64, rs *replayState) error {
+// tolerated for generation 0, the legacy format). commitEnd is the
+// byte offset just past the segment's last terminated commit line (or
+// past the header when no batch committed): the truncation point that
+// removes a torn or uncommitted tail without touching committed data.
+func replaySegment(name string, data []byte, expectGen uint64, rs *replayState) (commitEnd int64, err error) {
 	lines, offs, term := splitLines(data)
 	start := 0
 	if len(lines) > 0 && strings.HasPrefix(lines[0], "wal ") {
 		if len(lines) == 1 && !term {
 			// Torn header: the segment died at birth, nothing in it.
-			return nil
+			return 0, nil
 		}
 		gen, err := strconv.ParseUint(lines[0][len("wal "):], 10, 64)
 		if err != nil || gen != expectGen {
-			return &WALCorruptError{File: name, Line: 1, Offset: 0,
+			return 0, &WALCorruptError{File: name, Line: 1, Offset: 0,
 				Reason: fmt.Sprintf("segment header %q does not name generation %d", lines[0], expectGen)}
 		}
 		start = 1
+		commitEnd = int64(len(lines[0])) + 1
 	} else if len(lines) > 0 && expectGen != 0 {
-		return &WALCorruptError{File: name, Line: 1, Offset: 0,
+		return 0, &WALCorruptError{File: name, Line: 1, Offset: 0,
 			Reason: fmt.Sprintf("missing generation header (want %d)", expectGen)}
 	}
 
@@ -367,13 +437,14 @@ func replaySegment(name string, data []byte, expectGen uint64, rs *replayState) 
 	for i := start; i < len(lines); i++ {
 		if rs.torn != nil {
 			rs.torn.Reason += fmt.Sprintf("; later record at %s:%d proves mid-log damage", name, i+1)
-			return rs.torn
+			return 0, rs.torn
 		}
 		line := lines[i]
 		unterminated := i == len(lines)-1 && !term
 		if line == "commit" && !unterminated {
 			rs.batches = append(rs.batches, pending)
 			pending = nil
+			commitEnd = offs[i] + int64(len(line)) + 1
 			continue
 		}
 		key, value, err := parseSetLine(line)
@@ -395,7 +466,7 @@ func replaySegment(name string, data []byte, expectGen uint64, rs *replayState) 
 		}
 	}
 	// Writes without a terminated commit are a torn batch: discarded.
-	return nil
+	return commitEnd, nil
 }
 
 // loadSnapshot reads the checkpoint snapshot, returning the first
@@ -519,24 +590,30 @@ func unquoteToken(s string) (string, string, error) {
 func (db *DB) rotateWALLocked() (sealedGen uint64, err error) {
 	w := db.wal
 	sealedGen = w.gen
-	if w.broken == nil {
-		if err := w.sync(); err != nil {
+	if !w.sealed {
+		if w.broken == nil {
+			if err := w.sync(); err != nil {
+				return 0, db.walFailedLocked(err)
+			}
+			if err := w.f.Close(); err != nil {
+				w.broken = err
+				return 0, db.walFailedLocked(err)
+			}
+		} else {
+			// Poisoned segment: persist what the OS will still take and
+			// seal it as-is. The snapshot about to be written supersedes
+			// it; its torn tail is batches that already failed.
+			w.f.Sync()
+			w.f.Close()
+		}
+		if err := db.fs.Rename(w.path, segmentName(w.path, w.gen)); err != nil {
+			w.broken = err // the old handle is closed; the writer is unusable
 			return 0, db.walFailedLocked(err)
 		}
-		if err := w.f.Close(); err != nil {
-			w.broken = err
-			return 0, db.walFailedLocked(err)
-		}
-	} else {
-		// Poisoned segment: persist what the OS will still take and
-		// seal it as-is. The snapshot about to be written supersedes
-		// it; its torn tail is batches that already failed.
-		w.f.Sync()
-		w.f.Close()
-	}
-	if err := db.fs.Rename(w.path, segmentName(w.path, w.gen)); err != nil {
-		w.broken = err // the old handle is closed; the writer is unusable
-		return 0, db.walFailedLocked(err)
+		// From here the active path no longer exists: a failure below
+		// must not make the next rotation rename (and fail) again —
+		// it resumes at creating the successor segment.
+		w.sealed = true
 	}
 	f, err := newActiveSegment(db.fs, w.path, w.gen+1)
 	if err != nil {
@@ -546,6 +623,7 @@ func (db *DB) rotateWALLocked() (sealedGen uint64, err error) {
 	w.f = f
 	w.buf = bufio.NewWriter(f)
 	w.gen++
+	w.sealed = false
 	w.broken = nil
 	return sealedGen, nil
 }
