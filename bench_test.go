@@ -298,6 +298,33 @@ func BenchmarkStripIngest(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 }
 
+// BenchmarkStripInstallLatency measures the single-update install
+// round trip — ApplyUpdate through the ingest buffer and scheduler to
+// watcher delivery — in lockstep, so ns/op is the end-to-end install
+// latency of an uncontended update.
+func BenchmarkStripInstallLatency(b *testing.B) {
+	db, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.DefineView("px", strip.High); err != nil {
+		b.Fatal(err)
+	}
+	ch, cancel, err := db.Watch("px", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cancel()
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ApplyUpdate(strip.Update{Object: "px", Value: float64(i), Generated: now.Add(time.Duration(i))})
+		<-ch
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "us-install-latency")
+}
+
 func BenchmarkStripQuery(b *testing.B) {
 	db, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst})
 	if err != nil {

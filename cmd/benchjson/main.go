@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a stable JSON document on stdout, so benchmark baselines can be
+// committed (BENCH_6.json) and diffed across PRs.
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_6.json
+//
+// Each benchmark line
+//
+//	BenchmarkStripIngest-8   5000000   250 ns/op   4.0e+06 updates/s
+//
+// becomes one entry with the name split from the -GOMAXPROCS suffix
+// and every "<value> <unit>" pair collected into a metrics map. The
+// output carries no timestamps or host identifiers, so reruns on the
+// same machine produce minimal diffs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark line, parsed.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the whole document.
+type report struct {
+	Unit       string        `json:"unit"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	rep := report{Unit: "go test -bench", Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseBenchLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(stderr, "benchjson: reading stdin: %v\n", err)
+		return 1
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines found on stdin")
+		return 1
+	}
+	sort.SliceStable(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseBenchLine parses one "Benchmark<Name>-<P> <N> <v> <unit> ..."
+// line; ok is false for any other line (headers, PASS, ok, metrics
+// summaries).
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	res := benchResult{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	if len(res.Metrics) == 0 {
+		return benchResult{}, false
+	}
+	return res, true
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some cpu model
+BenchmarkStripIngest-8   	 5000000	       250.0 ns/op	   4000000 updates/s	      10 B/op	       2 allocs/op
+BenchmarkStripInstallLatency-8   	   20000	     52000 ns/op	        52.00 us-install-latency	     128 B/op	       3 allocs/op
+BenchmarkReplIngest-8   	 1000000	      1100 ns/op	    900000 replicated/s	      64 B/op	       1 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkStripIngest-8 5000000 250.0 ns/op 4000000 updates/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.Name != "StripIngest" || res.Procs != 8 || res.Iterations != 5000000 {
+		t.Errorf("bad header fields: %+v", res)
+	}
+	if res.Metrics["ns/op"] != 250 || res.Metrics["updates/s"] != 4000000 {
+		t.Errorf("bad metrics: %v", res.Metrics)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  \trepro\t12.345s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 250 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("non-benchmark line parsed: %q", line)
+		}
+	}
+}
+
+func TestRunEmitsSortedStableJSON(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(strings.NewReader(sample), &out, &errOut); code != 0 {
+		t.Fatalf("run failed: %d, stderr %s", code, errOut.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("want 3 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	// Sorted by name: ReplIngest, StripIngest, StripInstallLatency.
+	order := []string{"ReplIngest", "StripIngest", "StripInstallLatency"}
+	for i, want := range order {
+		if rep.Benchmarks[i].Name != want {
+			t.Errorf("benchmark %d = %s, want %s", i, rep.Benchmarks[i].Name, want)
+		}
+	}
+	if lat := rep.Benchmarks[2].Metrics["us-install-latency"]; lat != 52 {
+		t.Errorf("install latency metric = %v, want 52", lat)
+	}
+	if strings.Contains(out.String(), "cpu") || strings.Contains(out.String(), "linux") {
+		t.Errorf("output leaks host identifiers:\n%s", out.String())
+	}
+
+	// No benchmark lines at all is an error, not an empty document.
+	if code := run(strings.NewReader("PASS\n"), &out, &errOut); code == 0 {
+		t.Error("run accepted input with no benchmark lines")
+	}
+}

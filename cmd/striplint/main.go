@@ -8,9 +8,14 @@
 // reported, 2 on usage or load errors. Individual findings can be
 // suppressed with a
 //
-//	//striplint:ignore <rule>[,<rule>...] <reason>
+//	//striplint:ignore <rule>[,<rule>...] -- <reason>
 //
 // comment on the offending line or the line directly above it.
+//
+// The -lockgraph mode skips linting and instead dumps the module-wide
+// lock-acquisition-order graph in DOT form (mutex identities as nodes,
+// "acquired while held" edges labelled with their witness call sites,
+// deadlock cycles in red) for review alongside the lock-order rule.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scope := fs.String("scope", "", "comma-separated package path suffixes overriding the deterministic scope\n(default: the built-in simulator packages; see striplint -list)")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	list := fs.Bool("list", false, "list available rules and exit")
+	lockgraph := fs.Bool("lockgraph", false, "dump the lock-acquisition-order graph as DOT and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: striplint [flags] [packages]\n\n"+
 			"Packages are directories, optionally ending in /... for a subtree\n"+
@@ -92,6 +98,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		opts.Deterministic = s
+	}
+
+	if *lockgraph {
+		facts := lint.BuildFacts(loader.All(), opts)
+		fmt.Fprint(stdout, facts.LockGraphDOT())
+		return 0
 	}
 
 	diags := lint.RunAnalyzers(pkgs, analyzers, opts)

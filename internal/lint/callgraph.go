@@ -28,6 +28,32 @@ type Facts struct {
 	// taint maps every module function that transitively reaches a
 	// nondeterminism source to the first hop of its witness chain.
 	taint map[*types.Func]*taintFact
+
+	// fset renders positions for the lock-order graph (the loader
+	// shares one FileSet across every package it loads).
+	fset *token.FileSet
+	// acquires maps fn -> lock -> how fn transitively acquires it;
+	// acquiresWrite records whether any of fn's paths to the lock is a
+	// write acquisition (Lock rather than RLock), which decides whether
+	// a read-held same-key nesting is the benign shared-read idiom or
+	// the RWMutex upgrade deadlock.
+	acquires      map[*types.Func]map[lockKey]*taintFact
+	acquiresWrite map[*types.Func]map[lockKey]bool
+	// lockGraph is the global lock-acquisition-order graph and
+	// lockCycles its potential deadlocks.
+	lockGraph  *lockGraph
+	lockCycles []lockCycle
+	// condLockers maps an attributable *sync.Cond to the mutex it
+	// wraps (cond.Wait on that mutex is the idiom, not a hazard).
+	condLockers map[lockKey]lockKey
+	// blockers maps every module function that transitively reaches a
+	// potentially blocking operation to its witness chain.
+	blockers map[*types.Func]*taintFact
+	// errProducers maps every error-returning module function whose
+	// error transitively originates on a durability path to its
+	// witness chain; durabilityOps are the intrinsic sources.
+	errProducers  map[*types.Func]*taintFact
+	durabilityOps map[*types.Func]string
 }
 
 // taintFact is one function's entry in the taint closure: a witness
@@ -61,6 +87,14 @@ type cgNode struct {
 	pkg  *Package
 	// edges are mentions of other module functions, in source order.
 	edges []cgEdge
+	// ifaceEdges link an interface method (a node with no decl) to the
+	// module methods that implement it. They feed the lock-order,
+	// blocking and err-discipline closures — where dispatching to any
+	// implementation over-approximates in the safe direction — but not
+	// the determinism taint, where the simulator's injected-clock
+	// pattern would make every interface with one wall-clock
+	// implementation a false positive.
+	ifaceEdges []cgEdge
 	// intrinsic is non-nil when the body itself touches a source.
 	intrinsic *taintFact
 }
@@ -77,6 +111,7 @@ type cgEdge struct {
 // packages outside it contribute no nodes, so chains through them are
 // invisible.
 func BuildFacts(modules []*Package, opts *Options) *Facts {
+	opts = opts.effective()
 	nodes := make(map[*types.Func]*cgNode)
 	var order []*cgNode
 	modPaths := make(map[string]bool, len(modules))
@@ -105,8 +140,109 @@ func BuildFacts(modules []*Package, opts *Options) *Facts {
 	for _, n := range order {
 		collectEdges(n, modPaths, opts)
 	}
+	order = addInterfaceEdges(modules, nodes, order)
 
-	return &Facts{taint: propagateTaint(order, nodes)}
+	f := &Facts{taint: propagateTaint(order, nodes)}
+	if len(modules) > 0 {
+		f.fset = modules[0].Fset
+	}
+	buildLockFacts(f, modules, order, nodes)
+	// durabilityOps feed both the blocking classifier (interface Sync is
+	// an fsync in production) and the err-drop sources, so they are
+	// computed before either closure.
+	f.durabilityOps = collectDurabilityOps(modules)
+	buildBlockFacts(f, order, nodes)
+	buildErrFacts(f, order, nodes)
+	return f
+}
+
+// addInterfaceEdges creates a node for every method of every interface
+// declared in the module and links it to each module method that
+// implements it, so the lock/blocking/err closures see through
+// interface dispatch (e.g. fault.File.Sync reaching os.File.Sync via
+// the osFS implementation). Returns the extended order slice.
+func addInterfaceEdges(modules []*Package, nodes map[*types.Func]*cgNode, order []*cgNode) []*cgNode {
+	type namedIface struct {
+		pkg   *Package
+		iface *types.Interface
+	}
+	var ifaces []namedIface
+	type concrete struct {
+		pkg *Package
+		t   *types.Named
+	}
+	var concretes []concrete
+	for _, pkg := range modules {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				if iface.NumMethods() > 0 {
+					ifaces = append(ifaces, namedIface{pkg: pkg, iface: iface})
+				}
+				continue
+			}
+			concretes = append(concretes, concrete{pkg: pkg, t: named})
+		}
+	}
+	for _, ni := range ifaces {
+		for _, c := range concretes {
+			ptr := types.NewPointer(c.t)
+			if !types.Implements(ptr, ni.iface) && !types.Implements(c.t, ni.iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			for i := 0; i < ni.iface.NumMethods(); i++ {
+				im := ni.iface.Method(i)
+				sel := ms.Lookup(im.Pkg(), im.Name())
+				if sel == nil {
+					continue
+				}
+				impl, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				implNode, ok := nodes[impl]
+				if !ok {
+					continue // implementation without a module body
+				}
+				in := nodes[im]
+				if in == nil {
+					in = &cgNode{fn: im, pkg: ni.pkg}
+					nodes[im] = in
+					order = append(order, in)
+				}
+				in.ifaceEdges = append(in.ifaceEdges, cgEdge{callee: impl, pos: implNode.decl.Name.Pos()})
+			}
+		}
+	}
+	return order
+}
+
+// reverseEdges inverts the graph for backward propagation: for each
+// callee, the list of (caller, mention position) pairs, stored in the
+// cgEdge shape with the callee field holding the caller. Interface
+// dispatch edges are included when useIface is set.
+func reverseEdges(order []*cgNode, useIface bool) map[*types.Func][]cgEdge {
+	callers := make(map[*types.Func][]cgEdge)
+	for _, n := range order {
+		for _, e := range n.edges {
+			callers[e.callee] = append(callers[e.callee], cgEdge{callee: n.fn, pos: e.pos})
+		}
+		if useIface {
+			for _, e := range n.ifaceEdges {
+				callers[e.callee] = append(callers[e.callee], cgEdge{callee: n.fn, pos: e.pos})
+			}
+		}
+	}
+	return callers
 }
 
 // collectEdges fills one node's outgoing edges and intrinsic source by
@@ -191,13 +327,10 @@ func nondetSource(fn *types.Func) string {
 func propagateTaint(order []*cgNode, nodes map[*types.Func]*cgNode) map[*types.Func]*taintFact {
 	taint := make(map[*types.Func]*taintFact)
 
-	// Reverse edges: callee -> callers, in deterministic order.
-	callers := make(map[*types.Func][]cgEdge) // edge.callee = caller here
-	for _, n := range order {
-		for _, e := range n.edges {
-			callers[e.callee] = append(callers[e.callee], cgEdge{callee: n.fn, pos: e.pos})
-		}
-	}
+	// Reverse edges: callee -> callers, in deterministic order. The
+	// determinism taint deliberately excludes interface-dispatch
+	// edges; see cgNode.ifaceEdges.
+	callers := reverseEdges(order, false)
 
 	var queue []*types.Func
 	for _, n := range order {
@@ -248,6 +381,27 @@ func (f *Facts) chain(fn *types.Func) (arrows string, notes []string) {
 		cur = fact.next
 	}
 	return joinArrows(parts), notes
+}
+
+// chainFacts renders the witness chain of a fact map entry: one
+// positioned "calls" line per hop and a terminal line using verb
+// ("blocks in", "returns the error of", ...).
+func chainFacts(m map[*types.Func]*taintFact, fn *types.Func, verb string) []string {
+	var notes []string
+	cur := fn
+	for cur != nil {
+		fact := m[cur]
+		if fact == nil {
+			break
+		}
+		if fact.next == nil {
+			notes = append(notes, funcDisplayName(cur)+" "+verb+" "+fact.source+" at "+fact.srcPos.String())
+			break
+		}
+		notes = append(notes, funcDisplayName(cur)+" calls "+funcDisplayName(fact.next)+" at "+fact.hopPos.String())
+		cur = fact.next
+	}
+	return notes
 }
 
 func joinArrows(parts []string) string {

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCallgraphFacts builds Facts over the callgraph coverage fixture
+// and returns them with the fixture package for symbol lookup.
+func loadCallgraphFacts(t *testing.T) (*Facts, *Package) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "callgraph") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixture *Package
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Path, "/cg") {
+			fixture = p
+		}
+	}
+	if fixture == nil {
+		t.Fatal("callgraph fixture package not loaded")
+	}
+	return BuildFacts(loader.All(), &Options{}), fixture
+}
+
+// pkgFunc resolves a package-level function from the fixture.
+func pkgFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture function %s not found", name)
+	}
+	return fn
+}
+
+// methodFunc resolves a named type's method from the fixture.
+func methodFunc(t *testing.T, pkg *Package, typeName, method string) *types.Func {
+	t.Helper()
+	tn, ok := pkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		t.Fatalf("fixture type %s not found", typeName)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		t.Fatalf("fixture type %s is not named", typeName)
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	t.Fatalf("fixture method %s.%s not found", typeName, method)
+	return nil
+}
+
+// TestCallgraphEdgeClasses pins the edge classes the mention-based
+// callgraph must keep. Each subtest covers one class; if a future
+// "precision" change drops the class, the corresponding taint or lock
+// fact disappears and the assertion fails.
+func TestCallgraphEdgeClasses(t *testing.T) {
+	facts, fixture := loadCallgraphFacts(t)
+
+	t.Run("method-value", func(t *testing.T) {
+		fn := pkgFunc(t, fixture, "MethodValue")
+		fact := facts.Tainted(fn)
+		if fact == nil {
+			t.Fatal("method-value edge dropped: MethodValue no longer reaches the time.Now source through f := c.read")
+		}
+		if !strings.Contains(fact.source, "time.Now") {
+			t.Errorf("unexpected taint source %q, want time.Now", fact.source)
+		}
+	})
+
+	t.Run("deferred-closure", func(t *testing.T) {
+		fn := pkgFunc(t, fixture, "DeferredClosure")
+		if facts.Tainted(fn) == nil {
+			t.Fatal("deferred-closure edge dropped: DeferredClosure no longer reaches the source through its defer func(){...}()")
+		}
+	})
+
+	t.Run("interface-dispatch", func(t *testing.T) {
+		fn := pkgFunc(t, fixture, "ThroughIface")
+		locks := facts.AcquiredLocks(fn)
+		found := false
+		for _, name := range locks {
+			if strings.Contains(name, "impl.mu") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("interface-dispatch edge dropped: ThroughIface no longer inherits impl.grab's acquisition of impl.mu; acquired = %v", locks)
+		}
+	})
+
+	t.Run("negative-clean", func(t *testing.T) {
+		fn := pkgFunc(t, fixture, "Clean")
+		if fact := facts.Tainted(fn); fact != nil {
+			t.Errorf("Clean spuriously tainted via %q", fact.source)
+		}
+		if locks := facts.AcquiredLocks(fn); len(locks) != 0 {
+			t.Errorf("Clean spuriously acquires %v", locks)
+		}
+	})
+
+	// The direct-acquisition baseline the dispatch subtest depends on:
+	// if this fails, fix grab's facts before trusting the others.
+	t.Run("baseline-direct", func(t *testing.T) {
+		grab := methodFunc(t, fixture, "impl", "grab")
+		locks := facts.AcquiredLocks(grab)
+		if len(locks) != 1 || !strings.Contains(locks[0], "impl.mu") {
+			t.Fatalf("impl.grab's direct acquisition missing; acquired = %v", locks)
+		}
+	})
+}

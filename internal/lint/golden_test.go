@@ -127,6 +127,9 @@ func TestLockGuardedFieldGolden(t *testing.T)     { runGolden(t, "lock-guarded-f
 func TestLockEarlyReturnGolden(t *testing.T)      { runGolden(t, "lock-early-return") }
 func TestLockGoroutineCaptureGolden(t *testing.T) { runGolden(t, "lock-goroutine-capture") }
 func TestUnusedIgnoreGolden(t *testing.T)         { runGolden(t, "unused-ignore") }
+func TestLockOrderGolden(t *testing.T)            { runGolden(t, "lock-order") }
+func TestBlockUnderLockGolden(t *testing.T)       { runGolden(t, "block-under-lock") }
+func TestErrDropGolden(t *testing.T)              { runGolden(t, "err-drop") }
 
 // TestInterproceduralGain pins the reason nondeterminism-taint exists:
 // over the taint fixture — where time.Now is reached from the
@@ -191,6 +194,56 @@ func TestInterproceduralGain(t *testing.T) {
 	}
 }
 
+// TestLockOrderInterproceduralGain pins the reason lock-order exists:
+// over the lock-order fixture — where each nested acquisition hides
+// behind a function call, so no single scope ever holds both locks —
+// every v2 per-scope lock rule stays silent, and lock-order reports
+// the inversion with a witness chain naming both call paths.
+func TestLockOrderInterproceduralGain(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(filepath.Join("testdata", "lock-order") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &Options{Modules: loader.All()}
+
+	v2, err := Select([]string{"lock-guarded-field", "lock-early-return", "lock-goroutine-capture"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAnalyzers(pkgs, v2, opts) {
+		t.Errorf("v2 lock rule unexpectedly caught the interprocedural inversion: %s", d)
+	}
+
+	v3, err := Select([]string{"lock-order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkgs, v3, opts)
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "Registry.mu") {
+			continue
+		}
+		found = true
+		notes := strings.Join(d.Notes, "\n")
+		for _, path := range []string{"Install", "Compact"} {
+			if !strings.Contains(notes, path) {
+				t.Errorf("cycle diagnostic should name the %s call path in its witness chain; notes:\n%s", path, notes)
+			}
+		}
+		if !strings.Contains(notes, ".go:") {
+			t.Errorf("witness chain lacks source positions:\n%s", notes)
+		}
+	}
+	if !found {
+		t.Fatalf("lock-order missed the two-mutex inversion; got %v", diags)
+	}
+}
+
 // TestShippedTreeClean is the acceptance gate: the linter must exit
 // clean on the repository itself, with every rule enabled. Any
 // violation must be fixed or carry a reasoned //striplint:ignore.
@@ -227,7 +280,7 @@ func TestRuleScoping(t *testing.T) {
 	for _, p := range pkgs {
 		have[p.Path] = true
 	}
-	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs} {
+	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs, LockOrderPkgs, ErrCheckedPkgs} {
 		for _, entry := range scope {
 			found := false
 			for path := range have {
@@ -239,6 +292,23 @@ func TestRuleScoping(t *testing.T) {
 			if !found {
 				t.Errorf("scope entry %q matches no package in the tree; update the scope after the rename", entry)
 			}
+		}
+	}
+}
+
+// TestDeterminismScopeCoversQueueAndSched pins the event-loop data
+// structures inside the determinism rules' coverage: internal/uqueue
+// (the update queue) and internal/sched (the scheduler) must stay in
+// both the concurrency/time scope and the map-order scope. A scope
+// edit that drops either package silently un-lints the exact code the
+// paper's determinism claims rest on.
+func TestDeterminismScopeCoversQueueAndSched(t *testing.T) {
+	for _, pkg := range []string{"repro/internal/uqueue", "repro/internal/sched"} {
+		if !DeterministicPkgs.Match(pkg) {
+			t.Errorf("DeterministicPkgs no longer covers %s", pkg)
+		}
+		if !MapOrderPkgs.Match(pkg) {
+			t.Errorf("MapOrderPkgs no longer covers %s", pkg)
 		}
 	}
 }

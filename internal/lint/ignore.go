@@ -10,12 +10,15 @@ import (
 
 // ignorePrefix is the directive marker. The full syntax is
 //
-//	//striplint:ignore <rule>[,<rule>...] <reason>
+//	//striplint:ignore <rule>[,<rule>...] -- <reason>
 //
-// where <rule> is a rule name or "all" and <reason> is mandatory
-// free text. The directive suppresses matching diagnostics on its own
-// line and, when it stands alone on its line, on the next line as
-// well.
+// where <rule> is a rule name or "all", the " -- " separator is
+// mandatory, and <reason> is mandatory free text. The explicit
+// separator keeps the reason unambiguous (a reason can start with any
+// word without being mistaken for a rule name) and makes a
+// reason-less directive a syntax error rather than a silent guess.
+// The directive suppresses matching diagnostics on its own line and,
+// when it stands alone on its line, on the next line as well.
 const ignorePrefix = "striplint:ignore"
 
 // ignoreDirective is one parsed, well-formed directive.
@@ -143,16 +146,25 @@ func directiveText(comment string) (string, bool) {
 	return strings.TrimSpace(rest), true
 }
 
-// parseIgnore splits "rule1,rule2 reason..." and validates it against
-// the registered rule names. It returns a directive or a non-empty
-// error message.
+// parseIgnore splits "rule1,rule2 -- reason..." and validates it
+// against the registered rule names. It returns a directive or a
+// non-empty error message.
 func parseIgnore(text string) (*ignoreDirective, string) {
-	fields := strings.Fields(text)
-	if len(fields) == 0 {
+	if text == "" {
 		return nil, "malformed //striplint:ignore: missing rule name and reason"
 	}
-	if len(fields) < 2 {
-		return nil, "malformed //striplint:ignore: missing reason (syntax: //striplint:ignore <rule> <reason>)"
+	// The rule list is a single comma-joined field, then the mandatory
+	// "--" separator, then free-text reason.
+	ruleText, reason, found := strings.Cut(text, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, "malformed //striplint:ignore: missing reason (syntax: //striplint:ignore <rule> -- <reason>)"
+	}
+	fields := strings.Fields(ruleText)
+	if len(fields) == 0 {
+		return nil, "malformed //striplint:ignore: missing rule name (syntax: //striplint:ignore <rule> -- <reason>)"
+	}
+	if len(fields) > 1 {
+		return nil, "malformed //striplint:ignore: rule list must be one comma-joined token (syntax: //striplint:ignore <rule>[,<rule>...] -- <reason>)"
 	}
 	dir := &ignoreDirective{rules: make(map[string]bool), text: fields[0]}
 	known := make(map[string]bool)

@@ -14,10 +14,11 @@
 // named Analyzers over each package, and reports positioned
 // Diagnostics. Individual diagnostics can be suppressed with a
 //
-//	//striplint:ignore <rule>[,<rule>...] <reason>
+//	//striplint:ignore <rule>[,<rule>...] -- <reason>
 //
 // comment on the offending line or on the line directly above it; the
-// reason is mandatory and a malformed directive is itself reported.
+// " -- " separator and the reason are mandatory and a malformed
+// directive is itself reported.
 package lint
 
 import (
@@ -127,6 +128,9 @@ func Analyzers() []*Analyzer {
 		LockGuardedField,
 		LockEarlyReturn,
 		LockGoroutineCapture,
+		LockOrder,
+		BlockUnderLock,
+		ErrDrop,
 		UnusedIgnore,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
@@ -171,6 +175,11 @@ type Options struct {
 	// LockChecked overrides LockCheckedPkgs, the scope of the lock
 	// discipline rules.
 	LockChecked Scope
+	// LockOrder overrides LockOrderPkgs, the scope whose lock-order
+	// cycles are reported (the graph itself is always module-wide).
+	LockOrder Scope
+	// ErrChecked overrides ErrCheckedPkgs, the scope of err-drop.
+	ErrChecked Scope
 	// Modules is the full set of loaded module packages over which the
 	// interprocedural call graph is built (typically Loader.All()).
 	// When nil the analyzed packages alone are used, so taint chains
@@ -198,6 +207,12 @@ func (o *Options) effective() *Options {
 	}
 	if e.LockChecked == nil {
 		e.LockChecked = LockCheckedPkgs
+	}
+	if e.LockOrder == nil {
+		e.LockOrder = LockOrderPkgs
+	}
+	if e.ErrChecked == nil {
+		e.ErrChecked = ErrCheckedPkgs
 	}
 	return &e
 }
@@ -354,4 +369,26 @@ var RandAllowedPkgs = Scope{
 var LockCheckedPkgs = Scope{
 	"strip",
 	"strip/repl",
+}
+
+// LockOrderPkgs lists the packages whose functions may anchor a
+// lock-order cycle report. It adds strip/fault to the lock-discipline
+// scope: the fault-injecting filesystem holds its own mutexes
+// (MemFS.mu, memFile.mu) under the strip WAL path, so an inversion
+// involving them is exactly the cross-package deadlock the upcoming
+// shard refactor must not introduce.
+var LockOrderPkgs = Scope{
+	"strip",
+	"strip/repl",
+	"strip/fault",
+}
+
+// ErrCheckedPkgs lists the packages swept by err-drop: everywhere a
+// durability error (WAL append/sync/rotate, fault.FS operations) can
+// surface and must not be silently discarded (the PR-5 degraded-mode
+// contract).
+var ErrCheckedPkgs = Scope{
+	"strip",
+	"strip/repl",
+	"strip/fault",
 }

@@ -34,8 +34,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 10 {
-		t.Fatalf("Select(nil) returned %d rules, want 10", len(all))
+	if len(all) != 13 {
+		t.Fatalf("Select(nil) returned %d rules, want 13", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -67,8 +67,8 @@ func TestIgnoreSameLineAndNextLine(t *testing.T) {
 	idx, bad := buildIndex(t, `package p
 
 func f() {
-	_ = 1 //striplint:ignore float-eq trailing form covers its own line
-	//striplint:ignore global-rand standalone form covers the next line
+	_ = 1 //striplint:ignore float-eq -- trailing form covers its own line
+	//striplint:ignore global-rand -- standalone form covers the next line
 	_ = 2
 }
 `)
@@ -99,8 +99,8 @@ func TestIgnoreAllAndLists(t *testing.T) {
 	idx, bad := buildIndex(t, `package p
 
 func f() {
-	_ = 1 //striplint:ignore all broad waiver with a reason
-	_ = 2 //striplint:ignore float-eq,map-order-leak two rules, one reason
+	_ = 1 //striplint:ignore all -- broad waiver with a reason
+	_ = 2 //striplint:ignore float-eq,map-order-leak -- two rules, one reason
 }
 `)
 	if len(bad) != 0 {
@@ -128,13 +128,19 @@ func a() {}
 //striplint:ignore float-eq
 func b() {}
 
-//striplint:ignore not-a-rule because reasons
+//striplint:ignore not-a-rule -- because reasons
 func c() {}
+
+//striplint:ignore float-eq a reason in the pre-v3 syntax, no separator
+func d() {}
+
+//striplint:ignore -- a reason but no rule
+func e() {}
 `)
-	if len(bad) != 3 {
-		t.Fatalf("got %d malformed-directive diagnostics, want 3: %v", len(bad), bad)
+	if len(bad) != 5 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 5: %v", len(bad), bad)
 	}
-	wants := []string{"missing rule name", "missing reason", "unknown rule"}
+	wants := []string{"missing rule name", "missing reason", "unknown rule", "missing reason", "missing rule name"}
 	for i, w := range wants {
 		if bad[i].Rule != "striplint" {
 			t.Errorf("diagnostic %d rule = %q, want striplint", i, bad[i].Rule)
@@ -187,10 +193,10 @@ func TestIgnoreWrongLineDoesNotSuppress(t *testing.T) {
 	idx, bad := buildIndex(t, `package p
 
 func f() {
-	//striplint:ignore float-eq directive two lines above the finding
+	//striplint:ignore float-eq -- directive two lines above the finding
 
 	_ = 1
-	_ = 2 //striplint:ignore float-eq trailing directive on the previous line
+	_ = 2 //striplint:ignore float-eq -- trailing directive on the previous line
 	_ = 3
 }
 `)
@@ -211,8 +217,8 @@ func TestUnusedIgnoreReporting(t *testing.T) {
 	idx, bad := buildIndex(t, `package p
 
 func f() {
-	_ = 1 //striplint:ignore float-eq,global-rand one used, whole directive counts
-	_ = 2 //striplint:ignore map-order-leak never matches anything
+	_ = 1 //striplint:ignore float-eq,global-rand -- one used, whole directive counts
+	_ = 2 //striplint:ignore map-order-leak -- never matches anything
 }
 `)
 	if len(bad) != 0 {
@@ -247,7 +253,7 @@ func TestUnusedIgnoreMultiRuleDirective(t *testing.T) {
 	idx, bad := buildIndex(t, `package p
 
 func f() {
-	_ = 1 //striplint:ignore float-eq,map-order-leak,global-rand broad but unused
+	_ = 1 //striplint:ignore float-eq,map-order-leak,global-rand -- broad but unused
 }
 `)
 	if len(bad) != 0 {

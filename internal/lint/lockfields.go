@@ -144,6 +144,10 @@ type lockEvent struct {
 	path     string    // receiver path including the mutex field
 	op       string    // Lock, RLock, Unlock, RUnlock
 	deferred bool
+	// muExpr is the receiver expression naming the mutex ("db.mu" in
+	// db.mu.Lock()), kept so the lock-order machinery can resolve the
+	// mutex's module-wide identity through the type checker.
+	muExpr ast.Expr
 }
 
 // collectLockEvents gathers the lock events of one function scope
@@ -190,7 +194,7 @@ func lockCall(info *types.Info, expr ast.Expr, deferred bool) (lockEvent, bool) 
 	if path == "" {
 		return lockEvent{}, false
 	}
-	return lockEvent{pos: call.Pos(), end: call.End(), path: path, op: op, deferred: deferred}, true
+	return lockEvent{pos: call.Pos(), end: call.End(), path: path, op: op, deferred: deferred, muExpr: sel.X}, true
 }
 
 // selectorPath renders a pure identifier chain ("db.mu", "tx.db.mu")

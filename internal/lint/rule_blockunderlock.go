@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BlockUnderLock flags operations that can block indefinitely or on
+// I/O while a strip mutex is held — the latency hazard that directly
+// violates the soft real-time budget, because every other goroutine
+// contending for the lock inherits the stall. Blocking sources are
+// fsync (os.File.Sync, and fault.File.Sync through interface
+// dispatch), net.Conn reads/writes, time.Sleep, sync.WaitGroup.Wait,
+// channel operations outside a select with a default case, and
+// sync.Cond.Wait on a lock other than the cond's own (waiting on the
+// cond's own mutex releases it — that is the idiom, not a hazard).
+// The check is interprocedural: a call, under a held lock, to a
+// module function that transitively reaches a blocking operation is
+// reported with the full witness chain.
+var BlockUnderLock = &Analyzer{
+	Name: "block-under-lock",
+	Doc: "flag potentially blocking operations (fsync, net I/O, time.Sleep, " +
+		"bare channel ops, cond.Wait on a different lock) reached while a " +
+		"strip mutex is held, directly or through a call chain",
+	needsFacts: true,
+	Run: func(pass *Pass) {
+		if !pass.Opts.LockChecked.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, fd := range sortedFuncDecls(f) {
+				self, _ := pass.Info.Defs[fd.Name].(*types.Func)
+				for _, body := range declScopes(fd) {
+					checkBlockingInScope(pass, body, self)
+				}
+			}
+		}
+	},
+}
+
+func checkBlockingInScope(pass *Pass, body *ast.BlockStmt, self *types.Func) {
+	s, _ := analyzeScopeLocks(pass.Info, body)
+	if len(s.spans) == 0 {
+		return
+	}
+	launched := goLaunchedIdents(body)
+
+	// Direct blocking operations inside a held interval.
+	blockingSites(pass.Info, body, false, pass.Facts.blockingFn, func(pos token.Pos, desc string, condRecv ast.Expr) {
+		held := s.heldAt(pos)
+		if condRecv != nil {
+			condKey, _ := resolveLockExpr(pass.Info, condRecv)
+			if condKey == "" {
+				return // unattributable cond; documented false negative
+			}
+			if locker, ok := pass.Facts.condLockers[condKey]; ok {
+				held = dropHeldKey(held, locker)
+			}
+		}
+		if len(held) == 0 {
+			return
+		}
+		pass.Reportf(pos, "%s while holding %s — a blocked lock holder stalls every waiter past the soft real-time budget",
+			desc, heldNames(held, s.names))
+	})
+
+	// Calls to module functions that transitively block.
+	inspectScope(body, func(nd ast.Node) {
+		id, ok := nd.(*ast.Ident)
+		if !ok || launched[id] {
+			return
+		}
+		fn, ok := useOf(pass.Info, id).(*types.Func)
+		if !ok || fn == self || fn.Pkg() == nil {
+			return
+		}
+		fact := pass.Facts.blockers[fn]
+		if fact == nil {
+			return
+		}
+		held := s.heldAt(id.Pos())
+		if len(held) == 0 {
+			return
+		}
+		notes := chainFacts(pass.Facts.blockers, fn, "blocks in")
+		pass.ReportfNotes(id.Pos(), notes, "call to %s may block (%s) while holding %s",
+			funcDisplayName(fn), fact.source, heldNames(held, s.names))
+	})
+}
+
+// dropHeldKey removes one lock from a held set (the cond.Wait
+// exemption).
+func dropHeldKey(held []heldEntry, key lockKey) []heldEntry {
+	out := held[:0]
+	for _, h := range held {
+		if h.key != key {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// goLaunchedIdents returns the callee identifiers of go statements in
+// the scope: a mention that only launches a goroutine does not block
+// (or acquire locks) on the current goroutine.
+func goLaunchedIdents(body ast.Node) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool)
+	inspectScope(body, func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		if id := calleeIdent(g.Call); id != nil {
+			out[id] = true
+		}
+	})
+	return out
+}
+
+// blockingSites walks a function scope and reports every potentially
+// blocking operation: a select without a default case, channel
+// sends/receives outside any select, ranges over channels, and calls
+// to known blocking externals (time.Sleep, os.File.Sync, net
+// reads/writes, sync.WaitGroup.Wait, sync.Cond.Wait — the last passed
+// with its receiver so the caller can apply the own-lock exemption).
+// Channel operations in a select's communication clauses are never
+// reported individually: the select itself is the blocking point, and
+// only when it has no default. With wholeDecl set the walk descends
+// into nested function literals (used for the module-wide blocker
+// facts, where any literal is a potential call). extern classifies
+// called functions as blocking (Facts.blockingFn in normal use).
+func blockingSites(info *types.Info, body ast.Node, wholeDecl bool, extern func(*types.Func) string, visit func(pos token.Pos, desc string, condRecv ast.Expr)) {
+	walk := inspectScope
+	if wholeDecl {
+		walk = func(b ast.Node, fn func(ast.Node)) {
+			ast.Inspect(b, func(n ast.Node) bool {
+				if n != nil {
+					fn(n)
+				}
+				return true
+			})
+		}
+	}
+	// Channel ops appearing as a select communication clause belong to
+	// the select, not to themselves.
+	inSelect := make(map[ast.Node]bool)
+	walk(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m.(type) {
+				case *ast.SendStmt, *ast.UnaryExpr:
+					inSelect[m] = true
+				}
+				return true
+			})
+		}
+	})
+	walk(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				visit(n.Select, "select without a default case", nil)
+			}
+		case *ast.SendStmt:
+			if !inSelect[n] {
+				visit(n.Arrow, "channel send", nil)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inSelect[n] && isChan(info, n.X) {
+				visit(n.OpPos, "channel receive", nil)
+			}
+		case *ast.RangeStmt:
+			if isChan(info, n.X) {
+				visit(n.For, "range over channel", nil)
+			}
+		case *ast.CallExpr:
+			id := calleeIdent(n)
+			if id == nil {
+				return
+			}
+			fn, ok := useOf(info, id).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return
+			}
+			if fn.Pkg().Path() == "sync" && recvTypeName(fn) == "Cond" && fn.Name() == "Wait" {
+				var recv ast.Expr
+				if se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					recv = se.X
+				}
+				visit(n.Pos(), "sync.Cond.Wait", recv)
+				return
+			}
+			if desc := extern(fn); desc != "" {
+				visit(n.Pos(), desc, nil)
+			}
+		}
+	})
+}
+
+// blockingFn classifies a called function as a known blocking
+// operation. Beyond the stdlib set, the Sync methods of the fault
+// durability interfaces (and their implementations) count: the
+// production implementation of fault.File is *os.File, whose Sync is
+// an fsync — the interface dispatch hides it from the call graph, so
+// the interface operation itself carries the fact.
+func (f *Facts) blockingFn(fn *types.Func) string {
+	if desc, ok := f.durabilityOps[fn]; ok && fn.Name() == "Sync" {
+		return desc + " (fsync in production)"
+	}
+	return blockingExtern(fn)
+}
+
+// blockingExtern classifies a non-module function as a known blocking
+// operation, returning a short description or "".
+func blockingExtern(fn *types.Func) string {
+	path, name, recv := fn.Pkg().Path(), fn.Name(), recvTypeName(fn)
+	switch path {
+	case "time":
+		if recv == "" && name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		if recv == "File" && name == "Sync" {
+			return "os.File.Sync (fsync)"
+		}
+	case "net":
+		if recv != "" {
+			switch name {
+			case "Read", "Write", "Accept", "ReadFrom", "WriteTo":
+				return "net." + recv + "." + name + " (network I/O)"
+			}
+		}
+	case "sync":
+		if recv == "WaitGroup" && name == "Wait" {
+			return "sync.WaitGroup.Wait"
+		}
+	}
+	return ""
+}
+
+// recvTypeName returns the name of a method's receiver type
+// (pointers unwrapped), or "" for a plain function.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// buildBlockFacts computes the module-wide "transitively blocks"
+// closure: a function blocks intrinsically when any of its scopes
+// (nested literals included — any mention is a potential call)
+// contains a blocking site, and the property propagates to callers
+// over the call graph, interface dispatch included.
+func buildBlockFacts(f *Facts, order []*cgNode, nodes map[*types.Func]*cgNode) {
+	blockers := make(map[*types.Func]*taintFact)
+	var queue []*types.Func
+	for _, n := range order {
+		if n.decl == nil {
+			continue
+		}
+		var intr *taintFact
+		blockingSites(n.pkg.Info, n.decl.Body, true, f.blockingFn, func(pos token.Pos, desc string, condRecv ast.Expr) {
+			if intr != nil {
+				return
+			}
+			p := n.pkg.Fset.Position(pos)
+			intr = &taintFact{source: desc, srcPos: p, hopPos: p}
+		})
+		if intr != nil {
+			blockers[n.fn] = intr
+			queue = append(queue, n.fn)
+		}
+	}
+	callers := reverseEdges(order, true)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fact := blockers[cur]
+		for _, caller := range callers[cur] {
+			cfn := caller.callee // reversed edge: callee field holds the caller
+			if _, seen := blockers[cfn]; seen {
+				continue
+			}
+			hop := fact.srcPos
+			if n := nodes[cfn]; n != nil {
+				hop = n.pkg.Fset.Position(caller.pos)
+			}
+			blockers[cfn] = &taintFact{source: fact.source, srcPos: fact.srcPos, next: cur, hopPos: hop}
+			queue = append(queue, cfn)
+		}
+	}
+	f.blockers = blockers
+}

@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrDrop enforces the PR-5 degraded-mode contract: an error produced
+// on a durability path (WAL append/sync/rotate, any fault.FS / fault.File
+// operation) must never be discarded. Dropping one silently converts a
+// durability failure into data loss the caller believes was persisted.
+// The rule is taint-style: the intrinsic sources are the mutating
+// error-returning methods of the fault filesystem interfaces (and their
+// module implementations), the "produces a durability error" property
+// propagates backwards to every error-returning caller over the call
+// graph, and each call site of a producer is checked for the four drop
+// shapes — bare call statement, defer/go statement, assignment to _,
+// and overwrite of the error variable before any read.
+var ErrDrop = &Analyzer{
+	Name: "err-drop",
+	Doc: "flag durability-path errors (WAL append/sync/rotate, fault.FS ops) " +
+		"that are discarded: bare call, _ =, defer/go, or overwritten before " +
+		"being checked",
+	needsFacts: true,
+	Run: func(pass *Pass) {
+		if !pass.Opts.ErrChecked.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, fd := range sortedFuncDecls(f) {
+				checkErrDrops(pass, fd)
+			}
+		}
+	},
+}
+
+// durabilityOpNames are the mutating operations of the fault
+// filesystem interfaces. Close, Read, Open and ReadDir are deliberately
+// excluded: they sit on cleanup and read paths where best-effort
+// handling is legitimate, and including Close would force annotations
+// on every deferred cleanup in the tree.
+var durabilityOpNames = map[string]bool{
+	"OpenFile": true,
+	"Create":   true,
+	"Rename":   true,
+	"Remove":   true,
+	"Write":    true,
+	"Sync":     true,
+	"Truncate": true,
+	"Seek":     true,
+}
+
+var faultFSScope = Scope{"strip/fault"}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// errorResultIndex returns the index of fn's last error result, or -1.
+func errorResultIndex(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return i
+		}
+	}
+	return -1
+}
+
+// collectDurabilityOps finds the intrinsic durability-error sources:
+// the mutating error-returning methods of the FS and File interfaces in
+// strip/fault, plus the same-named methods of every module type that
+// implements one of those interfaces (so a direct call on a concrete
+// *MemFS is a source too, not only calls through the interface).
+func collectDurabilityOps(modules []*Package) map[*types.Func]string {
+	ops := make(map[*types.Func]string)
+	type faultIface struct {
+		pkgName string
+		name    string
+		iface   *types.Interface
+	}
+	var ifaces []faultIface
+	for _, pkg := range modules {
+		if !faultFSScope.Match(pkg.Path) {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range []string{"FS", "File"} {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			iface, ok := tn.Type().Underlying().(*types.Interface)
+			if !ok {
+				continue
+			}
+			for i := 0; i < iface.NumMethods(); i++ {
+				m := iface.Method(i)
+				if durabilityOpNames[m.Name()] && errorResultIndex(m) >= 0 {
+					ops[m] = pkg.Types.Name() + "." + name + "." + m.Name()
+				}
+			}
+			ifaces = append(ifaces, faultIface{pkgName: pkg.Types.Name(), name: name, iface: iface})
+		}
+	}
+	if len(ifaces) == 0 {
+		return ops
+	}
+	for _, pkg := range modules {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Interface); ok {
+				continue
+			}
+			ptr := types.NewPointer(named)
+			for _, fi := range ifaces {
+				if !types.Implements(ptr, fi.iface) && !types.Implements(named, fi.iface) {
+					continue
+				}
+				ms := types.NewMethodSet(ptr)
+				for i := 0; i < fi.iface.NumMethods(); i++ {
+					im := fi.iface.Method(i)
+					if !durabilityOpNames[im.Name()] || errorResultIndex(im) < 0 {
+						continue
+					}
+					sel := ms.Lookup(im.Pkg(), im.Name())
+					if sel == nil {
+						continue
+					}
+					if impl, ok := sel.Obj().(*types.Func); ok {
+						if _, seen := ops[impl]; !seen {
+							ops[impl] = pkg.Types.Name() + "." + named.Obj().Name() + "." + impl.Name()
+						}
+					}
+				}
+			}
+		}
+	}
+	return ops
+}
+
+// buildErrFacts computes the "returns a durability-path error"
+// closure over the already-computed f.durabilityOps. A function is an
+// intrinsic producer when it returns an error and its body mentions a
+// durability op; the property propagates to error-returning callers
+// over the call graph (interface dispatch included), and stops at any
+// function that does not return an error — that function is where the
+// error is either handled or dropped.
+func buildErrFacts(f *Facts, order []*cgNode, nodes map[*types.Func]*cgNode) {
+	prod := make(map[*types.Func]*taintFact)
+	var queue []*types.Func
+	for _, n := range order {
+		if n.decl == nil || errorResultIndex(n.fn) < 0 {
+			continue
+		}
+		var intr *taintFact
+		ast.Inspect(n.decl.Body, func(nd ast.Node) bool {
+			if intr != nil {
+				return false
+			}
+			id, ok := nd.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := useOf(n.pkg.Info, id).(*types.Func)
+			if !ok {
+				return true
+			}
+			if desc, ok := f.durabilityOps[fn]; ok {
+				p := n.pkg.Fset.Position(id.Pos())
+				intr = &taintFact{source: desc, srcPos: p, hopPos: p}
+			}
+			return true
+		})
+		if intr != nil {
+			prod[n.fn] = intr
+			queue = append(queue, n.fn)
+		}
+	}
+	callers := reverseEdges(order, true)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		fact := prod[cur]
+		for _, caller := range callers[cur] {
+			cfn := caller.callee // reversed edge: callee field holds the caller
+			if _, seen := prod[cfn]; seen {
+				continue
+			}
+			if errorResultIndex(cfn) < 0 {
+				continue
+			}
+			hop := fact.srcPos
+			if n := nodes[cfn]; n != nil && n.decl != nil {
+				hop = n.pkg.Fset.Position(caller.pos)
+			}
+			prod[cfn] = &taintFact{source: fact.source, srcPos: fact.srcPos, next: cur, hopPos: hop}
+			queue = append(queue, cfn)
+		}
+	}
+	f.errProducers = prod
+}
+
+// producerCall resolves a call expression to a durability-error
+// producer, returning its display description, witness notes, and the
+// callee, or ("", nil, nil).
+func producerCall(pass *Pass, call *ast.CallExpr) (string, []string, *types.Func) {
+	id := calleeIdent(call)
+	if id == nil {
+		return "", nil, nil
+	}
+	fn, ok := useOf(pass.Info, id).(*types.Func)
+	if !ok {
+		return "", nil, nil
+	}
+	if desc, ok := pass.Facts.durabilityOps[fn]; ok {
+		return desc, nil, fn
+	}
+	if fact := pass.Facts.errProducers[fn]; fact != nil {
+		notes := chainFacts(pass.Facts.errProducers, fn, "surfaces the durability error of")
+		return funcDisplayName(fn) + " (durability path: " + fact.source + ")", notes, fn
+	}
+	return "", nil, nil
+}
+
+// checkErrDrops walks one declaration, maintaining a parent stack, and
+// checks the disposition of every durability-producer call's error.
+func checkErrDrops(pass *Pass, fd *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if desc, notes, fn := producerCall(pass, call); fn != nil {
+				checkDisposition(pass, fd, call, fn, desc, notes, stack)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkDisposition(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, fn *types.Func, desc string, notes []string, stack []ast.Node) {
+	var parent ast.Node
+	if len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.ReportfNotes(call.Pos(), notes,
+			"error from %s discarded — a durability failure must be handled or explicitly degraded", desc)
+	case *ast.DeferStmt:
+		if p.Call == call {
+			pass.ReportfNotes(call.Pos(), notes, "deferred call discards the error from %s", desc)
+		}
+	case *ast.GoStmt:
+		if p.Call == call {
+			pass.ReportfNotes(call.Pos(), notes, "go statement discards the error from %s", desc)
+		}
+	case *ast.AssignStmt:
+		lhs := errLHS(pass.Info, p.Lhs, p.Rhs, call, fn)
+		checkErrTarget(pass, fd, lhs, call, desc, notes, stack)
+	case *ast.ValueSpec:
+		// var err = op(); same shapes as assignment.
+		var lhs ast.Expr
+		if len(p.Values) == 1 && ast.Unparen(p.Values[0]) == call {
+			if idx := errorResultIndex(fn); idx >= 0 && idx < len(p.Names) && len(p.Names) == resultCount(fn) {
+				lhs = p.Names[idx]
+			}
+		} else {
+			for i, v := range p.Values {
+				if ast.Unparen(v) == call && i < len(p.Names) && resultCount(fn) == 1 {
+					lhs = p.Names[i]
+				}
+			}
+		}
+		checkErrTarget(pass, fd, lhs, call, desc, notes, stack)
+	}
+}
+
+// errLHS finds the assignment target receiving the call's error
+// result: the error-index LHS for the tuple form err-producing call,
+// or the matching 1:1 target for a single-result call.
+func errLHS(info *types.Info, lhsList, rhsList []ast.Expr, call *ast.CallExpr, fn *types.Func) ast.Expr {
+	idx := errorResultIndex(fn)
+	if idx < 0 {
+		return nil
+	}
+	if len(rhsList) == 1 && ast.Unparen(rhsList[0]) == call {
+		if len(lhsList) == resultCount(fn) {
+			return lhsList[idx]
+		}
+		return nil
+	}
+	if resultCount(fn) != 1 {
+		return nil
+	}
+	for i, r := range rhsList {
+		if ast.Unparen(r) == call && i < len(lhsList) {
+			return lhsList[i]
+		}
+	}
+	return nil
+}
+
+func resultCount(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	return sig.Results().Len()
+}
+
+// checkErrTarget classifies the variable the error landed in: blank is
+// a drop; a named variable is followed to its first later mention —
+// none at all, or a pure overwrite (assigned again without appearing
+// on the right-hand side), is a drop.
+func checkErrTarget(pass *Pass, fd *ast.FuncDecl, lhs ast.Expr, call *ast.CallExpr, desc string, notes []string, stack []ast.Node) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored through a selector/index: visible to others, assume checked
+	}
+	if id.Name == "_" {
+		pass.ReportfNotes(call.Pos(), notes, "error from %s assigned to _", desc)
+		return
+	}
+	v := lhsObj(pass.Info, id)
+	if v == nil {
+		return
+	}
+	// Named results are implicitly read by every (bare) return.
+	if results := enclosingFuncResults(stack, fd); results != nil {
+		for _, f := range results.List {
+			for _, name := range f.Names {
+				if pass.Info.Defs[name] == v {
+					return
+				}
+			}
+		}
+	}
+	mention, mentionParent := firstMentionAfter(pass.Info, fd, v, call.End())
+	if mention == nil {
+		pass.ReportfNotes(call.Pos(), notes, "error from %s is never checked", desc)
+		return
+	}
+	if as, ok := mentionParent.(*ast.AssignStmt); ok && pureOverwrite(pass.Info, as, mention, v) {
+		pass.ReportfNotes(call.Pos(), notes,
+			"error from %s overwritten at %s before being checked", desc,
+			pass.Fset.Position(mention.Pos()))
+	}
+}
+
+// lhsObj resolves an assignment target identifier whether it declares
+// (:=) or reuses the variable.
+func lhsObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// enclosingFuncResults returns the result list of the innermost
+// function literal on the stack, or the declaration's.
+func enclosingFuncResults(stack []ast.Node, fd *ast.FuncDecl) *ast.FieldList {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			return fl.Type.Results
+		}
+	}
+	return fd.Type.Results
+}
+
+// firstMentionAfter finds the earliest identifier after pos referring
+// to v anywhere in the declaration (closures included), along with its
+// direct parent node.
+func firstMentionAfter(info *types.Info, fd *ast.FuncDecl, v types.Object, pos token.Pos) (*ast.Ident, ast.Node) {
+	var best *ast.Ident
+	var bestParent ast.Node
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Pos() > pos {
+			if info.Uses[id] == v || info.Defs[id] == v {
+				if best == nil || id.Pos() < best.Pos() {
+					best = id
+					bestParent = nil
+					if len(stack) > 0 {
+						bestParent = stack[len(stack)-1]
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return best, bestParent
+}
+
+// pureOverwrite reports whether the mention is an assignment target
+// whose right-hand side does not read v — i.e. the old error value is
+// destroyed without ever being looked at.
+func pureOverwrite(info *types.Info, as *ast.AssignStmt, mention *ast.Ident, v types.Object) bool {
+	onLHS := false
+	for _, l := range as.Lhs {
+		if ast.Unparen(l) == mention {
+			onLHS = true
+		}
+	}
+	if !onLHS {
+		return false
+	}
+	for _, r := range as.Rhs {
+		read := false
+		ast.Inspect(r, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+				read = true
+			}
+			return true
+		})
+		if read {
+			return false
+		}
+	}
+	return true
+}

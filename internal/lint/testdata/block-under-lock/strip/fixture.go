@@ -1,0 +1,85 @@
+// Package strip is the block-under-lock fixture: every class of
+// potentially blocking operation reached while a mutex is held —
+// sleeps, bare channel operations, selects without default, net I/O,
+// cond.Wait on a different lock, and a blocking call hidden behind a
+// module function.
+package strip
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu      sync.Mutex
+	waitMu  sync.Mutex
+	cond    *sync.Cond // wraps waitMu (see NewBox)
+	updates chan int
+	n       int
+}
+
+func NewBox() *Box {
+	b := &Box{updates: make(chan int)}
+	b.cond = sync.NewCond(&b.waitMu)
+	return b
+}
+
+func (b *Box) SleepUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding strip.Box.mu"
+	b.n++
+}
+
+func (b *Box) SendUnderLock(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.updates <- v // want "channel send while holding strip.Box.mu"
+}
+
+func (b *Box) RecvUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.updates // want "channel receive while holding strip.Box.mu"
+}
+
+func (b *Box) SelectUnderLock(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select without a default case while holding strip.Box.mu"
+	case v := <-b.updates:
+		b.n += v
+	case <-done:
+	}
+}
+
+func (b *Box) NetUnderLock(conn net.Conn, buf []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return conn.Read(buf) // want "net.Conn.Read \\(network I/O\\) while holding strip.Box.mu"
+}
+
+// WaitWrongLock parks on a cond whose locker is waitMu while ALSO
+// holding mu: every other goroutine needing mu stalls until someone
+// signals.
+func (b *Box) WaitWrongLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.waitMu.Lock()
+	defer b.waitMu.Unlock()
+	for b.n == 0 {
+		b.cond.Wait() // want "sync.Cond.Wait while holding strip.Box.mu"
+	}
+}
+
+// slowFlush hides the blocking operation one call away.
+func (b *Box) slowFlush() {
+	time.Sleep(time.Millisecond)
+}
+
+func (b *Box) FlushUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.slowFlush() // want "call to strip.Box.slowFlush may block \\(time.Sleep\\) while holding strip.Box.mu"
+}

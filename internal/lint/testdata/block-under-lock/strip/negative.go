@@ -1,0 +1,70 @@
+// Negative fixture: the idioms block-under-lock must NOT flag — a
+// select guarded by default, channel traffic after the unlock,
+// cond.Wait on its own lock, goroutine launches, and blocking with no
+// lock held at all.
+package strip
+
+import (
+	"sync"
+	"time"
+)
+
+type Quiet struct {
+	mu   sync.Mutex
+	cond *sync.Cond // wraps mu (see NewQuiet)
+	ch   chan int
+	n    int
+}
+
+func NewQuiet() *Quiet {
+	q := &Quiet{ch: make(chan int, 1)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// A select with a default case cannot block.
+func (q *Quiet) TryNotify(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+	}
+}
+
+// Sending after the unlock is the loop.go idiom: compute under the
+// lock, publish outside it.
+func (q *Quiet) NotifyOutside(v int) {
+	q.mu.Lock()
+	q.n = v
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// Waiting on the cond's own lock releases it — the sanctioned idiom.
+func (q *Quiet) AwaitNonZero() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	return q.n
+}
+
+// A go statement only launches the blocker; the holder itself does
+// not block.
+func (q *Quiet) SpawnDrain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go q.drain()
+}
+
+func (q *Quiet) drain() {
+	for range q.ch {
+	}
+}
+
+// Blocking with no lock held is fine.
+func (q *Quiet) Pause() {
+	time.Sleep(time.Millisecond)
+}

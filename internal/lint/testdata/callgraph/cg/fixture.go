@@ -1,0 +1,54 @@
+// Package cg is the callgraph coverage fixture: one function per edge
+// class the mention-based callgraph must keep — method values,
+// deferred closures, and interface dispatch — plus a clean function
+// that must stay fact-free. callgraph_test.go asserts on the Facts
+// built from this package directly; if an edge class regresses, the
+// corresponding assertion fails.
+package cg
+
+import (
+	"sync"
+	"time"
+)
+
+// source is the nondeterminism seed every taint chain below must reach.
+func source() time.Time { return time.Now() }
+
+type C struct{ last time.Time }
+
+func (c *C) read() { c.last = source() }
+
+// MethodValue reaches the source through a method value: the callee is
+// mentioned as a bound value, never in call position.
+func MethodValue(c *C) {
+	f := c.read
+	f()
+}
+
+// DeferredClosure reaches the source through a closure that only runs
+// at defer time.
+func DeferredClosure(c *C) {
+	defer func() { c.read() }()
+}
+
+// locker/impl exercise interface dispatch: ThroughIface never names
+// impl, but the method-set edge must still carry impl.grab's lock
+// acquisition back to it.
+type locker interface{ grab() }
+
+type impl struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (i *impl) grab() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.n++
+}
+
+func ThroughIface(l locker) { l.grab() }
+
+// Clean touches no source, no lock, no blocker: every fact table must
+// stay empty for it.
+func Clean(x int) int { return x + 1 }

@@ -1,0 +1,29 @@
+// Negative fixture: plain sequential code in the deterministic
+// package — loops, maps used locally, function values — none of it
+// touches a concurrency construct, so concurrency-in-sim stays
+// silent.
+package sim
+
+// Fold is order-insensitive sequential accumulation.
+func Fold(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Apply passes a function value around — mentions of functions are
+// not goroutine launches.
+func Apply(f func(int) int, x int) int {
+	return f(x)
+}
+
+// Histogram uses a map as a local accumulator.
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}

@@ -1,0 +1,57 @@
+// Package strip is the err-drop fixture: every drop shape for an
+// error born on a durability path — bare call, blank assignment,
+// defer/go statements, overwrite before check, assignment never read —
+// both on direct fault.FS/fault.File operations and behind a module
+// helper.
+package strip
+
+import "repro/strip/fault"
+
+type W struct {
+	f  fault.File
+	fs fault.FS
+}
+
+func (w *W) bareDrop() {
+	w.f.Sync() // want "error from fault.File.Sync discarded"
+}
+
+func (w *W) blankDrop() {
+	_ = w.f.Sync() // want "error from fault.File.Sync assigned to _"
+}
+
+func (w *W) deferDrop() {
+	defer w.f.Sync() // want "deferred call discards the error from fault.File.Sync"
+}
+
+func (w *W) goDrop() {
+	go w.fs.Remove("stale") // want "go statement discards the error from fault.FS.Remove"
+}
+
+func (w *W) overwriteDrop() error {
+	err := w.f.Sync() // want "error from fault.File.Sync overwritten at .* before being checked"
+	err = fault.ErrInjected
+	return err
+}
+
+func (w *W) assignedNeverRead() error {
+	err := w.fs.Remove("a")
+	if err != nil {
+		return err
+	}
+	err = w.f.Sync() // want "error from fault.File.Sync is never checked"
+	return nil
+}
+
+// persist launders the durability error through a helper: the helper
+// returns it faithfully, so the drop is the caller's.
+func persist(f fault.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (w *W) indirectDrop() {
+	persist(w.f) // want "error from strip.persist \\(durability path: fault.File.Sync\\) discarded"
+}

@@ -1,0 +1,51 @@
+// Negative fixture: the legitimate dispositions of a durability error
+// — checked, returned, wrapped, stored somewhere visible, or read
+// before being reassigned.
+package strip
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/strip/fault"
+)
+
+type Sink struct {
+	f       fault.File
+	fs      fault.FS
+	lastErr error
+}
+
+func (s *Sink) checked() error {
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("sink: %w", err)
+	}
+	return nil
+}
+
+func (s *Sink) propagated() error {
+	return s.f.Sync()
+}
+
+func (s *Sink) wrappedArg() error {
+	return fmt.Errorf("sink: %w", s.f.Sync())
+}
+
+func (s *Sink) stored() {
+	s.lastErr = s.fs.Remove("old")
+}
+
+func (s *Sink) readBeforeReassign() error {
+	err := s.f.Sync()
+	if errors.Is(err, fault.ErrInjected) {
+		return err
+	}
+	err = s.fs.Remove("old")
+	return err
+}
+
+// Named results are read by every return, bare or not.
+func (s *Sink) namedResult() (err error) {
+	err = s.f.Sync()
+	return
+}

@@ -37,6 +37,6 @@ func GoodOrdering(a, b float64) bool {
 
 // Suppressed records a deliberate exact comparison with its reason.
 func Suppressed(a float64) bool {
-	//striplint:ignore float-eq fixture exercises suppression
+	//striplint:ignore float-eq -- fixture exercises suppression
 	return a == 0.25
 }

@@ -1,0 +1,36 @@
+// Negative fixture: the comparisons float-eq must NOT flag —
+// tolerance checks built on ordering, integer and string equality,
+// and float arithmetic that never compares exactly.
+package metrics
+
+import "math"
+
+// WithinTolerance is the sanctioned comparison idiom.
+func WithinTolerance(a, b, eps float64) bool {
+	return math.Abs(a-b) < eps
+}
+
+// Clamp only uses ordering operators.
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// NonFloatEquality compares ints and strings.
+func NonFloatEquality(n int, s string) bool {
+	return n == 0 || s == "p99"
+}
+
+// Mean does float arithmetic without any equality test.
+func Mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

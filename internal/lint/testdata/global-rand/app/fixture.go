@@ -24,6 +24,6 @@ func Good() int {
 
 // Suppressed is the sanctioned escape hatch.
 func Suppressed() float64 {
-	//striplint:ignore global-rand fixture exercises suppression
+	//striplint:ignore global-rand -- fixture exercises suppression
 	return rand.Float64()
 }

@@ -1,0 +1,38 @@
+// Negative fixture: the lock/unlock shapes lock-early-return must NOT
+// flag — the defer idiom, a manual pair with no intervening exit, and
+// a manual pair where every branch unlocks before returning.
+package strip
+
+import "sync"
+
+type Gauge struct {
+	mu sync.Mutex
+	v  int
+}
+
+// DeferIdiom is the canonical form.
+func (g *Gauge) DeferIdiom() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// ManualPair has no exit between Lock and Unlock.
+func (g *Gauge) ManualPair(delta int) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// SequentialZones holds the lock twice, each zone a clean manual
+// pair.
+func (g *Gauge) SequentialZones(delta int) int {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+
+	g.mu.Lock()
+	v := g.v
+	g.mu.Unlock()
+	return v
+}

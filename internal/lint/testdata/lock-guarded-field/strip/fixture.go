@@ -81,6 +81,6 @@ func (db *DB) InLiteral() func() int {
 
 // Justified documents a sanctioned exception.
 func (db *DB) Justified() int {
-	//striplint:ignore lock-guarded-field fixture exercises suppression
+	//striplint:ignore lock-guarded-field -- fixture exercises suppression
 	return db.count
 }

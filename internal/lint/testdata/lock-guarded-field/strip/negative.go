@@ -1,0 +1,41 @@
+// Negative fixture: accesses lock-guarded-field must NOT flag —
+// guarded fields always touched under their mutex, and fields outside
+// any guard zone touched freely.
+package strip
+
+import "sync"
+
+type Ledger struct {
+	mu      sync.Mutex
+	entries map[string]int
+	total   int
+
+	epoch int // separate group: single-writer, deliberately unguarded
+}
+
+func (l *Ledger) Post(k string, v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries[k] += v
+	l.total += v
+}
+
+func (l *Ledger) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// ManualZone accesses guarded state between a manual Lock/Unlock pair.
+func (l *Ledger) ManualZone(k string) int {
+	l.mu.Lock()
+	v := l.entries[k]
+	l.mu.Unlock()
+	return v
+}
+
+// Epoch is outside the guard zone: free access, never flagged.
+func (l *Ledger) Epoch() int {
+	l.epoch++
+	return l.epoch
+}

@@ -1,0 +1,77 @@
+// Package strip is the lock-order fixture: two mutexes acquired in
+// opposite orders by two code paths, with each nested acquisition
+// hidden behind a function call so no single scope ever sees both
+// locks — the interprocedural inversion the v2 per-scope rules cannot
+// detect.
+package strip
+
+import "sync"
+
+// Registry and Journal each own one mutex; the deadlock needs both.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type Journal struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// Install takes Registry.mu, then (through Record) Journal.mu.
+func (r *Registry) Install(j *Journal, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = 1
+	j.Record(k)
+}
+
+func (j *Journal) Record(k string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.log = append(j.log, k)
+}
+
+// Compact takes Journal.mu, then (through drop) Registry.mu — the
+// opposite order. The cycle is anchored here, on the call that closes
+// it.
+func (j *Journal) Compact(r *Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r.drop(j.log) // want "lock ordering cycle strip.Journal.mu -> strip.Registry.mu -> strip.Journal.mu"
+	j.log = j.log[:0]
+}
+
+func (r *Registry) drop(keys []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, k := range keys {
+		delete(r.items, k)
+	}
+}
+
+// Cache demonstrates the single-mutex self-cycle: a write acquisition
+// reached while the same RWMutex is read-held (the upgrade deadlock —
+// the write waits for the read to release, the read waits for fill to
+// return).
+type Cache struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+func (c *Cache) Get(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	v, ok := c.m[k]
+	if !ok {
+		return c.fill(k) // want "lock ordering cycle strip.Cache.rw -> strip.Cache.rw"
+	}
+	return v
+}
+
+func (c *Cache) fill(k string) int {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.m[k] = 1
+	return 1
+}

@@ -1,0 +1,58 @@
+// Negative fixture: two mutexes taken by two different paths in the
+// SAME order, including one interprocedural nesting. A consistent
+// order produces edges but no cycle, so lock-order stays silent.
+package strip
+
+import "sync"
+
+type Index struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+type Store struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// Both paths order Index.mu before Store.mu.
+func (ix *Index) Add(s *Store, k string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.keys = append(ix.keys, k)
+	s.put(k)
+}
+
+func (ix *Index) Rebuild(s *Store) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, k := range ix.keys {
+		s.put(k)
+	}
+}
+
+func (s *Store) put(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[k]++
+}
+
+// Nested shared reads of one RWMutex — directly or through a call —
+// are not an ordering event: no write acquisition is ever reached, so
+// there is nothing to deadlock against.
+type Shared struct {
+	rw sync.RWMutex
+	n  int
+}
+
+func (sh *Shared) Peek() int {
+	sh.rw.RLock()
+	defer sh.rw.RUnlock()
+	return sh.n + sh.sum()
+}
+
+func (sh *Shared) sum() int {
+	sh.rw.RLock()
+	defer sh.rw.RUnlock()
+	return sh.n * 2
+}

@@ -64,7 +64,7 @@ func GoodSliceRange(xs []string) []string {
 // Suppressed documents a deliberate exception.
 func Suppressed(m map[string]int) []string {
 	var out []string
-	//striplint:ignore map-order-leak fixture exercises suppression
+	//striplint:ignore map-order-leak -- fixture exercises suppression
 	for k := range m {
 		out = append(out, k)
 	}

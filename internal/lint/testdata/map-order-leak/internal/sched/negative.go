@@ -1,0 +1,41 @@
+// Negative fixture: map usage map-order-leak must NOT flag — the
+// collect-sort-use idiom feeding an ordering-sensitive sink, and
+// order-insensitive folds.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report prints deterministically: keys are sorted before any output.
+func Report(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// Sum folds into an order-insensitive accumulator.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MaxKeyLen tracks a maximum — also order-insensitive.
+func MaxKeyLen(m map[string]int) int {
+	best := 0
+	for k := range m {
+		if len(k) > best {
+			best = len(k)
+		}
+	}
+	return best
+}

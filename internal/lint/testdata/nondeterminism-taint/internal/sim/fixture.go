@@ -36,6 +36,6 @@ func Fine(x int) int {
 
 // Suppressed documents a sanctioned exception.
 func Suppressed() int64 {
-	//striplint:ignore nondeterminism-taint fixture exercises suppression of a taint finding
+	//striplint:ignore nondeterminism-taint -- fixture exercises suppression of a taint finding
 	return tick.Wrapped()
 }

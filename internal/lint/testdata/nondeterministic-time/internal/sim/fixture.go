@@ -34,11 +34,11 @@ func Allowed() time.Duration {
 
 // Suppressed documents a sanctioned exception.
 func Suppressed() time.Time {
-	//striplint:ignore nondeterministic-time fixture exercises standalone suppression
+	//striplint:ignore nondeterministic-time -- fixture exercises standalone suppression
 	return time.Now()
 }
 
 // SuppressedTrailing uses the same-line form.
 func SuppressedTrailing() time.Time {
-	return time.Now() //striplint:ignore nondeterministic-time fixture exercises trailing suppression
+	return time.Now() //striplint:ignore nondeterministic-time -- fixture exercises trailing suppression
 }

@@ -180,7 +180,7 @@ func (p *Primary) markClosed() (ln net.Listener, conns []net.Conn, first bool) {
 	}
 	p.closed = true
 	conns = make([]net.Conn, 0, len(p.conns))
-	for c := range p.conns { //striplint:ignore map-order-leak shutdown closes every conn; close order is not observable
+	for c := range p.conns { //striplint:ignore map-order-leak -- shutdown closes every conn; close order is not observable
 		conns = append(conns, c)
 	}
 	return p.ln, conns, true
