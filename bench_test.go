@@ -37,6 +37,7 @@ var benchOpts = experiment.Options{Duration: 20, Seeds: []uint64{1}}
 // named headline metric (averaged over the sweep for one policy).
 func runFigure(b *testing.B, id, policy, metric string) {
 	b.Helper()
+	b.ReportAllocs()
 	def, err := experiment.ByID(id)
 	if err != nil {
 		b.Fatal(err)
@@ -88,6 +89,7 @@ func BenchmarkAblationCoalescedQueue(b *testing.B) {
 			name = "coalesced-queue"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -108,6 +110,7 @@ func BenchmarkAblationPartitionedQueues(b *testing.B) {
 			name = "partitioned-queue"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -124,6 +127,7 @@ func BenchmarkAblationPartitionedQueues(b *testing.B) {
 func BenchmarkAblationFixedFraction(b *testing.B) {
 	for _, frac := range []float64{0.1, 0.2, 0.3} {
 		b.Run(fmt.Sprintf("fraction-%.1f", frac), func(b *testing.B) {
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -143,6 +147,7 @@ func BenchmarkAblationFixedFraction(b *testing.B) {
 func BenchmarkSimulationRun(b *testing.B) {
 	for _, pol := range sched.AllPolicies {
 		b.Run(pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			const horizon = 10.0
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -164,6 +169,7 @@ func BenchmarkEventKernel(b *testing.B) {
 		s.After(1, tick)
 	}
 	s.After(1, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run(float64(b.N))
 	if count < b.N-1 {
@@ -173,6 +179,7 @@ func BenchmarkEventKernel(b *testing.B) {
 
 func BenchmarkGenQueueInsertPop(b *testing.B) {
 	q := uqueue.NewGenQueue(0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Insert(&model.Update{Seq: uint64(i), Object: model.ObjectID(i % 1000), GenTime: float64(i % 977)})
@@ -187,6 +194,7 @@ func BenchmarkGenQueueTakeFor(b *testing.B) {
 	for i := 0; i < 5600; i++ {
 		q.Insert(&model.Update{Seq: uint64(i), Object: model.ObjectID(i % 1000), GenTime: float64(i)})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		obj := model.ObjectID(i % 1000)
@@ -202,6 +210,7 @@ func BenchmarkGenQueueTakeFor(b *testing.B) {
 
 func BenchmarkCoalescedQueueInsert(b *testing.B) {
 	q := uqueue.NewCoalescedQueue(0, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Insert(&model.Update{Seq: uint64(i), Object: model.ObjectID(i % 1000), GenTime: float64(i)})
@@ -211,6 +220,7 @@ func BenchmarkCoalescedQueueInsert(b *testing.B) {
 func BenchmarkAblationDiskResident(b *testing.B) {
 	for _, pages := range []int{100, 500, 1000} {
 		b.Run(fmt.Sprintf("pages-%d", pages), func(b *testing.B) {
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -230,6 +240,7 @@ func BenchmarkAblationDiskResident(b *testing.B) {
 func BenchmarkAblationBurstyStream(b *testing.B) {
 	for _, factor := range []float64{1, 4, 8} {
 		b.Run(fmt.Sprintf("burst-%.0fx", factor), func(b *testing.B) {
+			b.ReportAllocs()
 			var last float64
 			for i := 0; i < b.N; i++ {
 				p := model.DefaultParams()
@@ -255,6 +266,7 @@ func BenchmarkStripExec(b *testing.B) {
 		b.Fatal(err)
 	}
 	db.ApplyUpdate(strip.Update{Object: "px", Value: 1})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := db.Exec(strip.TxnSpec{
@@ -287,6 +299,7 @@ func BenchmarkStripIngest(b *testing.B) {
 		names[i] = fmt.Sprintf("v%03d", i)
 	}
 	now := time.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.ApplyUpdate(strip.Update{
@@ -317,6 +330,7 @@ func BenchmarkStripInstallLatency(b *testing.B) {
 	}
 	defer cancel()
 	now := time.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		db.ApplyUpdate(strip.Update{Object: "px", Value: float64(i), Generated: now.Add(time.Duration(i))})
@@ -337,6 +351,7 @@ func BenchmarkStripQuery(b *testing.B) {
 		db.ApplyUpdate(strip.Update{Object: name, Value: float64(i)})
 	}
 	time.Sleep(50 * time.Millisecond) // let installs drain
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, err := db.Query("SELECT * FROM views WHERE value > 500 ORDER BY value DESC LIMIT 10")
@@ -424,6 +439,7 @@ func BenchmarkReplIngest(b *testing.B) {
 	defer r.Close()
 
 	now := time.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		primary.ApplyUpdate(strip.Update{

@@ -1,8 +1,8 @@
 // Command benchjson converts `go test -bench` text output on stdin
 // into a stable JSON document on stdout, so benchmark baselines can be
-// committed (BENCH_6.json) and diffed across PRs.
+// committed (BENCH_7.json) and diffed across PRs.
 //
-//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_6.json
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_7.json
 //
 // Each benchmark line
 //
@@ -12,13 +12,25 @@
 // and every "<value> <unit>" pair collected into a metrics map. The
 // output carries no timestamps or host identifiers, so reruns on the
 // same machine produce minimal diffs.
+//
+// The -diff mode compares two such documents instead of converting:
+//
+//	go run ./cmd/benchjson -diff BENCH_6.json BENCH_7.json
+//
+// It prints a per-metric delta for every benchmark the two documents
+// share and exits 1 when a cost metric — ns/op or allocs/op — grows by
+// more than -max-regress (a fraction, default 0.10). Throughput and
+// latency metrics are reported but not gated: wall-clock noise belongs
+// in review, allocation counts are exact.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -39,11 +51,39 @@ type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// gatedMetrics are the per-op cost metrics -diff fails on: exact
+// allocation counts and the time per operation.
+var gatedMetrics = map[string]bool{"ns/op": true, "allocs/op": true}
+
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(stdin io.Reader, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	diff := fs.Bool("diff", false, "compare two benchmark JSON files (old new) instead of converting stdin")
+	maxRegress := fs.Float64("max-regress", 0.10, "with -diff: fail when ns/op or allocs/op grows by more than this fraction")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchjson < bench.txt > bench.json\n"+
+			"       benchjson -diff [-max-regress 0.10] old.json new.json\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			fs.Usage()
+			return 2
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), *maxRegress, stdout, stderr)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+
 	rep := report{Unit: "go test -bench", Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -70,6 +110,119 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runDiff loads two reports and prints per-metric deltas for every
+// shared benchmark; gated cost metrics that regress beyond maxRegress
+// fail the run.
+func runDiff(oldPath, newPath string, maxRegress float64, stdout, stderr io.Writer) int {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldBy := indexByName(oldRep)
+	newBy := indexByName(newRep)
+
+	var regressions []string
+	for _, name := range sortedUnion(oldBy, newBy) {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		switch {
+		case !inNew:
+			fmt.Fprintf(stdout, "%s: only in %s\n", name, oldPath)
+			continue
+		case !inOld:
+			fmt.Fprintf(stdout, "%s: only in %s\n", name, newPath)
+			continue
+		}
+		for _, metric := range sortedUnion(o.Metrics, n.Metrics) {
+			ov, inO := o.Metrics[metric]
+			nv, inN := n.Metrics[metric]
+			if !inO || !inN {
+				continue
+			}
+			line := fmt.Sprintf("%s %s: %s -> %s (%s)", name, metric, trimFloat(ov), trimFloat(nv), deltaPct(ov, nv))
+			if gatedMetrics[metric] && nv > ov*(1+maxRegress) {
+				line += "  REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s %s", name, metric))
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d regression(s) beyond %.0f%%: %s\n",
+			len(regressions), maxRegress*100, strings.Join(regressions, ", "))
+		return 1
+	}
+	return 0
+}
+
+// readReport loads one benchjson document.
+func readReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// indexByName maps a report's benchmarks by name; duplicate names keep
+// the first entry, matching the converter's stable sort.
+func indexByName(rep report) map[string]benchResult {
+	out := make(map[string]benchResult, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		if _, ok := out[b.Name]; !ok {
+			out[b.Name] = b
+		}
+	}
+	return out
+}
+
+// sortedUnion returns the sorted union of two maps' keys.
+func sortedUnion[V any](a, b map[string]V) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// deltaPct renders the relative change between two metric values.
+func deltaPct(old, new float64) string {
+	switch {
+	case old == new:
+		return "±0%"
+	case old == 0:
+		return "+inf%"
+	}
+	pct := (new - old) / math.Abs(old) * 100
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+// trimFloat renders a metric value without trailing zero noise.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // parseBenchLine parses one "Benchmark<Name>-<P> <N> <v> <unit> ..."

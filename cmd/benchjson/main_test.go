@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,7 +46,7 @@ func TestParseBenchLine(t *testing.T) {
 
 func TestRunEmitsSortedStableJSON(t *testing.T) {
 	var out, errOut bytes.Buffer
-	if code := run(strings.NewReader(sample), &out, &errOut); code != 0 {
+	if code := run(nil, strings.NewReader(sample), &out, &errOut); code != 0 {
 		t.Fatalf("run failed: %d, stderr %s", code, errOut.String())
 	}
 	var rep report
@@ -69,7 +71,117 @@ func TestRunEmitsSortedStableJSON(t *testing.T) {
 	}
 
 	// No benchmark lines at all is an error, not an empty document.
-	if code := run(strings.NewReader("PASS\n"), &out, &errOut); code == 0 {
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &errOut); code == 0 {
 		t.Error("run accepted input with no benchmark lines")
+	}
+}
+
+// writeReport marshals a report to a temp file for the diff tests.
+func writeReport(t *testing.T, dir, name string, rep report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, metrics map[string]float64) benchResult {
+	return benchResult{Name: name, Procs: 8, Iterations: 1000, Metrics: metrics}
+}
+
+// TestDiffPassesWithinThreshold pins the happy path: small ns/op
+// drift under the threshold and an allocs/op improvement exit 0, and
+// every shared metric appears in the delta listing.
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report{Benchmarks: []benchResult{
+		bench("StripIngest", map[string]float64{"ns/op": 250, "allocs/op": 3, "updates/s": 4e6}),
+	}})
+	newPath := writeReport(t, dir, "new.json", report{Benchmarks: []benchResult{
+		bench("StripIngest", map[string]float64{"ns/op": 260, "allocs/op": 2, "updates/s": 3.9e6}),
+	}})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("diff failed: %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"ns/op: 250 -> 260 (+4.0%)", "allocs/op: 3 -> 2", "updates/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestDiffFailsOnAllocRegression is the CI gate: one more alloc per
+// op exceeds the default 10%% threshold and must exit non-zero.
+func TestDiffFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report{Benchmarks: []benchResult{
+		bench("ReplIngest", map[string]float64{"ns/op": 1100, "allocs/op": 3}),
+	}})
+	newPath := writeReport(t, dir, "new.json", report{Benchmarks: []benchResult{
+		bench("ReplIngest", map[string]float64{"ns/op": 1100, "allocs/op": 4}),
+	}})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("diff exit = %d, want 1\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(errOut.String(), "ReplIngest allocs/op") {
+		t.Errorf("regression not reported:\nstdout: %s\nstderr: %s", out.String(), errOut.String())
+	}
+}
+
+// TestDiffFailsOnTimeRegressionBeyondThreshold checks the ns/op gate
+// and that -max-regress moves it.
+func TestDiffFailsOnTimeRegressionBeyondThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report{Benchmarks: []benchResult{
+		bench("StripInstallLatency", map[string]float64{"ns/op": 50000, "allocs/op": 3}),
+	}})
+	newPath := writeReport(t, dir, "new.json", report{Benchmarks: []benchResult{
+		bench("StripInstallLatency", map[string]float64{"ns/op": 60000, "allocs/op": 3}),
+	}})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("20%% ns/op growth passed the 10%% gate: exit %d\n%s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-diff", "-max-regress", "0.5", oldPath, newPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("20%% ns/op growth failed the 50%% gate: exit %d\n%s", code, out.String())
+	}
+}
+
+// TestDiffUnsharedBenchmarksInformational: added or removed
+// benchmarks are listed but do not fail the gate.
+func TestDiffUnsharedBenchmarksInformational(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", report{Benchmarks: []benchResult{
+		bench("Gone", map[string]float64{"ns/op": 10, "allocs/op": 1}),
+	}})
+	newPath := writeReport(t, dir, "new.json", report{Benchmarks: []benchResult{
+		bench("Fresh", map[string]float64{"ns/op": 10, "allocs/op": 1}),
+	}})
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", oldPath, newPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("unshared benchmarks failed the diff: exit %d\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Gone: only in") || !strings.Contains(out.String(), "Fresh: only in") {
+		t.Errorf("unshared benchmarks not listed:\n%s", out.String())
+	}
+}
+
+// TestDiffUsageErrors: wrong arity and unreadable files exit 2.
+func TestDiffUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", "only-one.json"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("one-arg diff exit = %d, want 2", code)
+	}
+	if code := run([]string{"-diff", "nope.json", "also-nope.json"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("missing-file diff exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,244 @@
+// Command escapecheck gates compiler-reported heap escapes on the hot
+// path. It runs `go build -gcflags=-m` over the allocation-budget
+// packages, keeps only the escape diagnostics ("escapes to heap",
+// "moved to heap") that land inside the hot-path closure striplint
+// computes (see striplint -hotpaths), normalizes them to
+// line-number-insensitive entries, and diffs the result against a
+// checked-in baseline:
+//
+//	go run ./cmd/escapecheck            # diff against escape.baseline
+//	go run ./cmd/escapecheck -update    # accept the current set
+//
+// A new hot-path escape — one not in the baseline — exits 1, so `make
+// lint-alloc` and CI fail when a change introduces heap allocation on
+// the ingest/install/replication path that the static rule cannot see
+// (escape analysis is the compiler's, not a reimplementation).
+// Entries are "file func: message" without positions, so unrelated
+// line shifts do not churn the baseline. Exit status: 0 clean or
+// updated, 1 on new escapes, 2 on usage, build or load errors.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// defaultPkgs are the allocation-budget packages, mirroring
+// lint.AllocReportPkgs as build patterns.
+var defaultPkgs = []string{"./strip", "./strip/repl", "./internal/uqueue"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("escapecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "escape.baseline", "baseline file, relative to the module root")
+	update := fs.Bool("update", false, "rewrite the baseline with the current escape set and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: escapecheck [flags] [packages]\n\n"+
+			"Packages default to the allocation-budget set (%s).\nFlags:\n",
+			strings.Join(defaultPkgs, " "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPkgs
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if _, err := loader.Load(loader.Root() + "/..."); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	hot := lint.BuildFacts(loader.All(), nil).HotFunctions()
+	if len(hot) == 0 {
+		fmt.Fprintln(stderr, "escapecheck: hot-path closure is empty; check lint.HotPathRoots")
+		return 2
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Dir = loader.Root()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(stderr, "escapecheck: go build failed: %v\n%s", err, out)
+		return 2
+	}
+	current := normalize(out, loader.Root(), hot)
+
+	path := filepath.Join(loader.Root(), *baselinePath)
+	if *update {
+		data := strings.Join(current, "\n")
+		if data != "" {
+			data += "\n"
+		}
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "escapecheck: wrote %d hot-path escape(s) to %s\n", len(current), *baselinePath)
+		return 0
+	}
+
+	baseline, err := readBaseline(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "escapecheck: %v (run with -update to create the baseline)\n", err)
+		return 2
+	}
+	added, removed := diffLines(baseline, current)
+	if len(removed) > 0 {
+		fmt.Fprintf(stdout, "escapecheck: %d baseline entr(ies) no longer escape (run -update to shrink the baseline):\n", len(removed))
+		for _, l := range removed {
+			fmt.Fprintf(stdout, "\t- %s\n", l)
+		}
+	}
+	if len(added) > 0 {
+		fmt.Fprintf(stdout, "escapecheck: %d NEW hot-path heap escape(s) not in %s:\n", len(added), *baselinePath)
+		for _, l := range added {
+			fmt.Fprintf(stdout, "\t+ %s\n", l)
+		}
+		fmt.Fprintln(stderr, "escapecheck: fix the escape or accept it with -update (and a review of the cost)")
+		return 1
+	}
+	fmt.Fprintf(stdout, "escapecheck: ok — %d hot-path escape(s), all in the baseline\n", len(current))
+	return 0
+}
+
+// diagRe matches one compiler diagnostic: path:line:col: message.
+var diagRe = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.*)$`)
+
+// parseDiag splits a -gcflags=-m output line into its position and
+// message, reporting ok=false for non-diagnostic lines (package
+// banners, inlining notes are filtered later by message).
+func parseDiag(line string) (file string, lineNo int, msg string, ok bool) {
+	m := diagRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(m[2])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return m[1], n, m[4], true
+}
+
+// escapeMsg reports whether a diagnostic message describes a heap
+// escape rather than an inlining or other -m note.
+func escapeMsg(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// span is one hot function's line extent within a file.
+type span struct {
+	start, end int
+	name       string
+}
+
+// hotSpans indexes the hot-path closure by module-root-relative file
+// path, the shape `go build` reports positions in.
+func hotSpans(root string, hot []lint.HotFunc) map[string][]span {
+	byFile := make(map[string][]span)
+	for _, hf := range hot {
+		rel, err := filepath.Rel(root, hf.File)
+		if err != nil {
+			rel = hf.File
+		}
+		rel = filepath.ToSlash(rel)
+		byFile[rel] = append(byFile[rel], span{start: hf.StartLine, end: hf.EndLine, name: hf.Name})
+	}
+	return byFile
+}
+
+// normalize extracts the hot-path escape entries from raw `go build
+// -gcflags=-m` output: each kept diagnostic becomes "file func:
+// message", positions dropped so line shifts elsewhere in the file do
+// not churn the baseline (identical messages within one function
+// collapse for the same reason). The result is sorted and unique.
+func normalize(out []byte, root string, hot []lint.HotFunc) []string {
+	byFile := hotSpans(root, hot)
+	seen := make(map[string]bool)
+	var res []string
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		file, lineNo, msg, ok := parseDiag(sc.Text())
+		if !ok || !escapeMsg(msg) {
+			continue
+		}
+		for _, sp := range byFile[file] {
+			if lineNo >= sp.start && lineNo <= sp.end {
+				entry := fmt.Sprintf("%s %s: %s", file, sp.name, msg)
+				if !seen[entry] {
+					seen[entry] = true
+					res = append(res, entry)
+				}
+				break
+			}
+		}
+	}
+	sort.Strings(res)
+	return res
+}
+
+// readBaseline loads the committed baseline, one entry per line,
+// blank lines and #-comments skipped.
+func readBaseline(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// diffLines compares two sorted entry sets: added holds entries only
+// in current (new escapes, the failure), removed entries only in the
+// baseline (fixed escapes, informational).
+func diffLines(baseline, current []string) (added, removed []string) {
+	inBase := make(map[string]bool, len(baseline))
+	for _, l := range baseline {
+		inBase[l] = true
+	}
+	inCur := make(map[string]bool, len(current))
+	for _, l := range current {
+		inCur[l] = true
+	}
+	for _, l := range current {
+		if !inBase[l] {
+			added = append(added, l)
+		}
+	}
+	for _, l := range baseline {
+		if !inCur[l] {
+			removed = append(removed, l)
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestParseDiag(t *testing.T) {
+	cases := []struct {
+		in   string
+		file string
+		line int
+		msg  string
+		ok   bool
+	}{
+		{"strip/wal.go:208:22: &walWriter{...} escapes to heap", "strip/wal.go", 208, "&walWriter{...} escapes to heap", true},
+		{"internal/uqueue/treap.go:71:7: &node{...} escapes to heap", "internal/uqueue/treap.go", 71, "&node{...} escapes to heap", true},
+		{"# repro/strip", "", 0, "", false},
+		{"strip/wal.go:10:2: can inline (*DB).secs", "strip/wal.go", 10, "can inline (*DB).secs", true},
+		{"random noise", "", 0, "", false},
+	}
+	for _, c := range cases {
+		file, line, msg, ok := parseDiag(c.in)
+		if file != c.file || line != c.line || msg != c.msg || ok != c.ok {
+			t.Errorf("parseDiag(%q) = (%q, %d, %q, %v), want (%q, %d, %q, %v)",
+				c.in, file, line, msg, ok, c.file, c.line, c.msg, c.ok)
+		}
+	}
+}
+
+func TestEscapeMsg(t *testing.T) {
+	if !escapeMsg("&node{...} escapes to heap") || !escapeMsg("moved to heap: n") {
+		t.Error("escape diagnostics not recognized")
+	}
+	if escapeMsg("can inline (*treap).len") || escapeMsg("inlining call to less") {
+		t.Error("inlining notes misclassified as escapes")
+	}
+}
+
+// TestNormalizeFiltersToHotSpans pins the filter: only escape
+// diagnostics inside a hot function's line extent survive, positions
+// are dropped, and duplicates collapse.
+func TestNormalizeFiltersToHotSpans(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	hot := []lint.HotFunc{
+		{Name: "strip.DB.install", Root: "strip.DB.ApplyUpdate", File: filepath.Join(root, "strip", "install.go"), StartLine: 10, EndLine: 30},
+	}
+	out := strings.Join([]string{
+		"# repro/strip",
+		"strip/install.go:12:5: &Entry{...} escapes to heap",   // in span: kept
+		"strip/install.go:12:9: can inline (*DB).secs",         // not an escape
+		"strip/install.go:40:5: &Entry{...} escapes to heap",   // outside span: cold
+		"strip/other.go:12:5: make([]byte, n) escapes to heap", // no hot span in file
+		"strip/install.go:20:5: &Entry{...} escapes to heap",   // same normalized entry: collapses
+	}, "\n")
+	got := normalize([]byte(out), root, hot)
+	want := []string{"strip/install.go strip.DB.install: &Entry{...} escapes to heap"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("normalize = %q, want %q", got, want)
+	}
+}
+
+// TestSeededNewEscapeFails is the acceptance check: an escape absent
+// from the baseline must surface in added (the exit-1 path), while a
+// baseline-covered set must not.
+func TestSeededNewEscapeFails(t *testing.T) {
+	baseline := []string{
+		"strip/wal.go strip.walWriter.appendBatch: w.kvScratch escapes to heap",
+	}
+	current := append([]string{
+		// The seeded regression: a fresh allocation on the hot path.
+		"strip/ingest.go strip.DB.ApplyUpdate: make([]byte, n) escapes to heap",
+	}, baseline...)
+
+	added, removed := diffLines(baseline, current)
+	if len(added) != 1 || added[0] != current[0] {
+		t.Fatalf("seeded escape not detected: added = %q", added)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("unexpected removed entries: %q", removed)
+	}
+
+	added, removed = diffLines(baseline, baseline)
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("clean diff not clean: added %q removed %q", added, removed)
+	}
+}
+
+// TestReadBaselineSkipsCommentsAndSorts exercises the file loader.
+func TestReadBaselineSkipsCommentsAndSorts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "escape.baseline")
+	content := "# hot-path escapes accepted with a reason\n\nz/b.go f: x escapes to heap\na/a.go g: y escapes to heap\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a/a.go g: y escapes to heap", "z/b.go f: x escapes to heap"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("readBaseline = %q, want %q", got, want)
+	}
+}

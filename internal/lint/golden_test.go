@@ -130,6 +130,7 @@ func TestUnusedIgnoreGolden(t *testing.T)         { runGolden(t, "unused-ignore"
 func TestLockOrderGolden(t *testing.T)            { runGolden(t, "lock-order") }
 func TestBlockUnderLockGolden(t *testing.T)       { runGolden(t, "block-under-lock") }
 func TestErrDropGolden(t *testing.T)              { runGolden(t, "err-drop") }
+func TestAllocInHotpathGolden(t *testing.T)       { runGolden(t, "alloc-in-hotpath") }
 
 // TestInterproceduralGain pins the reason nondeterminism-taint exists:
 // over the taint fixture — where time.Now is reached from the
@@ -280,7 +281,7 @@ func TestRuleScoping(t *testing.T) {
 	for _, p := range pkgs {
 		have[p.Path] = true
 	}
-	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs, LockOrderPkgs, ErrCheckedPkgs} {
+	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs, LockOrderPkgs, ErrCheckedPkgs, AllocReportPkgs} {
 		for _, entry := range scope {
 			found := false
 			for path := range have {
@@ -292,6 +293,30 @@ func TestRuleScoping(t *testing.T) {
 			if !found {
 				t.Errorf("scope entry %q matches no package in the tree; update the scope after the rename", entry)
 			}
+		}
+	}
+}
+
+// TestHotRootsResolve pins every configured hot-path root spec to a
+// real function in the tree: a rename that orphaned a spec would
+// silently shrink alloc-in-hotpath's coverage, exactly the failure
+// TestRuleScoping guards against for package scopes.
+func TestHotRootsResolve(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(loader.Root() + "/..."); err != nil {
+		t.Fatal(err)
+	}
+	facts := BuildFacts(loader.All(), (&Options{}).effective())
+	resolved := make(map[string]bool)
+	for _, hf := range facts.HotFunctions() {
+		resolved[hf.Root] = true
+	}
+	for _, spec := range HotPathRoots {
+		if !resolved[spec] {
+			t.Errorf("hot-path root %q matches no function in the tree; update HotPathRoots after the rename", spec)
 		}
 	}
 }

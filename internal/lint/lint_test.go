@@ -34,8 +34,8 @@ func TestSelect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 13 {
-		t.Fatalf("Select(nil) returned %d rules, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("Select(nil) returned %d rules, want 14", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {

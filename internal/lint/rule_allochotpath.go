@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocInHotpath flags allocation sites inside functions reachable
+// from the configured hot-path roots (Options.HotRoots closed over the
+// module call graph, interface dispatch included). The paper's soft
+// real-time budget is a per-update cost bound, so every heap
+// allocation on the ingest/install/replication path is either a bug, a
+// missing preallocation, or a deliberate trade-off that deserves a
+// reasoned //striplint:ignore.
+//
+// Classified sites: address-taken composite literals, non-empty slice
+// and map literals, make of maps/channels/capacity-less slices, append
+// growth into destinations with unknown capacity, string<->[]byte and
+// []rune conversions, fmt.* formatting calls, concrete values boxed
+// into interface parameters, and variable-capturing closures.
+//
+// Deliberately exempt (the documented false-negative classes):
+// three-argument make (an explicit preallocation — and it seeds its
+// destination, so later appends to it are trusted), appends whose
+// destination is a parameter, selector, index or slice expression (the
+// scratch-reuse idiom buf = append(buf[:0], ...)), fmt.Errorf and the
+// errors package (error-exit construction is off the fast path by
+// definition), non-capturing function literals and immediately-invoked
+// ones, value struct literals, pointer-shaped values passed to
+// interface parameters (no boxing allocation), and boxing at return
+// statements rather than call arguments.
+var AllocInHotpath = &Analyzer{
+	Name: "alloc-in-hotpath",
+	Doc: "flag heap allocation sites (composite literals, capacity-less make " +
+		"and append, string/[]byte conversions, fmt calls, interface boxing, " +
+		"capturing closures) in functions reachable from the configured " +
+		"hot-path roots, with the witness chain back to the root",
+	needsFacts: true,
+	Run: func(pass *Pass) {
+		if !pass.Opts.AllocReport.Match(pass.Pkg.Path()) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, fd := range sortedFuncDecls(f) {
+				self, _ := pass.Info.Defs[fd.Name].(*types.Func)
+				if self == nil || pass.Facts.Hot(self) == nil {
+					continue
+				}
+				checkHotAllocs(pass, fd, self)
+			}
+		}
+	},
+}
+
+// checkHotAllocs classifies every allocation site in one hot
+// function's body, nested literals included (any mention is a
+// potential call, so a literal's body runs on the hot path too).
+func checkHotAllocs(pass *Pass, fd *ast.FuncDecl, self *types.Func) {
+	info := pass.Info
+	fact := pass.Facts.Hot(self)
+	notes := pass.Facts.hotChain(self)
+	report := func(pos token.Pos, desc string) {
+		pass.ReportfNotes(pos, notes, "%s on the hot path from %s", desc, fact.source)
+	}
+	seeded, exemptDests := seededIdents(info, fd)
+	iife := iifeLits(fd)
+	covered := make(map[ast.Node]bool) // literals already reported via their &
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				covered[cl] = true
+				report(n.Pos(), "address-taken composite literal "+litTypeName(info, cl)+" escapes to the heap")
+			}
+		case *ast.CompositeLit:
+			if covered[n] {
+				return true
+			}
+			switch typeOf(info, n).(type) {
+			case *types.Slice:
+				if len(n.Elts) > 0 {
+					report(n.Pos(), "slice literal allocates its backing array")
+				}
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			}
+		case *ast.FuncLit:
+			if !iife[n] && capturesVars(info, fd, n) {
+				report(n.Pos(), "capturing closure allocates its environment")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, n, seeded, exemptDests)
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call expression: a builtin make/append,
+// a type conversion, a fmt formatting call, or interface boxing of a
+// concrete argument.
+func checkHotCall(pass *Pass, report func(token.Pos, string), call *ast.CallExpr, seeded, exemptDests map[types.Object]bool) {
+	info := pass.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			if desc := convAllocDesc(info, tv.Type, call.Args[0]); desc != "" {
+				report(call.Pos(), desc)
+			}
+		}
+		return
+	}
+	if isBuiltin(info, call, "make") {
+		switch typeOf(info, call).(type) {
+		case *types.Map:
+			report(call.Pos(), "make allocates a map")
+		case *types.Chan:
+			report(call.Pos(), "make allocates a channel")
+		case *types.Slice:
+			if len(call.Args) < 3 {
+				report(call.Pos(), "make allocates a slice without an explicit capacity")
+			}
+		}
+		return
+	}
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		switch dst := ast.Unparen(call.Args[0]).(type) {
+		case *ast.CompositeLit:
+			report(call.Pos(), "append to a fresh literal allocates")
+		case *ast.Ident:
+			obj := useOf(info, dst)
+			if obj != nil && !seeded[obj] && !exemptDests[obj] {
+				report(call.Pos(), "append to "+dst.Name+" may grow with unknown capacity")
+			}
+		}
+		return
+	}
+
+	fn, _ := useOf(info, calleeIdent(call)).(*types.Func)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if fn.Name() != "Errorf" {
+				report(call.Pos(), "call to fmt."+fn.Name()+" allocates formatting buffers and boxes its arguments")
+			}
+			return
+		case "errors":
+			return // error-exit construction, off the fast path
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if pos, desc := boxedArg(info, call, sig); desc != "" {
+		report(pos, desc)
+	}
+}
+
+// boxedArg finds the first call argument whose concrete,
+// non-pointer-shaped value converts to an interface parameter — the
+// conversion that heap-allocates the boxed copy. One finding per call:
+// fixing the call fixes every argument.
+func boxedArg(info *types.Info, call *ast.CallExpr, sig *types.Signature) (token.Pos, string) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return token.NoPos, ""
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return token.NoPos, "" // slice passed through, no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv := info.Types[arg]
+		if atv.Type == nil || atv.IsNil() {
+			continue
+		}
+		if _, argIface := atv.Type.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if pointerShaped(atv.Type) {
+			continue
+		}
+		return arg.Pos(), "passing " + atv.Type.String() + " as an interface argument boxes the value"
+	}
+	return token.NoPos, ""
+}
+
+// convAllocDesc classifies an explicit conversion that allocates:
+// string<->[]byte, string<->[]rune, and concrete-to-interface.
+func convAllocDesc(info *types.Info, target types.Type, arg ast.Expr) string {
+	atv := info.Types[arg]
+	if atv.Type == nil || atv.IsNil() {
+		return ""
+	}
+	tu, au := target.Underlying(), atv.Type.Underlying()
+	switch {
+	case isStringType(tu) && isSliceOf(au, types.Byte):
+		return "string conversion copies the byte slice"
+	case isSliceOf(tu, types.Byte) && isStringType(au):
+		return "byte-slice conversion copies the string"
+	case isStringType(tu) && isSliceOf(au, types.Rune):
+		return "string conversion copies the rune slice"
+	case isSliceOf(tu, types.Rune) && isStringType(au):
+		return "rune-slice conversion allocates"
+	}
+	if _, isIface := tu.(*types.Interface); isIface {
+		if _, argIface := au.(*types.Interface); !argIface && !pointerShaped(atv.Type) {
+			return "conversion to an interface boxes the value"
+		}
+	}
+	return ""
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without a heap copy: pointers, channels, maps, funcs and unsafe
+// pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(u types.Type) bool {
+	b, ok := u.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSliceOf(u types.Type, kind types.BasicKind) bool {
+	sl, ok := u.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+// typeOf returns the expression's underlying type, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return tv.Type.Underlying()
+}
+
+// litTypeName renders a composite literal's type for diagnostics.
+func litTypeName(info *types.Info, cl *ast.CompositeLit) string {
+	if cl.Type != nil {
+		return types.ExprString(cl.Type)
+	}
+	if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "literal"
+}
+
+// seededIdents scans one declaration for append destinations the rule
+// trusts: function parameters and receivers (capacity is the caller's
+// contract, and growth mutates caller-visible state deliberately), and
+// locals assigned from a three-argument make, a slice expression
+// (buf[:0] reuse), or an append to an already-exempt destination.
+func seededIdents(info *types.Info, fd *ast.FuncDecl) (seeded, exemptDests map[types.Object]bool) {
+	seeded = make(map[types.Object]bool)
+	exemptDests = make(map[types.Object]bool)
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					exemptDests[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || !seedExpr(info, n.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					seeded[obj] = true
+				} else if obj := useOf(info, id); obj != nil {
+					seeded[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, id := range n.Names {
+				if seedExpr(info, n.Values[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						seeded[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return seeded, exemptDests
+}
+
+// seedExpr reports whether the right-hand side carries known capacity:
+// a three-argument make, a slice expression, or an append whose own
+// destination is exempt (selector/index/slice — the scratch idiom).
+func seedExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if isBuiltin(info, e, "make") {
+			return len(e.Args) == 3
+		}
+		if isBuiltin(info, e, "append") && len(e.Args) > 0 {
+			switch ast.Unparen(e.Args[0]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// iifeLits collects immediately-invoked function literals: the call
+// frame replaces the closure, so nothing escapes.
+func iifeLits(fd *ast.FuncDecl) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			out[fl] = true
+		}
+		return true
+	})
+	return out
+}
+
+// capturesVars reports whether the literal references a variable
+// declared in the enclosing function outside the literal itself — the
+// capture that forces a heap-allocated environment.
+func capturesVars(info *types.Info, fd *ast.FuncDecl, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := useOf(info, id).(*types.Var)
+		if !ok || v.IsField() || !v.Pos().IsValid() {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true // local to the literal
+		}
+		if v.Pos() >= fd.Pos() && v.Pos() <= fd.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,10 @@
+// Package other is reached from the hot root but lies outside the
+// alloc-report scope: reachability alone produces no findings, only
+// reachable code in reported packages does.
+package other
+
+// Scratch allocates freely; the report scope does not include this
+// package.
+func Scratch() []int {
+	return append([]int{}, 1, 2, 3)
+}

@@ -1,0 +1,58 @@
+// The negative half of the fixture: allocation sites the rule must
+// NOT report — cold functions, and the documented exemption classes
+// inside hot ones.
+package strip
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cold is never reached from a configured root: the same allocation
+// classes the positive fixture flags stay silent off the hot path.
+func Cold(u Update) (*Update, error) {
+	mu := &Update{Object: u.Object}
+	weights := []float64{1, 2}
+	m := make(map[string]bool)
+	var tail []float64
+	tail = append(tail, u.Value)
+	_ = fmt.Sprintf("%v", u.Value)
+	m[u.Object] = weights[0] < tail[0]
+	return mu, errors.New("cold")
+}
+
+// scratch is hot (the root calls it directly), but every site below
+// is a documented exemption: explicit capacity, scratch reuse,
+// caller-owned destinations, error-exit construction, escape-free
+// literals and pointer-shaped interface values.
+func (db *DB) scratch(u Update) error {
+	kvs := make([]float64, 0, 4)        // three-argument make: explicit preallocation
+	kvs = append(kvs, u.Value)          // seeded by the make above
+	db.out = append(db.out[:0], kvs...) // scratch-reuse idiom: slice-expression destination
+	reset := db.out[:0]                 // a slice expression seeds its destination
+	reset = append(reset, u.Value)
+	double := func(x float64) float64 { return 2 * x } // non-capturing literal
+	v := func() float64 { return double(u.Value) }()   // IIFE: the call frame replaces the closure
+	val := Update{Object: u.Object, Value: v}          // value literal, no escape
+	record(db)                                         // pointer-shaped argument: fits the interface word, no boxing
+	record(nil)                                        // nil boxes nothing
+	var extras []any
+	recordAll(extras...) // variadic pass-through: no per-element boxing
+	if u.Object == "" {
+		return fmt.Errorf("strip: empty object (value %v)", val.Value) // error exit
+	}
+	if v < 0 {
+		return errors.New("strip: negative value")
+	}
+	return db.fill(kvs)
+}
+
+// fill appends into its parameter: capacity is the caller's contract.
+func (db *DB) fill(dst []float64) error {
+	dst = append(dst, 1)
+	_ = dst
+	return nil
+}
+
+// recordAll is the variadic pass-through sink.
+func recordAll(vs ...any) { _ = vs }

@@ -1,0 +1,78 @@
+// Package strip is the alloc-in-hotpath positive fixture: one example
+// of every allocation class the rule reports, inside functions
+// reachable from the configured hot-path root strip.DB.ApplyUpdate.
+// The helpers are hot purely by reachability — stage at depth one,
+// convert at depth two — so the findings also pin the witness chain
+// machinery.
+package strip
+
+import (
+	"fmt"
+
+	"repro/internal/lint/testdata/alloc-in-hotpath/other"
+)
+
+// Update mirrors the shape of a streamed update.
+type Update struct {
+	Object string
+	Value  float64
+}
+
+// DB carries the hot-path receiver; ApplyUpdate matches the
+// configured root spec strip.DB.ApplyUpdate.
+type DB struct {
+	out  []float64
+	last *Update
+}
+
+// ApplyUpdate is the configured root: everything it reaches is hot.
+func (db *DB) ApplyUpdate(u Update) error {
+	mu := &Update{Object: u.Object, Value: u.Value} // want "address-taken composite literal Update escapes to the heap on the hot path from strip.DB.ApplyUpdate"
+	db.last = mu
+	db.stage(u)
+	// Reached from the root, but outside the alloc-report scope: the
+	// callee's allocations produce no findings.
+	other.Scratch()
+	// scratch (clean.go) is hot too; everything in it is exempt.
+	if err := db.scratch(u); err != nil {
+		return err
+	}
+	return db.flush(u)
+}
+
+// stage is hot at depth one from the root.
+func (db *DB) stage(u Update) {
+	weights := []float64{u.Value, 1}               // want "slice literal allocates its backing array on the hot path from strip.DB.ApplyUpdate"
+	index := map[string]float64{u.Object: u.Value} // want "map literal allocates on the hot path"
+	cb := func() float64 { return u.Value }        // want "capturing closure allocates its environment on the hot path"
+	db.out = append(db.out, weights[0], index[u.Object], cb())
+	db.convert(u.Object)
+}
+
+// convert is hot at depth two; its witness chain threads stage.
+func (db *DB) convert(name string) {
+	raw := []byte(name)   // want "byte-slice conversion copies the string on the hot path"
+	_ = string(raw)       // want "string conversion copies the byte slice on the hot path"
+	runes := []rune(name) // want "rune-slice conversion allocates on the hot path"
+	_ = string(runes)     // want "string conversion copies the rune slice on the hot path"
+}
+
+// flush covers the builtin and call classifications.
+func (db *DB) flush(u Update) error {
+	seen := make(map[string]bool) // want "make allocates a map on the hot path"
+	wake := make(chan struct{})   // want "make allocates a channel on the hot path"
+	buf := make([]float64, 1)     // want "make allocates a slice without an explicit capacity on the hot path"
+	var tail []float64
+	tail = append(tail, u.Value)                // want "append to tail may grow with unknown capacity on the hot path"
+	ids := append([]string{}, u.Object)         // want "append to a fresh literal allocates on the hot path"
+	_ = fmt.Sprintf("%s=%v", u.Object, u.Value) // want "call to fmt.Sprintf allocates formatting buffers and boxes its arguments on the hot path"
+	record(u.Value)                             // want "passing float64 as an interface argument boxes the value on the hot path"
+	boxed := any(u.Value)                       // want "conversion to an interface boxes the value on the hot path"
+	seen[u.Object] = len(ids) > 0 && buf[0] < tail[0]
+	close(wake)
+	_ = boxed
+	return nil
+}
+
+// record is the boxing sink; its own body is allocation-free.
+func record(v any) { _ = v }

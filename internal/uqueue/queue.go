@@ -76,6 +76,7 @@ func (q *GenQueue) Insert(u *model.Update) []*model.Update {
 	q.byObj[u.Object] = append(q.byObj[u.Object], u)
 	if q.cap > 0 && q.t.len() > q.cap {
 		if old := q.PopOldest(); old != nil {
+			//striplint:ignore alloc-in-hotpath -- eviction slice is the Queue API contract; overflow is the capacity exception, not the steady state
 			return []*model.Update{old}
 		}
 	}
@@ -157,9 +158,12 @@ func (q *GenQueue) TakeFor(id model.ObjectID) (*model.Update, []*model.Update) {
 		}
 	}
 	var superseded []*model.Update
-	for _, u := range list {
-		if u != newest {
-			superseded = append(superseded, u)
+	if len(list) > 1 {
+		superseded = make([]*model.Update, 0, len(list)-1)
+		for _, u := range list {
+			if u != newest {
+				superseded = append(superseded, u)
+			}
 		}
 	}
 	delete(q.byObj, id)
@@ -177,6 +181,7 @@ func (q *GenQueue) DiscardOlderGen(cutoff float64) []*model.Update {
 			return out
 		}
 		q.removeExact(u)
+		//striplint:ignore alloc-in-hotpath -- expiry sweep output: the count is unknowable in advance and amortized against the discarded work
 		out = append(out, u)
 	}
 }
@@ -214,17 +219,20 @@ func (q *CoalescedQueue) Insert(u *model.Update) []*model.Update {
 	if prev, ok := q.byObj[u.Object]; ok {
 		if !less(prev, u) {
 			// The queued update is at least as new: reject u.
+			//striplint:ignore alloc-in-hotpath -- eviction slice is the Queue API contract; the caller must account for the rejected update
 			return []*model.Update{u}
 		}
 		q.t.remove(prev)
 		q.t.insert(u)
 		q.byObj[u.Object] = u
+		//striplint:ignore alloc-in-hotpath -- eviction slice is the Queue API contract; the caller must account for the superseded update
 		return []*model.Update{prev}
 	}
 	q.t.insert(u)
 	q.byObj[u.Object] = u
 	if q.cap > 0 && q.t.len() > q.cap {
 		if old := q.PopOldest(); old != nil {
+			//striplint:ignore alloc-in-hotpath -- eviction slice is the Queue API contract; overflow is the capacity exception, not the steady state
 			return []*model.Update{old}
 		}
 	}
@@ -298,6 +306,7 @@ func (q *CoalescedQueue) DiscardOlderGen(cutoff float64) []*model.Update {
 		}
 		q.t.remove(u)
 		delete(q.byObj, u.Object)
+		//striplint:ignore alloc-in-hotpath -- expiry sweep output: the count is unknowable in advance and amortized against the discarded work
 		out = append(out, u)
 	}
 }

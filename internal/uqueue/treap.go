@@ -16,6 +16,13 @@ type treap struct {
 	root     *node
 	rngState uint64
 	size     int
+	// free is a recycled-node list threaded through right pointers:
+	// remove pushes, insert pops. A queue oscillating around a steady
+	// depth allocates no nodes after warm-up, which keeps the
+	// per-update scheduler path allocation-free. Recycling is purely
+	// LIFO on removal order, so it is as deterministic as the treap
+	// itself.
+	free *node
 }
 
 type node struct {
@@ -54,7 +61,17 @@ func less(a, b *model.Update) bool {
 func (t *treap) len() int { return t.size }
 
 func (t *treap) insert(u *model.Update) {
-	t.root = t.insertNode(t.root, &node{update: u, priority: t.nextPriority()})
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		n.right = nil
+		n.update = u
+	} else {
+		//striplint:ignore alloc-in-hotpath -- freelist miss: first insert at a new queue-depth high-water mark; steady state recycles removed nodes
+		n = &node{update: u}
+	}
+	n.priority = t.nextPriority()
+	t.root = t.insertNode(t.root, n)
 	t.size++
 }
 
@@ -130,7 +147,14 @@ func (t *treap) removeNode(root *node, u *model.Update) (*node, bool) {
 		return nil, false
 	}
 	if root.update.Seq == u.Seq && root.update.GenTime == u.GenTime {
-		return t.merge(root.left, root.right), true
+		merged := t.merge(root.left, root.right)
+		// Recycle the removed node, dropping its references so the
+		// freelist does not retain the update or a subtree.
+		root.update = nil
+		root.left = nil
+		root.right = t.free
+		t.free = root
+		return merged, true
 	}
 	var removed bool
 	if less(u, root.update) {

@@ -73,6 +73,9 @@ type DB struct {
 	pending   []int // per-object queued-update count (UU criterion)
 	highCount int   // queued updates targeting High-importance views
 	ready     []*txnReq
+	// popBack is popClass's reused put-back scratch (scheduler-owned,
+	// references cleared after every use).
+	popBack []*model.Update
 
 	// ckptMu serializes Checkpoint calls; it guards no fields.
 	ckptMu sync.Mutex
@@ -347,6 +350,7 @@ func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 		// Partial update (§2): only the named attributes change;
 		// the scalar value and other fields are retained.
 		if e.fields == nil {
+			//striplint:ignore alloc-in-hotpath -- lazily creates the entry's field map on its first partial update; later partials mutate it in place
 			e.fields = make(map[string]float64, len(fields))
 		}
 		for k, v := range fields {

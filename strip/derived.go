@@ -124,8 +124,16 @@ func (db *DB) fireTriggers(id model.ObjectID) {
 		Generated: db.entries[id].generated,
 		Fields:    copyFields(db.entries[id].fields),
 	}
-	fns := append([]func(Entry){}, db.globalTriggers...)
-	fns = append(fns, db.triggers[id]...)
+	// Copy the trigger lists so they run outside the lock; the copy is
+	// sized exactly and skipped entirely when nothing is registered,
+	// so trigger-less installs (the common ingest path) allocate
+	// nothing here.
+	var fns []func(Entry)
+	if n := len(db.globalTriggers) + len(db.triggers[id]); n > 0 {
+		fns = make([]func(Entry), 0, n)
+		fns = append(fns, db.globalTriggers...)
+		fns = append(fns, db.triggers[id]...)
+	}
 	derived := append([]*derivedDef(nil), db.derivedByDep[id]...)
 	db.mu.RUnlock()
 
@@ -141,6 +149,7 @@ func (db *DB) fireTriggers(id model.ObjectID) {
 // recomputeDerived evaluates one derived view from its dependencies.
 func (db *DB) recomputeDerived(def *derivedDef) {
 	db.mu.Lock()
+	//striplint:ignore alloc-in-hotpath -- def.compute is user code that may retain the slice, so each recompute hands it a fresh one
 	values := make([]float64, len(def.deps))
 	oldest := db.entries[def.deps[0]].generated
 	for i, dep := range def.deps {
@@ -166,8 +175,12 @@ func (db *DB) recomputeDerived(def *derivedDef) {
 	db.mu.RLock()
 	name := db.defs[def.id].name
 	entry := Entry{Object: name, Value: result, Generated: oldest}
-	fns := append([]func(Entry){}, db.globalTriggers...)
-	fns = append(fns, db.triggers[def.id]...)
+	var fns []func(Entry)
+	if n := len(db.globalTriggers) + len(db.triggers[def.id]); n > 0 {
+		fns = make([]func(Entry), 0, n)
+		fns = append(fns, db.globalTriggers...)
+		fns = append(fns, db.triggers[def.id]...)
+	}
 	db.mu.RUnlock()
 	for _, fn := range fns {
 		fn(entry)
@@ -179,6 +192,7 @@ func copyFields(m map[string]float64) map[string]float64 {
 	if len(m) == 0 {
 		return nil
 	}
+	//striplint:ignore alloc-in-hotpath -- the copy decouples the entry from the caller's map; field-less updates take the nil fast path above
 	out := make(map[string]float64, len(m))
 	for k, v := range m {
 		out[k] = v

@@ -31,6 +31,7 @@ func (db *DB) ApplyUpdate(u Update) error {
 	seq := db.arrival
 	db.mu.Unlock()
 
+	//striplint:ignore alloc-in-hotpath -- the update outlives ApplyUpdate by design: it escapes into the scheduler queue and is installed later
 	mu := &model.Update{
 		Seq:         seq,
 		Object:      id,

@@ -167,8 +167,10 @@ func (db *DB) installNext(class int) bool {
 func (db *DB) popClass(class model.Importance) *model.Update {
 	// Collect non-matching updates to put back; class-targeted pops
 	// are only used by SplitUpdates for the High class, which is
-	// drained eagerly, so the put-back list stays short-lived.
-	var back []*model.Update
+	// drained eagerly, so the put-back list stays short-lived. The
+	// scratch lives on the DB (scheduler-owned) so repeated scans
+	// reuse one buffer.
+	back := db.popBack[:0]
 	var found *model.Update
 	for {
 		var u *model.Update
@@ -189,6 +191,12 @@ func (db *DB) popClass(class model.Importance) *model.Update {
 	for _, u := range back {
 		db.queue.Insert(u)
 	}
+	// Clear the references before parking the scratch: a retained
+	// pointer would keep an installed update alive.
+	for i := range back {
+		back[i] = nil
+	}
+	db.popBack = back[:0]
 	return found
 }
 

@@ -58,46 +58,74 @@ var (
 	ErrMalformed = errors.New("repl: malformed frame payload")
 )
 
-// WriteFrame writes one frame: big-endian payload length, the
-// payload, and the payload's IEEE CRC32. The frame is assembled into
-// one buffer so a frame is written with a single Write call.
-func WriteFrame(w io.Writer, payload []byte) error {
+// AppendFrame appends one encoded frame — big-endian payload length,
+// the payload, and the payload's IEEE CRC32 — to dst and returns the
+// extended slice. Fan-out paths pass a reused scratch buffer
+// (scratch[:0]) so steady-state framing allocates nothing after the
+// buffer reaches its high-water mark.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
 	if len(payload) == 0 || len(payload) > MaxFrame {
-		return ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, len(payload)+frameOverhead)
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
-	binary.BigEndian.PutUint32(buf[4+len(payload):], crc32.ChecksumIEEE(payload))
-	_, err := w.Write(buf)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return dst, nil
+}
+
+// WriteFrame writes one frame assembled into a single buffer, so it
+// reaches the writer in one Write call. It allocates the buffer per
+// call; the connection handlers use AppendFrame with per-connection
+// scratch instead.
+func WriteFrame(w io.Writer, payload []byte) error {
+	buf, err := AppendFrame(make([]byte, 0, len(payload)+frameOverhead), payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 
-// ReadFrame reads one frame and returns its verified payload. A clean
-// EOF before the first header byte returns io.EOF; any other short
-// read returns ErrTruncated.
+// ReadFrame reads one frame and returns its verified payload in a
+// fresh buffer the caller owns. A clean EOF before the first header
+// byte returns io.EOF; any other short read returns ErrTruncated.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	payload, _, err := ReadFrameBuf(r, nil)
+	return payload, err
+}
+
+// ReadFrameBuf reads one frame into buf (grown when too small) and
+// returns the verified payload aliasing buf's storage plus the
+// possibly-grown buffer to reuse for the next call. The payload is
+// valid only until that next call; retaining callers must copy
+// (Decode already copies every string and pair out).
+func ReadFrameBuf(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) && err != io.ErrUnexpectedEOF {
-			return nil, io.EOF
+			return nil, buf, io.EOF
 		}
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, buf, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, buf, ErrFrameTooLarge
 	}
-	body := make([]byte, int(n)+4)
+	need := int(n) + 4
+	if cap(buf) < need {
+		//striplint:ignore alloc-in-hotpath -- grows the caller's scratch once per frame-size high-water mark; steady state reuses it
+		buf = make([]byte, need)
+	}
+	body := buf[:need]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, buf, fmt.Errorf("%w: %v", ErrTruncated, err)
 	}
-	payload := body[:n]
+	payload = body[:n]
 	want := binary.BigEndian.Uint32(body[n:])
 	if crc32.ChecksumIEEE(payload) != want {
-		return nil, ErrChecksum
+		return nil, buf, ErrChecksum
 	}
-	return payload, nil
+	return payload, buf, nil
 }
 
 // Msg is a decoded frame payload: *UpdateMsg, *BatchMsg or
@@ -200,13 +228,17 @@ func EncodeSnapshot(s strip.Snapshot) ([]byte, error) {
 	return appendPairs32(b, s.General)
 }
 
-// Decode parses a frame payload into its message.
+// Decode parses a frame payload into its message. The returned
+// message owns all of its memory: every string and pair list is copied
+// out of payload, so callers may reuse the payload buffer (see
+// ReadFrameBuf) as soon as Decode returns.
 func Decode(payload []byte) (Msg, error) {
-	d := &decoder{b: payload}
+	d := decoder{b: payload}
 	kind := d.u8()
 	seq := d.u64()
 	switch kind {
 	case KindUpdate:
+		//striplint:ignore alloc-in-hotpath -- the decoded message is the API's return value; one boxed message per frame is the decode contract
 		m := &UpdateMsg{Sequence: seq}
 		m.Generated = int64(d.u64())
 		m.Value = d.f64()
@@ -215,12 +247,14 @@ func Decode(payload []byte) (Msg, error) {
 		m.Partial = flags&flagPartial != 0
 		m.Object = d.str()
 		m.Fields = d.pairs16()
-		return finish(d, m)
+		return finish(&d, m)
 	case KindBatch:
+		//striplint:ignore alloc-in-hotpath -- the decoded message is the API's return value; one boxed message per frame is the decode contract
 		m := &BatchMsg{Sequence: seq}
 		m.Writes = d.pairs32()
-		return finish(d, m)
+		return finish(&d, m)
 	case KindSnapshot:
+		//striplint:ignore alloc-in-hotpath -- the decoded message is the API's return value; snapshots are bootstrap-rare
 		m := &SnapshotMsg{Snap: strip.Snapshot{Seq: seq}}
 		n := d.count32(minViewBytes)
 		for i := 0; i < n && d.err == nil; i++ {
@@ -233,7 +267,7 @@ func Decode(payload []byte) (Msg, error) {
 			m.Snap.Views = append(m.Snap.Views, v)
 		}
 		m.Snap.General = d.pairs32()
-		return finish(d, m)
+		return finish(&d, m)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
 	}
@@ -270,7 +304,7 @@ func nanosGen(n int64) time.Time {
 // minimum encoded sizes, used to reject absurd element counts before
 // allocating.
 const (
-	minPairBytes = 2 + 8          // empty key + value
+	minPairBytes = 2 + 8             // empty key + value
 	minViewBytes = 2 + 1 + 8 + 8 + 2 // empty name + importance + gen + value + field count
 )
 
@@ -336,6 +370,7 @@ func (d *decoder) str() string {
 	if b == nil {
 		return ""
 	}
+	//striplint:ignore alloc-in-hotpath -- decode must copy out of the caller's reused read buffer (ReadFrameBuf aliases it)
 	return string(b)
 }
 

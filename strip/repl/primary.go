@@ -85,6 +85,7 @@ func (p *Primary) publish(ev strip.ReplEvent) {
 		// An unencodable event (oversized key) cannot be replicated;
 		// drop it loudly. Replicas that resume across the gap are
 		// re-bootstrapped by the ring reset.
+		//striplint:ignore alloc-in-hotpath -- error exit: an unencodable event is dropped loudly, never on the steady-state publish path
 		p.logf("repl: dropping unencodable event seq %d: %v", ev.Seq, err)
 		return
 	}
@@ -217,6 +218,19 @@ func (p *Primary) serveConn(conn net.Conn) {
 	if _, err := fmt.Fprintf(w, "EPOCH %d\n", p.db.ReplicationEpoch()); err != nil {
 		return
 	}
+	// Per-connection frame scratch: the whole streaming loop reframes
+	// payloads through it, so a session allocates one buffer per frame
+	// size high-water mark, not one per frame.
+	var frameScratch []byte
+	writeFrame := func(payload []byte) error {
+		buf, err := AppendFrame(frameScratch[:0], payload)
+		if err != nil {
+			return err
+		}
+		frameScratch = buf
+		_, err = w.Write(buf)
+		return err
+	}
 	// A replica from a different history — a previous primary process,
 	// or no history at all (epoch 0, cold) — cannot resume: its
 	// sequence numbers describe a state this database never held.
@@ -232,7 +246,7 @@ func (p *Primary) serveConn(conn net.Conn) {
 				p.logf("repl: snapshot encode failed: %v", err)
 				return
 			}
-			if WriteFrame(w, payload) != nil || w.Flush() != nil {
+			if writeFrame(payload) != nil || w.Flush() != nil {
 				return
 			}
 			from = snap.Seq + 1
@@ -245,7 +259,7 @@ func (p *Primary) serveConn(conn net.Conn) {
 			return // ring closed or connection gone
 		}
 		for _, f := range frames {
-			if WriteFrame(w, f) != nil {
+			if writeFrame(f) != nil {
 				return
 			}
 		}

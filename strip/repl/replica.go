@@ -211,8 +211,10 @@ func (r *Replica) stream(conn net.Conn) int {
 		return 0
 	}
 	applied := 0
+	var frameBuf []byte // reused by ReadFrameBuf; Decode copies out of it
 	for {
-		payload, err := ReadFrame(br)
+		payload, buf, err := ReadFrameBuf(br, frameBuf)
+		frameBuf = buf
 		if err != nil {
 			r.logStreamEnd(err, applied)
 			return applied
@@ -289,45 +291,59 @@ func (r *Replica) apply(msg Msg, connEpoch uint64) error {
 		r.observe(KindSnapshot, m.Snap.Seq)
 		return nil
 	case *UpdateMsg:
-		return r.applyAt(m.Sequence, connEpoch, KindUpdate, func() error {
-			return r.db.ApplyReplicated(strip.Update{
-				Object:    m.Object,
-				Value:     m.Value,
-				Fields:    kvMap(m.Fields),
-				Partial:   m.Partial,
-				Generated: nanosGen(m.Generated),
-			}, m.Importance)
-		})
+		ok, err := r.admit(m.Sequence, connEpoch)
+		if !ok {
+			return err
+		}
+		if err := r.db.ApplyReplicated(strip.Update{
+			Object:    m.Object,
+			Value:     m.Value,
+			Fields:    kvMap(m.Fields),
+			Partial:   m.Partial,
+			Generated: nanosGen(m.Generated),
+		}, m.Importance); err != nil {
+			return err
+		}
+		r.setLastSeq(m.Sequence)
+		r.observe(KindUpdate, m.Sequence)
+		return nil
 	case *BatchMsg:
-		return r.applyAt(m.Sequence, connEpoch, KindBatch, func() error {
-			return r.db.ApplyReplicatedBatch(m.Writes)
-		})
+		ok, err := r.admit(m.Sequence, connEpoch)
+		if !ok {
+			return err
+		}
+		if err := r.db.ApplyReplicatedBatch(m.Writes); err != nil {
+			return err
+		}
+		r.setLastSeq(m.Sequence)
+		r.observe(KindBatch, m.Sequence)
+		return nil
 	default:
 		return fmt.Errorf("%w: unexpected message %T", ErrMalformed, msg)
 	}
 }
 
-// applyAt runs fn for a stream message carrying sequence seq.
-func (r *Replica) applyAt(seq, connEpoch uint64, kind byte, fn func() error) error {
+// admit checks the sequence contract for a stream frame carrying seq:
+// ok reports whether the frame should be applied. A duplicate across a
+// resume returns (false, nil) — skip without error; an epoch mismatch
+// or sequence gap returns a session-breaking error. Taking the
+// decision out of line (rather than wrapping each apply in a closure)
+// keeps the per-frame path allocation-free.
+func (r *Replica) admit(seq, connEpoch uint64) (bool, error) {
 	last, epoch := r.cursor()
 	if epoch != connEpoch {
 		// The primary promised a snapshot first (our handshake epoch
 		// cannot have matched); a stream frame before it would splice
 		// another history onto our state.
-		return fmt.Errorf("repl: stream frame from epoch %d before snapshot (cursor epoch %d)", connEpoch, epoch)
+		return false, fmt.Errorf("repl: stream frame from epoch %d before snapshot (cursor epoch %d)", connEpoch, epoch)
 	}
 	if seq <= last {
-		return nil // duplicate across a resume; already applied
+		return false, nil // duplicate across a resume; already applied
 	}
 	if seq != last+1 {
-		return fmt.Errorf("%w: have %d, got %d", errSeqGap, last, seq)
+		return false, fmt.Errorf("%w: have %d, got %d", errSeqGap, last, seq)
 	}
-	if err := fn(); err != nil {
-		return err
-	}
-	r.setLastSeq(seq)
-	r.observe(kind, seq)
-	return nil
+	return true, nil
 }
 
 // cursor returns the applied-sequence cursor and the epoch of the
@@ -366,6 +382,7 @@ func kvMap(kvs []strip.KeyValue) map[string]float64 {
 	if len(kvs) == 0 {
 		return nil
 	}
+	//striplint:ignore alloc-in-hotpath -- the attribute map is handed to the database, which owns it; pair-less updates take the nil fast path above
 	m := make(map[string]float64, len(kvs))
 	for _, kv := range kvs {
 		m[kv.Key] = kv.Value

@@ -2,7 +2,9 @@ package strip
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/model"
@@ -220,6 +222,7 @@ func (db *DB) ApplyReplicated(u Update, imp Importance) error {
 	if gen.IsZero() {
 		gen = db.now()
 	}
+	//striplint:ignore alloc-in-hotpath -- the update outlives ApplyReplicated by design: it escapes into the scheduler queue and is installed later
 	mu := &model.Update{
 		Object:      id,
 		Class:       model.Importance(imp),
@@ -288,6 +291,7 @@ func (db *DB) ApplyReplicatedBatch(writes []KeyValue) error {
 	if db.closed {
 		return ErrClosed
 	}
+	//striplint:ignore alloc-in-hotpath -- applyWritesLocked takes the batch as a map (the transaction API shape); one map per replicated batch
 	m := make(map[string]float64, len(writes))
 	for _, kv := range writes {
 		m[kv.Key] = kv.Value
@@ -354,6 +358,7 @@ func (db *DB) InstallSnapshot(s Snapshot) error {
 	if len(s.General) == 0 {
 		return nil
 	}
+	//striplint:ignore alloc-in-hotpath -- snapshot install happens once per bootstrap, not per frame
 	m := make(map[string]float64, len(s.General))
 	for _, kv := range s.General {
 		m[kv.Key] = kv.Value
@@ -390,12 +395,22 @@ func sortedKVs(m map[string]float64) []KeyValue {
 	if len(m) == 0 {
 		return nil
 	}
-	out := make([]KeyValue, 0, len(m))
+	return appendSortedKVs(make([]KeyValue, 0, len(m)), m)
+}
+
+// appendSortedKVs appends the map's pairs to dst (which must be
+// empty: callers pass a fresh or length-reset scratch slice) in
+// key-sorted order. slices.SortFunc with a capture-free comparison
+// keeps the sort itself allocation-free, unlike sort.Slice, which
+// boxes the slice and its closure.
+func appendSortedKVs(dst []KeyValue, m map[string]float64) []KeyValue {
 	for k, v := range m {
-		out = append(out, KeyValue{Key: k, Value: v})
+		dst = append(dst, KeyValue{Key: k, Value: v})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
+	slices.SortFunc(dst, func(a, b KeyValue) int {
+		return strings.Compare(a.Key, b.Key)
+	})
+	return dst
 }
 
 // kvFields converts sorted pairs back into an attribute map.
@@ -403,6 +418,7 @@ func kvFields(kvs []KeyValue) map[string]float64 {
 	if len(kvs) == 0 {
 		return nil
 	}
+	//striplint:ignore alloc-in-hotpath -- the entry owns its attribute map; only snapshot installs (bootstrap-rare) reach this on a hot chain
 	m := make(map[string]float64, len(kvs))
 	for _, kv := range kvs {
 		m[kv.Key] = kv.Value

@@ -96,6 +96,10 @@ type walWriter struct {
 	// the fresh segment instead of renaming again.
 	sealed bool
 	broken error
+	// kvScratch and encScratch are reused across appendBatch calls so
+	// a steady-state commit encodes its records with zero allocations.
+	kvScratch  []KeyValue
+	encScratch []byte
 }
 
 // walState is what recovery learned about the on-disk log, consumed
@@ -163,9 +167,18 @@ func (w *walWriter) appendBatch(writes map[string]float64) error {
 	if w.broken != nil {
 		return w.broken
 	}
-	for _, kv := range sortedKVs(writes) {
-		if _, err := fmt.Fprintf(w.buf, "set %s %s\n",
-			strconv.Quote(kv.Key), strconv.FormatFloat(kv.Value, 'g', -1, 64)); err != nil {
+	// Encode into reused scratch instead of fmt.Fprintf: byte-for-byte
+	// the same records ("set <quoted-key> <floatG>\n"), without the
+	// per-record format parsing, boxing and intermediate strings. The
+	// torture tests compare WAL bytes, so the encoding must not drift.
+	w.kvScratch = appendSortedKVs(w.kvScratch[:0], writes)
+	for _, kv := range w.kvScratch {
+		w.encScratch = append(w.encScratch[:0], "set "...)
+		w.encScratch = strconv.AppendQuote(w.encScratch, kv.Key)
+		w.encScratch = append(w.encScratch, ' ')
+		w.encScratch = strconv.AppendFloat(w.encScratch, kv.Value, 'g', -1, 64)
+		w.encScratch = append(w.encScratch, '\n')
+		if _, err := w.buf.Write(w.encScratch); err != nil {
 			return w.poison(err)
 		}
 	}
