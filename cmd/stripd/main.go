@@ -20,6 +20,18 @@
 // second report shows the replication sequence and, on replicas, the
 // MA/UU replication lag.
 //
+// Failover: -elect-listen and -peers replace the static primary/
+// replica split with consensus-elected roles. Every node of the group
+// runs the same command with its own -elect-listen; -peers lists the
+// full membership as elect=repl address pairs (identical on every
+// node). The elected primary serves the replication stream on its
+// repl address from the pair list; everyone else follows it:
+//
+//	stripd -listen :7007 -elect-listen :7107 \
+//	    -peers 127.0.0.1:7107=127.0.0.1:7207,127.0.0.1:7108=127.0.0.1:7208
+//
+// The once-a-second report then carries elect-state and elect-epoch.
+//
 // The server also runs a sample read-only transaction each second so
 // the transaction counters move.
 package main
@@ -31,10 +43,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/strip"
+	"repro/strip/elect"
 	"repro/strip/repl"
 )
 
@@ -58,6 +72,8 @@ func run(args []string) error {
 	replicateFrom := fs.String("replicate-from", "", "run as a replica of the primary at this -repl-listen address")
 	walPath := fs.String("wal", "", "write-ahead log path: makes general data durable across restarts")
 	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (also heals a degraded log)")
+	electListen := fs.String("elect-listen", "", "join leader election with this address as the node's identity")
+	peers := fs.String("peers", "", "election membership as elect=repl address pairs, comma separated (identical on every node)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +81,7 @@ func run(args []string) error {
 	switch {
 	case *feed != "":
 		return runFeed(*feed, *views, *rate, *duration)
-	case *listen != "" || *replicateFrom != "":
+	case *listen != "" || *replicateFrom != "" || *electListen != "":
 		return runServer(serverConfig{
 			listen:        *listen,
 			views:         *views,
@@ -76,9 +92,11 @@ func run(args []string) error {
 			replicateFrom: *replicateFrom,
 			walPath:       *walPath,
 			ckptEvery:     *ckptEvery,
+			electListen:   *electListen,
+			peers:         *peers,
 		})
 	default:
-		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica) or -feed <addr> (feed client)")
+		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica), -elect-listen <addr> (failover group) or -feed <addr> (feed client)")
 	}
 }
 
@@ -93,6 +111,44 @@ type serverConfig struct {
 	replicateFrom string
 	walPath       string
 	ckptEvery     time.Duration
+	electListen   string
+	peers         string
+}
+
+// parsePeers parses the -peers membership list: comma-separated
+// elect=repl address pairs. It returns the elect addresses in list
+// order (the order is part of the protocol configuration and must
+// match on every node) and the elect→repl mapping. Every malformed
+// shape gets its own message so a misconfigured node dies with a
+// reason, not a hung election.
+func parsePeers(spec string) (order []string, replOf map[string]string, err error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil, fmt.Errorf("-peers is empty; pass elect=repl address pairs, comma separated")
+	}
+	replOf = make(map[string]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, nil, fmt.Errorf("-peers has an empty entry (stray comma?) in %q", spec)
+		}
+		electAddr, replAddr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("-peers entry %q is not an elect=repl address pair", entry)
+		}
+		electAddr, replAddr = strings.TrimSpace(electAddr), strings.TrimSpace(replAddr)
+		if electAddr == "" || replAddr == "" {
+			return nil, nil, fmt.Errorf("-peers entry %q has an empty address side", entry)
+		}
+		if _, dup := replOf[electAddr]; dup {
+			return nil, nil, fmt.Errorf("-peers lists elect address %q twice", electAddr)
+		}
+		order = append(order, electAddr)
+		replOf[electAddr] = replAddr
+	}
+	if len(order) < 2 {
+		return nil, nil, fmt.Errorf("-peers needs at least two nodes, got %d", len(order))
+	}
+	return order, replOf, nil
 }
 
 func parsePolicy(name string) (strip.Policy, error) {
@@ -117,12 +173,22 @@ func runServer(cfg serverConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.electListen != "" || cfg.peers != "" {
+		if cfg.electListen == "" || cfg.peers == "" {
+			return fmt.Errorf("-elect-listen and -peers must be used together")
+		}
+		if cfg.replListen != "" || cfg.replicateFrom != "" {
+			return fmt.Errorf("-elect-listen manages the replication roles itself; drop -repl-listen and -replicate-from")
+		}
+	}
 	views := cfg.views
 	db, err := strip.Open(strip.Config{
-		Policy:   policy,
-		MaxAge:   cfg.maxAge,
-		OnStale:  strip.Warn,
-		Coalesce: cfg.replicateFrom == "", // replicas install the full stream
+		Policy:  policy,
+		MaxAge:  cfg.maxAge,
+		OnStale: strip.Warn,
+		// Replicas install the full stream; an elected node may become
+		// one at any moment.
+		Coalesce: cfg.replicateFrom == "" && cfg.electListen == "",
 		WALPath:  cfg.walPath,
 	})
 	if err != nil {
@@ -176,6 +242,46 @@ func runServer(cfg serverConfig) error {
 		}
 		defer replica.Close()
 		fmt.Printf("replicating from %s (policy %s)\n", cfg.replicateFrom, policy)
+	}
+	var fo *repl.Failover
+	if cfg.electListen != "" {
+		peerOrder, replOf, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		selfRepl, ok := replOf[cfg.electListen]
+		if !ok {
+			return fmt.Errorf("-elect-listen %q is not one of the elect addresses in -peers", cfg.electListen)
+		}
+		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		node, err := elect.NewNode(elect.Config{
+			Self:  cfg.electListen,
+			Peers: peerOrder,
+			Seed:  uint64(time.Now().UnixNano()),
+			Logf:  logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		el, err := net.Listen("tcp", cfg.electListen)
+		if err != nil {
+			return err
+		}
+		go node.Serve(el)
+		fo, err = repl.StartFailover(db, repl.FailoverConfig{
+			Node:       node,
+			ReplAddrOf: func(id string) string { return replOf[id] },
+			ListenRepl: func() (net.Listener, error) { return net.Listen("tcp", selfRepl) },
+			Seed:       uint64(time.Now().UnixNano()),
+			Logf:       logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer fo.Close()
+		fmt.Printf("election on %s across %d peers (replication at %s when primary)\n",
+			el.Addr(), len(peerOrder), selfRepl)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -239,6 +345,13 @@ func runServer(cfg serverConfig) error {
 			}
 			if cfg.replicateFrom != "" {
 				line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
+			}
+			if fo != nil {
+				role, epoch := fo.Role()
+				line += fmt.Sprintf(" elect-state=%s elect-epoch=%d", role, epoch)
+				if role == repl.RoleReplica {
+					line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
+				}
 			}
 			if cfg.walPath != "" {
 				line += fmt.Sprintf(" wal-errors=%d", s.WALErrors)

@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"net"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -147,6 +149,61 @@ func TestReplicationFlagsEndToEnd(t *testing.T) {
 	for err := range errs {
 		if err != nil {
 			t.Fatalf("server/replica failed: %v", err)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	order, replOf, err := parsePeers("10.0.0.1:7107=10.0.0.1:7207, 10.0.0.2:7107=10.0.0.2:7207,10.0.0.3:7107=10.0.0.3:7207")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	wantOrder := []string{"10.0.0.1:7107", "10.0.0.2:7107", "10.0.0.3:7107"}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Errorf("order = %v, want %v", order, wantOrder)
+	}
+	if got := replOf["10.0.0.2:7107"]; got != "10.0.0.2:7207" {
+		t.Errorf("replOf[10.0.0.2:7107] = %q, want 10.0.0.2:7207", got)
+	}
+}
+
+func TestParsePeersRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"stray comma", "a=b,,c=d", "empty entry"},
+		{"no equals", "a=b,cd", "not an elect=repl"},
+		{"empty side", "a=b,c=", "empty address side"},
+		{"duplicate", "a=b,a=c", "twice"},
+		{"single node", "a=b", "at least two"},
+	}
+	for _, tc := range cases {
+		_, _, err := parsePeers(tc.spec)
+		if err == nil {
+			t.Errorf("%s: parsePeers(%q) accepted", tc.name, tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRunRejectsBadFailoverSetup pins the clear-exit contract: a
+// malformed -peers or a conflicting flag set must error out, not hang
+// half-configured.
+func TestRunRejectsBadFailoverSetup(t *testing.T) {
+	cases := [][]string{
+		{"-elect-listen", "127.0.0.1:0"},                                           // missing -peers
+		{"-listen", "127.0.0.1:0", "-peers", "a=b,c=d"},                            // missing -elect-listen
+		{"-elect-listen", "a", "-peers", "a=b,c=d", "-repl-listen", "127.0.0.1:0"}, // elect manages roles
+		{"-elect-listen", "a", "-peers", "garbage"},                                // malformed peers
+		{"-elect-listen", "z", "-peers", "a=b,c=d"},                                // self not in peers
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted an invalid failover setup", args)
 		}
 	}
 }

@@ -281,7 +281,7 @@ func TestRuleScoping(t *testing.T) {
 	for _, p := range pkgs {
 		have[p.Path] = true
 	}
-	for _, scope := range []Scope{DeterministicPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs, LockOrderPkgs, ErrCheckedPkgs, AllocReportPkgs} {
+	for _, scope := range []Scope{DeterministicPkgs, TaintPkgs, MapOrderPkgs, FloatStrictPkgs, RandAllowedPkgs, LockCheckedPkgs, LockOrderPkgs, ErrCheckedPkgs, AllocReportPkgs} {
 		for _, entry := range scope {
 			found := false
 			for path := range have {
@@ -335,5 +335,30 @@ func TestDeterminismScopeCoversQueueAndSched(t *testing.T) {
 		if !MapOrderPkgs.Match(pkg) {
 			t.Errorf("MapOrderPkgs no longer covers %s", pkg)
 		}
+	}
+}
+
+// TestElectScopeCoverage pins the election package inside the lint
+// coverage the failover invariants rest on: its wire frames must be
+// byte-stable (map-order), its shell's mutexes follow the lock
+// discipline, its I/O errors cannot be dropped silently, and nothing
+// may launder wall-clock or global randomness into the seeded core
+// (taint). It must NOT be in DeterministicPkgs wholesale — the shell
+// legitimately runs goroutines and defaults its clock to time.Now.
+func TestElectScopeCoverage(t *testing.T) {
+	const pkg = "repro/strip/elect"
+	for name, scope := range map[string]Scope{
+		"TaintPkgs":       TaintPkgs,
+		"MapOrderPkgs":    MapOrderPkgs,
+		"LockCheckedPkgs": LockCheckedPkgs,
+		"LockOrderPkgs":   LockOrderPkgs,
+		"ErrCheckedPkgs":  ErrCheckedPkgs,
+	} {
+		if !scope.Match(pkg) {
+			t.Errorf("%s no longer covers %s", name, pkg)
+		}
+	}
+	if DeterministicPkgs.Match(pkg) {
+		t.Errorf("strip/elect joined DeterministicPkgs; the concurrency and wall-clock rules would flag its network shell")
 	}
 }

@@ -164,9 +164,13 @@ func Select(names []string) ([]*Analyzer, error) {
 // *Options) selects the package-level default scopes below.
 type Options struct {
 	// Deterministic overrides DeterministicPkgs, the scope of the
-	// determinism rules (nondeterministic-time, concurrency-in-sim,
-	// nondeterminism-taint).
+	// syntactic determinism rules (nondeterministic-time,
+	// concurrency-in-sim).
 	Deterministic Scope
+	// Taint overrides TaintPkgs, the scope of nondeterminism-taint
+	// (the interprocedural closure is always module-wide; this scope
+	// selects where tainted mentions are reported).
+	Taint Scope
 	// MapOrder overrides MapOrderPkgs, the scope of map-order-leak.
 	MapOrder Scope
 	// FloatStrict overrides FloatStrictPkgs (float-eq).
@@ -204,6 +208,9 @@ func (o *Options) effective() *Options {
 	}
 	if e.Deterministic == nil {
 		e.Deterministic = DeterministicPkgs
+	}
+	if e.Taint == nil {
+		e.Taint = TaintPkgs
 	}
 	if e.MapOrder == nil {
 		e.MapOrder = MapOrderPkgs
@@ -359,6 +366,19 @@ var MapOrderPkgs = append(append(Scope{}, DeterministicPkgs...),
 	"strip",
 	"strip/fault",
 	"strip/repl",
+	"strip/elect",
+)
+
+// TaintPkgs is the scope of nondeterminism-taint: the deterministic
+// simulator packages plus the election core. strip/elect cannot join
+// DeterministicPkgs wholesale — its network shell legitimately runs
+// goroutines and defaults its clock to time.Now — but the protocol
+// core is clock-injected and PCG-seeded so that elections replay
+// identically under test, and a helper that transitively launders
+// wall-clock or global randomness into it would silently break the
+// seeded-determinism regression.
+var TaintPkgs = append(append(Scope{}, DeterministicPkgs...),
+	"strip/elect",
 )
 
 // FloatStrictPkgs lists the packages whose float arithmetic feeds the
@@ -384,6 +404,7 @@ var RandAllowedPkgs = Scope{
 var LockCheckedPkgs = Scope{
 	"strip",
 	"strip/repl",
+	"strip/elect",
 }
 
 // LockOrderPkgs lists the packages whose functions may anchor a
@@ -396,6 +417,7 @@ var LockOrderPkgs = Scope{
 	"strip",
 	"strip/repl",
 	"strip/fault",
+	"strip/elect",
 }
 
 // ErrCheckedPkgs lists the packages swept by err-drop: everywhere a
@@ -406,6 +428,7 @@ var ErrCheckedPkgs = Scope{
 	"strip",
 	"strip/repl",
 	"strip/fault",
+	"strip/elect",
 }
 
 // AllocReportPkgs lists the packages whose functions may anchor an

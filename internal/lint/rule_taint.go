@@ -19,13 +19,13 @@ import (
 // here.
 var NondeterminismTaint = &Analyzer{
 	Name: "nondeterminism-taint",
-	Doc: "flag calls, inside the deterministic simulator packages, to module " +
-		"functions that transitively reach time.Now, global math/rand, " +
-		"os.Getenv or a map-order leak — the full call chain is printed with " +
-		"the diagnostic",
+	Doc: "flag calls, inside the deterministic simulator packages and the " +
+		"election core, to module functions that transitively reach time.Now, " +
+		"global math/rand, os.Getenv or a map-order leak — the full call chain " +
+		"is printed with the diagnostic",
 	needsFacts: true,
 	Run: func(pass *Pass) {
-		if !pass.Opts.Deterministic.Match(pass.Pkg.Path()) {
+		if !pass.Opts.Taint.Match(pass.Pkg.Path()) {
 			return
 		}
 		for _, f := range pass.Files {

@@ -57,14 +57,20 @@ type DB struct {
 	// committed write batches — advanced by emitLocked inside the
 	// critical section that applies the change, whether or not a sink
 	// is attached. epoch identifies this instance's sequence history
-	// in the resume handshake; it is set at Open and never changes.
+	// in the resume handshake; it is set at Open and replaced only by
+	// AdoptReplicationEpoch when an election mints a new one.
 	// arrival is the queue tie-break counter for incoming updates.
+	// replBarrier discards queued replicated updates admitted before
+	// the last ResetToSnapshot (see installEntry): state adopted from
+	// a newly elected primary must not be overwritten by leftovers of
+	// the deposed one's stream.
 	// lag tracks replica freshness under the MA and UU criteria.
-	seq     uint64              // guarded by mu
-	epoch   uint64              // immutable after Open
-	arrival uint64              // guarded by mu
-	sink    func(ReplEvent)     // guarded by mu
-	lag     *metrics.ReplicaLag // guarded by mu
+	seq         uint64              // guarded by mu
+	epoch       uint64              // guarded by mu
+	arrival     uint64              // guarded by mu
+	replBarrier uint64              // guarded by mu
+	sink        func(ReplEvent)     // guarded by mu
+	lag         *metrics.ReplicaLag // guarded by mu
 
 	// Scheduler-owned state. pending and highCount are written only
 	// by the scheduler but read under mu by Peek, so their mutations
@@ -134,9 +140,18 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
+	start := cfg.Clock()
+	epoch := cfg.ReplicationEpoch
+	if epoch == 0 {
+		epoch = uint64(start.UnixNano())
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
 	db := &DB{
 		cfg:      cfg,
-		start:    cfg.Clock(),
+		start:    start,
+		epoch:    epoch,
 		ingestCh: make(chan *model.Update, cfg.IngestBuffer),
 		txnCh:    make(chan *txnReq, 256),
 		stopCh:   make(chan struct{}),
@@ -147,13 +162,6 @@ func Open(cfg Config) (*DB, error) {
 		fs:       fsys,
 		dur:      metrics.NewDurability(),
 		lag:      metrics.NewReplicaLag(),
-	}
-	db.epoch = cfg.ReplicationEpoch
-	if db.epoch == 0 {
-		db.epoch = uint64(db.start.UnixNano())
-	}
-	if db.epoch == 0 {
-		db.epoch = 1
 	}
 	if cfg.Coalesce {
 		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
@@ -337,6 +345,15 @@ func (db *DB) install(u *model.Update, gen time.Time) {
 func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// A replicated update admitted before the last ResetToSnapshot
+	// belongs to the deposed primary's stream: the reset adopted a
+	// state its history never produced, so installing it — however
+	// fresh its generation looks — would resurrect divergent writes.
+	if u.Replicated && u.Seq <= db.replBarrier {
+		db.stats.UpdatesSkipped++
+		db.lag.Removed(u.Object)
+		return false
+	}
 	e := &db.entries[u.Object]
 	worthy := gen.After(e.generated)
 	if !worthy {

@@ -1,0 +1,113 @@
+package elect
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// electSeedPayloads are valid encodings plus boundary junk, mirroring
+// the strip/repl fuzz corpus style.
+func electSeedPayloads(tb testing.TB) [][]byte {
+	out := [][]byte{
+		{},
+		{KindPrepare},
+		{KindPromise, 0, 1, 'a'},
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	for _, m := range allMessages() {
+		p, err := Encode(m)
+		if err != nil {
+			tb.Fatalf("seed encode: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FuzzElectDecode asserts Decode's contract on arbitrary payloads:
+// a message or an error, never a panic, never both nil — and an
+// accepted message re-encodes to the same bytes (the codec is
+// canonical).
+func FuzzElectDecode(f *testing.F) {
+	for _, p := range electSeedPayloads(f) {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		msg, err := Decode(payload)
+		if err == nil && msg == nil {
+			t.Fatalf("Decode returned neither message nor error")
+		}
+		if err != nil && msg != nil {
+			t.Fatalf("Decode returned a partial message alongside error %v", err)
+		}
+		if err != nil {
+			return
+		}
+		again, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("accepted message rejected on re-encode: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			back, err := Decode(again)
+			if err != nil || !reflect.DeepEqual(back, msg) {
+				t.Fatalf("re-encode of %#v not stable: %v", msg, err)
+			}
+		}
+	})
+}
+
+// FuzzElectReadFrame asserts ReadFrame's contract on arbitrary byte
+// streams: errors, never panics, and an accepted payload survives a
+// write/read round trip.
+func FuzzElectReadFrame(f *testing.F) {
+	for _, p := range electSeedPayloads(f) {
+		var buf bytes.Buffer
+		if WriteFrame(&buf, p) == nil {
+			f.Add(buf.Bytes())
+		}
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		payload, err := ReadFrame(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("accepted payload rejected on re-write: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read of re-written frame: %v", err)
+		}
+		if !bytes.Equal(payload, again) {
+			t.Fatalf("payload changed across write/read round trip")
+		}
+	})
+}
+
+// FuzzElectFrameStream feeds ReadFrame a stream of frames with
+// arbitrary tails: every frame read before the error must be within
+// bounds.
+func FuzzElectFrameStream(f *testing.F) {
+	var pipe bytes.Buffer
+	for _, p := range electSeedPayloads(f) {
+		_ = WriteFrame(&pipe, p)
+	}
+	f.Add(pipe.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for {
+			payload, err := ReadFrame(r)
+			if err == io.EOF || err != nil {
+				return
+			}
+			if len(payload) == 0 || len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned out-of-bounds payload of %d bytes", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package elect
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// startTestCluster listens on n loopback ports, uses the resulting
+// addresses as the peer IDs, and starts a Node behind each.
+func startTestCluster(t *testing.T, n int, seed uint64) (peers []string, nodes map[string]*Node) {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		peers = append(peers, l.Addr().String())
+	}
+	nodes = make(map[string]*Node)
+	for i, self := range peers {
+		node, err := NewNode(Config{
+			Self:      self,
+			Peers:     peers,
+			Seed:      seed + uint64(i),
+			Timing:    testTiming(),
+			TickEvery: 5 * time.Millisecond,
+			IOTimeout: 500 * time.Millisecond,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", self, err)
+		}
+		nodes[self] = node
+		go node.Serve(listeners[i])
+		t.Cleanup(func() { node.Close() })
+	}
+	return peers, nodes
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// agreement returns the (leader, epoch) every listed node reports, or
+// ok=false while they differ or any has none.
+func agreement(nodes map[string]*Node, ids []string) (leader string, epoch uint64, ok bool) {
+	for _, id := range ids {
+		l, e, has := nodes[id].Leader()
+		if !has {
+			return "", 0, false
+		}
+		if leader == "" {
+			leader, epoch = l, e
+		} else if l != leader || e != epoch {
+			return "", 0, false
+		}
+	}
+	return leader, epoch, true
+}
+
+// TestNodeElection runs a real 3-node TCP election: one winner, same
+// epoch everywhere, no conflicts.
+func TestNodeElection(t *testing.T) {
+	peers, nodes := startTestCluster(t, 3, 77)
+	var leader string
+	var epoch uint64
+	waitFor(t, 10*time.Second, "initial election", func() bool {
+		var ok bool
+		leader, epoch, ok = agreement(nodes, peers)
+		return ok
+	})
+	if epoch == 0 {
+		t.Fatalf("agreed on zero epoch")
+	}
+	for _, id := range peers {
+		if conf := nodes[id].Conflicts(); len(conf) != 0 {
+			t.Fatalf("%s observed conflicts: %v", id, conf)
+		}
+	}
+	t.Logf("elected %s at epoch %d", leader, epoch)
+}
+
+// TestNodeReelection kills the elected leader's process (node and
+// listener) and checks the survivors agree on a new leader at a
+// strictly higher epoch.
+func TestNodeReelection(t *testing.T) {
+	peers, nodes := startTestCluster(t, 3, 170)
+	var leader string
+	var epoch uint64
+	waitFor(t, 10*time.Second, "initial election", func() bool {
+		var ok bool
+		leader, epoch, ok = agreement(nodes, peers)
+		return ok
+	})
+
+	nodes[leader].Close()
+	var survivors []string
+	for _, id := range peers {
+		if id != leader {
+			survivors = append(survivors, id)
+		}
+	}
+	firstLeader, firstEpoch := leader, epoch
+	waitFor(t, 15*time.Second, "re-election", func() bool {
+		l, e, ok := agreement(nodes, survivors)
+		leader, epoch = l, e
+		return ok && e > firstEpoch && l != firstLeader
+	})
+	for _, id := range survivors {
+		if conf := nodes[id].Conflicts(); len(conf) != 0 {
+			t.Fatalf("%s observed conflicts: %v", id, conf)
+		}
+	}
+	t.Logf("re-elected %s at epoch %d after killing %s (epoch %d)", leader, epoch, firstLeader, firstEpoch)
+}
+
+// TestNewNodeRejectsBadConfig pins the membership validation.
+func TestNewNodeRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name  string
+		self  string
+		peers []string
+	}{
+		{"empty peers", "a", nil},
+		{"self missing", "z", []string{"a", "b"}},
+		{"duplicate peer", "a", []string{"a", "b", "b"}},
+		{"empty peer ID", "a", []string{"a", ""}},
+	}
+	for _, tc := range cases {
+		if _, err := NewNode(Config{Self: tc.self, Peers: tc.peers}); err == nil {
+			t.Errorf("%s: NewNode accepted invalid membership", tc.name)
+		}
+	}
+}
+
+// TestObserveStreamsDecisions checks decisions reach the Observe
+// channel in increasing epoch order.
+func TestObserveStreamsDecisions(t *testing.T) {
+	peers, nodes := startTestCluster(t, 3, 9000)
+	node := nodes[peers[0]]
+	select {
+	case d := <-node.Observe():
+		if d.Epoch == 0 || d.Leader == "" {
+			t.Fatalf("empty decision %+v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no decision observed")
+	}
+}

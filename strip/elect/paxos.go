@@ -1,0 +1,509 @@
+package elect
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Decision is one learned election outcome: Leader owns replication
+// epoch Epoch. Decisions are emitted in strictly increasing epoch
+// order on any one node.
+type Decision struct {
+	Epoch  uint64
+	Leader string
+}
+
+// Envelope is one outbound message the transport must deliver.
+type Envelope struct {
+	To  string
+	Msg Msg
+}
+
+// Timing bundles the protocol's clocks-and-timeouts knobs. The zero
+// value selects production defaults; tests shrink everything to
+// milliseconds.
+type Timing struct {
+	// ProbeInterval is how often a follower pings its leader (and a
+	// leaderless node pings everyone). Default 250ms.
+	ProbeInterval time.Duration
+	// FailAfter is how long a follower tolerates leader silence before
+	// scheduling a campaign. Default 1.5s.
+	FailAfter time.Duration
+	// PhaseTimeout bounds one campaign's wait for a quorum of
+	// promises or acceptances. Default 500ms.
+	PhaseTimeout time.Duration
+	// BackoffBase and BackoffMax bound the seeded exponential backoff
+	// between failed campaigns. Defaults 100ms and 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// withDefaults fills zero fields with the production defaults.
+func (t Timing) withDefaults() Timing {
+	if t.ProbeInterval <= 0 {
+		t.ProbeInterval = 250 * time.Millisecond
+	}
+	if t.FailAfter <= 0 {
+		t.FailAfter = 1500 * time.Millisecond
+	}
+	if t.PhaseTimeout <= 0 {
+		t.PhaseTimeout = 500 * time.Millisecond
+	}
+	if t.BackoffBase <= 0 {
+		t.BackoffBase = 100 * time.Millisecond
+	}
+	if t.BackoffMax < t.BackoffBase {
+		t.BackoffMax = 20 * t.BackoffBase
+	}
+	return t
+}
+
+// acceptorState is one epoch instance's acceptor side.
+type acceptorState struct {
+	promised  uint64
+	accBallot uint64
+	accValue  string
+}
+
+// campaignPhase enumerates the proposer's progress.
+type campaignPhase int
+
+const (
+	phaseIdle campaignPhase = iota
+	phasePrepare
+	phaseAccept
+)
+
+// core is the sans-io election engine: proposer, acceptor and learner
+// state machines for a sequence of single-decree Paxos instances,
+// where deciding instance E means "Value owns replication epoch E".
+// It is driven entirely through Step, Tick and StartCampaign — each
+// takes the current time and returns the messages to send plus any
+// newly learned decisions — and draws randomness only from a seeded
+// PCG, so a scripted harness replays an election deterministically.
+// The Node shell serializes all calls under its mutex; core itself is
+// not safe for concurrent use.
+type core struct {
+	self    string
+	peers   []string // fixed membership, identical order on every node
+	selfIdx uint64
+	quorum  int
+
+	// Learner state.
+	decisions  map[uint64]string // epoch -> winner, every decision learned
+	maxDecided uint64            // highest decided epoch (0 = none)
+	leader     string            // winner of maxDecided
+	conflicts  []string          // observed double-decides (must stay empty)
+
+	// Acceptor state, one entry per epoch instance touched.
+	acc map[uint64]*acceptorState
+
+	// Proposer state.
+	phase      campaignPhase
+	inst       uint64 // instance (epoch) being campaigned for
+	ballot     uint64
+	round      uint64 // highest ballot round used or observed
+	proposal   string
+	deadline   time.Time       // current phase's timeout
+	votes      map[string]bool // peers heard from this phase
+	bestABal   uint64          // highest accepted ballot among promises
+	bestAVal   string          // its value (adopted over our own)
+	campaignAt time.Time       // scheduled (re)campaign; zero = none
+
+	// Liveness tracking.
+	leaderSeen time.Time // last evidence the current leader is alive
+	probeAt    time.Time // next probe due
+
+	rng      *rand.Rand
+	failures int // consecutive failed campaigns, drives backoff
+	timing   Timing
+	now      time.Time // the current entry point's clock reading
+
+	// out and events accumulate the current call's results. Each entry
+	// point starts them fresh: the returned slices are read by the
+	// shell after it releases its lock, so they must never be reused.
+	out    []Envelope
+	events []Decision
+}
+
+// newCore builds the engine. peers must contain self; now seeds the
+// liveness timers (a fresh node gives an existing leader FailAfter to
+// make itself known before campaigning).
+func newCore(self string, peers []string, seed uint64, timing Timing, now time.Time) (*core, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("elect: empty peer set")
+	}
+	idx := -1
+	for i, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("elect: empty peer ID at index %d", i)
+		}
+		for _, q := range peers[:i] {
+			if p == q {
+				return nil, fmt.Errorf("elect: duplicate peer %q", p)
+			}
+		}
+		if p == self {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("elect: self %q not in peer set", self)
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	c := &core{
+		self:       self,
+		peers:      peers,
+		selfIdx:    uint64(idx),
+		quorum:     len(peers)/2 + 1,
+		decisions:  make(map[uint64]string),
+		acc:        make(map[uint64]*acceptorState),
+		rng:        rand.New(rand.NewPCG(seed, seed^0x510e527fade682d1)),
+		timing:     timing.withDefaults(),
+		leaderSeen: now,
+		probeAt:    now,
+	}
+	c.campaignAt = now.Add(c.timing.FailAfter + c.jitter())
+	return c, nil
+}
+
+// jitter draws a uniform duration in [0, BackoffBase) from the seeded
+// generator — the desynchronizer that keeps concurrent candidates
+// from dueling forever.
+func (c *core) jitter() time.Duration {
+	return time.Duration(c.rng.Uint64() % uint64(c.timing.BackoffBase))
+}
+
+// backoffDelay is the delay before campaign retry n (0-based):
+// exponential doubling from BackoffBase clamped to BackoffMax, plus
+// jitter.
+func (c *core) backoffDelay() time.Duration {
+	d := c.timing.BackoffBase
+	for i := 0; i < c.failures && d < c.timing.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.timing.BackoffMax {
+		d = c.timing.BackoffMax
+	}
+	return d + c.jitter()
+}
+
+// Leader returns the winner and epoch of the highest decided
+// instance; ok is false while nothing has been decided yet.
+func (c *core) Leader() (leader string, epoch uint64, ok bool) {
+	if c.maxDecided == 0 {
+		return "", 0, false
+	}
+	return c.leader, c.maxDecided, true
+}
+
+// Conflicts returns observed double-decides. Paxos safety makes this
+// empty while a majority of acceptors retain their state; the torture
+// tests assert it stays empty.
+func (c *core) Conflicts() []string { return c.conflicts }
+
+// begin starts a call: fresh result slices (the previous call's may
+// still be in the shell's hands outside the lock) and the latched
+// call time, which handlers read as c.now (self-delivered messages
+// included).
+func (c *core) begin(now time.Time) {
+	c.now = now
+	c.out = nil
+	c.events = nil
+}
+
+// Step feeds one received message into the engine.
+func (c *core) Step(now time.Time, m Msg) ([]Envelope, []Decision) {
+	c.begin(now)
+	c.handle(m)
+	return c.out, c.events
+}
+
+// Tick advances the timers: probes the leader, detects its death,
+// starts or retries campaigns, and times out stuck phases.
+func (c *core) Tick(now time.Time) ([]Envelope, []Decision) {
+	c.begin(now)
+	// A sitting primary is passive: it answers pings and steps down
+	// only when it learns a higher decided epoch.
+	if c.maxDecided != 0 && c.leader == c.self {
+		return c.out, c.events
+	}
+	if c.phase != phaseIdle && now.After(c.deadline) {
+		c.abortCampaign(now)
+	}
+	if c.phase == phaseIdle && !c.campaignAt.IsZero() && !now.Before(c.campaignAt) {
+		c.startCampaign(now)
+	}
+	if !now.Before(c.probeAt) {
+		c.probeAt = now.Add(c.timing.ProbeInterval)
+		if c.maxDecided != 0 {
+			c.send(c.leader, &Ping{From: c.self})
+		} else {
+			// Leaderless: probe everyone to discover a decided leader
+			// this node missed (restart, partition heal).
+			for _, p := range c.peers {
+				if p != c.self {
+					c.send(p, &Ping{From: c.self})
+				}
+			}
+		}
+	}
+	// Leader silence past FailAfter schedules a campaign (once; the
+	// schedule stands until evidence of life cancels it).
+	if c.maxDecided != 0 && c.leader != c.self && c.phase == phaseIdle &&
+		c.campaignAt.IsZero() && now.Sub(c.leaderSeen) > c.timing.FailAfter {
+		c.campaignAt = now.Add(c.jitter())
+	}
+	return c.out, c.events
+}
+
+// StartCampaign forces an immediate campaign (the public Campaign
+// API); a campaign already in flight is left alone.
+func (c *core) StartCampaign(now time.Time) ([]Envelope, []Decision) {
+	c.begin(now)
+	if c.phase == phaseIdle {
+		c.startCampaign(now)
+	}
+	return c.out, c.events
+}
+
+// send queues an envelope, looping self-addressed messages straight
+// back into the engine (a node is its own acceptor and learner).
+func (c *core) send(to string, m Msg) {
+	if to == c.self {
+		c.handle(m)
+		return
+	}
+	c.out = append(c.out, Envelope{To: to, Msg: m})
+}
+
+// handle dispatches one message. Unknown senders are ignored: the
+// peer set is fixed and a message from outside it is noise.
+func (c *core) handle(m Msg) {
+	if !c.knownPeer(m.Sender()) {
+		return
+	}
+	switch m := m.(type) {
+	case *Prepare:
+		c.onPrepare(m)
+	case *Promise:
+		c.onPromise(m)
+	case *Accept:
+		c.onAccept(m)
+	case *Accepted:
+		c.onAccepted(m)
+	case *Decided:
+		c.record(m.Epoch, m.Value)
+	case *Ping:
+		c.send(m.From, &Pong{From: c.self, Epoch: c.maxDecided, Leader: c.leader})
+	case *Pong:
+		if m.Epoch != 0 && m.Leader != "" {
+			c.record(m.Epoch, m.Leader)
+		}
+		if m.From == c.leader && c.maxDecided != 0 {
+			c.leaderSeen = c.now
+			c.campaignAt = time.Time{}
+			c.failures = 0
+		}
+	}
+}
+
+func (c *core) knownPeer(id string) bool {
+	for _, p := range c.peers {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// bumpRound tracks the highest ballot round seen anywhere, so the
+// next campaign outbids every ballot this node knows about.
+func (c *core) bumpRound(ballot uint64) {
+	if r := ballot / uint64(len(c.peers)); r > c.round {
+		c.round = r
+	}
+}
+
+// ---- Acceptor ----
+
+// acceptor returns the instance's acceptor state, creating it on
+// first touch.
+func (c *core) acceptor(inst uint64) *acceptorState {
+	a, ok := c.acc[inst]
+	if !ok {
+		a = &acceptorState{}
+		c.acc[inst] = a
+	}
+	return a
+}
+
+// onPrepare is phase-1b. Prepares for an instance at or below the
+// highest decided epoch are answered with the decision itself: the
+// candidate is behind and must learn, not re-run, the outcome.
+func (c *core) onPrepare(m *Prepare) {
+	c.bumpRound(m.Ballot)
+	if m.Epoch <= c.maxDecided {
+		c.send(m.From, &Decided{From: c.self, Epoch: c.maxDecided, Value: c.leader})
+		return
+	}
+	a := c.acceptor(m.Epoch)
+	if m.Ballot > a.promised {
+		a.promised = m.Ballot
+		c.send(m.From, &Promise{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot,
+			OK: true, AccBallot: a.accBallot, AccValue: a.accValue})
+		return
+	}
+	c.send(m.From, &Promise{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot,
+		OK: false, Promised: a.promised})
+}
+
+// onAccept is phase-2b.
+func (c *core) onAccept(m *Accept) {
+	c.bumpRound(m.Ballot)
+	if m.Epoch <= c.maxDecided {
+		c.send(m.From, &Decided{From: c.self, Epoch: c.maxDecided, Value: c.leader})
+		return
+	}
+	a := c.acceptor(m.Epoch)
+	if m.Ballot >= a.promised {
+		a.promised = m.Ballot
+		a.accBallot = m.Ballot
+		a.accValue = m.Value
+		c.send(m.From, &Accepted{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot, OK: true})
+		return
+	}
+	c.send(m.From, &Accepted{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot,
+		OK: false, Promised: a.promised})
+}
+
+// ---- Proposer ----
+
+// startCampaign opens phase 1 with a ballot above every round seen so
+// far. The target is always exactly the next epoch after the highest
+// decided one: instances are sequential, and a candidate that is
+// behind gets walked forward by the Decided answers its prepares draw
+// from up-to-date acceptors. (Targeting anything higher would let an
+// isolated node's failed campaigns inflate its instance number and
+// usurp a settled leadership on heal.)
+func (c *core) startCampaign(now time.Time) {
+	c.campaignAt = time.Time{}
+	c.inst = c.maxDecided + 1
+	c.round++
+	c.ballot = c.round*uint64(len(c.peers)) + c.selfIdx + 1
+	c.phase = phasePrepare
+	c.proposal = c.self
+	c.deadline = now.Add(c.timing.PhaseTimeout)
+	c.votes = make(map[string]bool, len(c.peers))
+	c.bestABal, c.bestAVal = 0, ""
+	for _, p := range c.peers {
+		c.send(p, &Prepare{From: c.self, Epoch: c.inst, Ballot: c.ballot})
+	}
+}
+
+// abortCampaign abandons the current attempt and schedules a
+// backed-off retry.
+func (c *core) abortCampaign(now time.Time) {
+	c.phase = phaseIdle
+	c.votes = nil
+	c.campaignAt = now.Add(c.backoffDelay())
+	c.failures++
+}
+
+// onPromise collects phase-1b responses. On quorum the proposal
+// switches to the highest-ballot previously accepted value, if any —
+// the Paxos rule that makes a re-run converge on the same winner.
+func (c *core) onPromise(m *Promise) {
+	if !m.OK {
+		c.bumpRound(m.Promised)
+		if c.phase == phasePrepare && m.Epoch == c.inst && m.Ballot == c.ballot {
+			c.abortCampaign(c.now)
+		}
+		return
+	}
+	if c.phase != phasePrepare || m.Epoch != c.inst || m.Ballot != c.ballot {
+		return
+	}
+	if !c.votes[m.From] {
+		c.votes[m.From] = true
+		if m.AccBallot > c.bestABal {
+			c.bestABal, c.bestAVal = m.AccBallot, m.AccValue
+		}
+	}
+	if len(c.votes) < c.quorum {
+		return
+	}
+	if c.bestABal > 0 {
+		c.proposal = c.bestAVal
+	}
+	c.phase = phaseAccept
+	c.deadline = c.now.Add(c.timing.PhaseTimeout)
+	c.votes = make(map[string]bool, len(c.peers))
+	for _, p := range c.peers {
+		c.send(p, &Accept{From: c.self, Epoch: c.inst, Ballot: c.ballot, Value: c.proposal})
+	}
+}
+
+// onAccepted collects phase-2b responses; a quorum decides the
+// instance and announces it to every peer.
+func (c *core) onAccepted(m *Accepted) {
+	if !m.OK {
+		c.bumpRound(m.Promised)
+		if c.phase == phaseAccept && m.Epoch == c.inst && m.Ballot == c.ballot {
+			c.abortCampaign(c.now)
+		}
+		return
+	}
+	if c.phase != phaseAccept || m.Epoch != c.inst || m.Ballot != c.ballot {
+		return
+	}
+	c.votes[m.From] = true
+	if len(c.votes) < c.quorum {
+		return
+	}
+	inst, value := c.inst, c.proposal
+	c.phase = phaseIdle
+	c.votes = nil
+	c.failures = 0
+	for _, p := range c.peers {
+		if p != c.self {
+			c.send(p, &Decided{From: c.self, Epoch: inst, Value: value})
+		}
+	}
+	c.record(inst, value)
+}
+
+// ---- Learner ----
+
+// record learns one decision. A decision above the current maximum
+// changes the leader, is emitted to the shell's observers, counts as
+// evidence of a live leader, and cancels any scheduled or running
+// campaign for an instance it covers. A second, different value for
+// an already-learned epoch is recorded as a conflict — impossible
+// while a majority of acceptors retain state, asserted empty by the
+// torture tests.
+func (c *core) record(inst uint64, value string) {
+	if prev, ok := c.decisions[inst]; ok {
+		if prev != value {
+			c.conflicts = append(c.conflicts,
+				fmt.Sprintf("epoch %d decided for both %q and %q", inst, prev, value))
+		}
+		return
+	}
+	c.decisions[inst] = value
+	if inst <= c.maxDecided {
+		return
+	}
+	c.maxDecided = inst
+	c.leader = value
+	c.leaderSeen = c.now
+	c.campaignAt = time.Time{}
+	if c.phase != phaseIdle && c.inst <= inst {
+		c.phase = phaseIdle
+		c.votes = nil
+	}
+	c.events = append(c.events, Decision{Epoch: inst, Leader: value})
+}

@@ -1,0 +1,272 @@
+package elect
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTiming shrinks the protocol clocks so scripted runs converge in
+// a few simulated seconds.
+func testTiming() Timing {
+	return Timing{
+		ProbeInterval: 50 * time.Millisecond,
+		FailAfter:     200 * time.Millisecond,
+		PhaseTimeout:  100 * time.Millisecond,
+		BackoffBase:   20 * time.Millisecond,
+		BackoffMax:    200 * time.Millisecond,
+	}
+}
+
+// flight is one in-flight message in the scripted cluster.
+type flight struct {
+	from, to string
+	msg      Msg
+}
+
+// cluster drives a set of cores through a deterministic simulation:
+// one virtual clock, a FIFO message queue, and an optional drop rule
+// for partitions. Everything a run does — deliveries, decisions — is
+// appended to transcript, so two runs with the same seed can be
+// compared byte for byte.
+type cluster struct {
+	t          *testing.T
+	peers      []string
+	cores      map[string]*core
+	dead       map[string]bool
+	queue      []flight
+	now        time.Time
+	drop       func(from, to string) bool
+	decided    map[string][]Decision
+	transcript []string
+}
+
+func newCluster(t *testing.T, seed uint64, n int) *cluster {
+	t.Helper()
+	cl := &cluster{
+		t:       t,
+		cores:   make(map[string]*core),
+		dead:    make(map[string]bool),
+		now:     time.Unix(1000, 0),
+		decided: make(map[string][]Decision),
+	}
+	for i := 0; i < n; i++ {
+		cl.peers = append(cl.peers, fmt.Sprintf("n%d", i))
+	}
+	for i, p := range cl.peers {
+		c, err := newCore(p, cl.peers, seed*31+uint64(i)+1, testTiming(), cl.now)
+		if err != nil {
+			t.Fatalf("newCore(%s): %v", p, err)
+		}
+		cl.cores[p] = c
+	}
+	return cl
+}
+
+// collect queues a call's outputs and logs its decisions.
+func (cl *cluster) collect(id string, envs []Envelope, decs []Decision) {
+	for _, e := range envs {
+		cl.queue = append(cl.queue, flight{from: id, to: e.To, msg: e.Msg})
+	}
+	for _, d := range decs {
+		cl.decided[id] = append(cl.decided[id], d)
+		cl.transcript = append(cl.transcript,
+			fmt.Sprintf("%s decided epoch=%d leader=%s", id, d.Epoch, d.Leader))
+	}
+}
+
+// settle delivers queued messages until the network is quiet.
+func (cl *cluster) settle() {
+	for i := 0; len(cl.queue) > 0; i++ {
+		if i > 100000 {
+			cl.t.Fatalf("network never settled")
+		}
+		f := cl.queue[0]
+		cl.queue = cl.queue[1:]
+		if cl.dead[f.to] || cl.dead[f.from] {
+			continue
+		}
+		if cl.drop != nil && cl.drop(f.from, f.to) {
+			cl.transcript = append(cl.transcript, fmt.Sprintf("drop %s->%s %T", f.from, f.to, f.msg))
+			continue
+		}
+		cl.transcript = append(cl.transcript, fmt.Sprintf("%s->%s %#v", f.from, f.to, f.msg))
+		envs, decs := cl.cores[f.to].Step(cl.now, f.msg)
+		cl.collect(f.to, envs, decs)
+	}
+}
+
+// run advances the virtual clock by d in 10ms steps, ticking every
+// live node and settling the network after each step.
+func (cl *cluster) run(d time.Duration) {
+	const step = 10 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		cl.now = cl.now.Add(step)
+		for _, p := range cl.peers {
+			if cl.dead[p] {
+				continue
+			}
+			envs, decs := cl.cores[p].Tick(cl.now)
+			cl.collect(p, envs, decs)
+		}
+		cl.settle()
+	}
+}
+
+// assertAgreement verifies every live node agrees on one leader at
+// one epoch, that nobody observed a conflict, and that each node's
+// decision stream is strictly increasing in epoch.
+func (cl *cluster) assertAgreement() (leader string, epoch uint64) {
+	cl.t.Helper()
+	for _, p := range cl.peers {
+		if cl.dead[p] {
+			continue
+		}
+		c := cl.cores[p]
+		l, e, ok := c.Leader()
+		if !ok {
+			cl.t.Fatalf("%s has no leader", p)
+		}
+		if leader == "" {
+			leader, epoch = l, e
+		} else if l != leader || e != epoch {
+			cl.t.Fatalf("%s sees (%s, %d), others see (%s, %d)", p, l, e, leader, epoch)
+		}
+		if conf := c.Conflicts(); len(conf) != 0 {
+			cl.t.Fatalf("%s observed conflicts: %v", p, conf)
+		}
+		var last uint64
+		for _, d := range cl.decided[p] {
+			if d.Epoch <= last {
+				cl.t.Fatalf("%s decisions not strictly increasing: %v", p, cl.decided[p])
+			}
+			last = d.Epoch
+		}
+	}
+	return leader, epoch
+}
+
+func TestElectionSingleWinner(t *testing.T) {
+	cl := newCluster(t, 42, 3)
+	cl.run(2 * time.Second)
+	leader, epoch := cl.assertAgreement()
+	if epoch == 0 || leader == "" {
+		t.Fatalf("no election concluded")
+	}
+	// One winner per epoch across the whole cluster.
+	winners := make(map[uint64]string)
+	for _, p := range cl.peers {
+		for _, d := range cl.decided[p] {
+			if w, ok := winners[d.Epoch]; ok && w != d.Leader {
+				t.Fatalf("epoch %d won by both %s and %s", d.Epoch, w, d.Leader)
+			}
+			winners[d.Epoch] = d.Leader
+		}
+	}
+}
+
+// TestElectionDeterministicTranscript is the seeded-determinism
+// regression: the same seed must replay the identical election, drop
+// for drop and decision for decision.
+func TestElectionDeterministicTranscript(t *testing.T) {
+	script := func(seed uint64) []string {
+		cl := newCluster(t, seed, 3)
+		// A lossy network, itself seeded, so the run exercises retries.
+		lost := 0
+		cl.drop = func(from, to string) bool {
+			lost++
+			return lost%7 == 0
+		}
+		cl.run(3 * time.Second)
+		cl.assertAgreement()
+		return cl.transcript
+	}
+	a := script(99)
+	b := script(99)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("same seed produced different transcripts:\nrun1 %d lines, run2 %d lines", len(a), len(b))
+	}
+}
+
+func TestCampaignImmediate(t *testing.T) {
+	cl := newCluster(t, 7, 3)
+	envs, decs := cl.cores["n0"].StartCampaign(cl.now)
+	cl.collect("n0", envs, decs)
+	cl.settle()
+	leader, epoch := cl.assertAgreement()
+	if leader != "n0" || epoch != 1 {
+		t.Fatalf("explicit campaign: leader=%s epoch=%d, want n0 epoch 1", leader, epoch)
+	}
+}
+
+// TestValueAdoption pins the Paxos convergence rule: a candidate that
+// learns of a previously accepted value must adopt it instead of its
+// own, so a half-finished election finishes with the same winner.
+func TestValueAdoption(t *testing.T) {
+	cl := newCluster(t, 11, 3)
+	// Script the aftermath of a half-finished campaign by n2: a quorum
+	// of acceptors (n1 and n2) accepted value "n2" for epoch 1 at
+	// ballot 2, but every reply back to the candidate was lost, so
+	// nothing was decided. The replies the injected messages produce
+	// are discarded, exactly as the partition would have eaten them.
+	for _, p := range []string{"n1", "n2"} {
+		c := cl.cores[p]
+		c.Step(cl.now, &Prepare{From: "n2", Epoch: 1, Ballot: 2})
+		c.Step(cl.now, &Accept{From: "n2", Epoch: 1, Ballot: 2, Value: "n2"})
+	}
+	if _, _, ok := cl.cores["n1"].Leader(); ok {
+		t.Fatalf("decision reached from acceptance alone")
+	}
+	// n0, ignorant of all that, campaigns for epoch 1 with a higher
+	// ballot. Its prepare quorum reports the accepted value and n0
+	// must crown n2, not itself.
+	envs, decs := cl.cores["n0"].StartCampaign(cl.now)
+	cl.collect("n0", envs, decs)
+	cl.settle()
+	leader, epoch := cl.assertAgreement()
+	if leader != "n2" || epoch != 1 {
+		t.Fatalf("leader = %s epoch %d, want adopted value n2 at epoch 1", leader, epoch)
+	}
+}
+
+// TestReelectionAfterLeaderDeath kills the elected primary and checks
+// the survivors mint a strictly higher epoch for a new winner.
+func TestReelectionAfterLeaderDeath(t *testing.T) {
+	cl := newCluster(t, 5, 3)
+	cl.run(2 * time.Second)
+	leader, epoch := cl.assertAgreement()
+
+	cl.dead[leader] = true
+	cl.run(3 * time.Second)
+	newLeader, newEpoch := cl.assertAgreement()
+	if newLeader == leader {
+		t.Fatalf("dead node %s re-elected", leader)
+	}
+	if newEpoch <= epoch {
+		t.Fatalf("new epoch %d not above old %d", newEpoch, epoch)
+	}
+}
+
+// TestStaleNodeRejoins partitions one node away for the election,
+// then heals it: the stale node must converge on the decided leader
+// without forcing a new epoch.
+func TestStaleNodeRejoins(t *testing.T) {
+	cl := newCluster(t, 17, 3)
+	cl.drop = func(from, to string) bool { return from == "n2" || to == "n2" }
+	cl.run(2 * time.Second)
+	// Only n0 and n1 agree so far.
+	l0, e0, ok := cl.cores["n0"].Leader()
+	if !ok {
+		t.Fatalf("majority failed to elect during partition")
+	}
+	cl.drop = nil
+	cl.run(2 * time.Second)
+	leader, epoch := cl.assertAgreement()
+	if leader != l0 {
+		t.Fatalf("leader changed from %s to %s on rejoin", l0, leader)
+	}
+	if epoch != e0 {
+		t.Fatalf("rejoin minted a new epoch (%d -> %d)", e0, epoch)
+	}
+}

@@ -1,0 +1,151 @@
+package elect
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// allMessages is one of each message kind with every field populated,
+// the codec's round-trip corpus.
+func allMessages() []Msg {
+	return []Msg{
+		&Prepare{From: "a:1", Epoch: 7, Ballot: 13},
+		&Promise{From: "b:2", Epoch: 7, Ballot: 13, OK: true, AccBallot: 4, AccValue: "a:1"},
+		&Promise{From: "b:2", Epoch: 7, Ballot: 13, OK: false, Promised: 21},
+		&Accept{From: "a:1", Epoch: 7, Ballot: 13, Value: "a:1"},
+		&Accepted{From: "c:3", Epoch: 7, Ballot: 13, OK: true},
+		&Accepted{From: "c:3", Epoch: 7, Ballot: 13, OK: false, Promised: 21},
+		&Decided{From: "a:1", Epoch: 7, Value: "a:1"},
+		&Ping{From: "b:2"},
+		&Pong{From: "a:1", Epoch: 7, Leader: "a:1"},
+		&Pong{From: "c:3"}, // nothing decided yet: zero epoch, empty leader
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range allMessages() {
+		payload, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", m, err)
+		}
+		got, err := Decode(payload)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%#v)): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip changed message:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+// TestEncodeGolden pins the wire layout: a byte change here is a
+// protocol break between mixed-version peers.
+func TestEncodeGolden(t *testing.T) {
+	payload, err := Encode(&Prepare{From: "ab", Epoch: 2, Ballot: 5})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	want := []byte{
+		KindPrepare,
+		0, 2, 'a', 'b', // from, u16-length-prefixed
+		0, 0, 0, 0, 0, 0, 0, 2, // epoch
+		0, 0, 0, 0, 0, 0, 0, 5, // ballot
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatalf("golden mismatch:\n got %v\nwant %v", payload, want)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{99, 0, 1, 'a'}},
+		{"truncated sender", []byte{KindPing, 0, 5, 'a'}},
+		{"truncated epoch", []byte{KindDecided, 0, 1, 'a', 0, 0}},
+		{"bad bool byte", append([]byte{KindAccepted, 0, 1, 'a'},
+			0, 0, 0, 0, 0, 0, 0, 1, // epoch
+			0, 0, 0, 0, 0, 0, 0, 1, // ballot
+			7,                      // not 0/1
+			0, 0, 0, 0, 0, 0, 0, 0, // promised
+		)},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: Decode = %v, want ErrMalformed", tc.name, err)
+		}
+	}
+	// Trailing garbage after a valid message must be rejected too.
+	payload, err := Encode(&Ping{From: "a"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if _, err := Decode(append(payload, 0xFF)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trailing byte: Decode = %v, want ErrMalformed", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var wrote [][]byte
+	for _, m := range allMessages() {
+		payload, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		wrote = append(wrote, payload)
+	}
+	for i, want := range wrote {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame #%d changed across the wire", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	payload, err := Encode(&Ping{From: "a"})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	frame, err := AppendFrame(nil, payload)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+
+	flipped := append([]byte(nil), frame...)
+	flipped[5] ^= 0x01 // inside the payload
+	if _, err := ReadFrame(bytes.NewReader(flipped)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("bit flip: %v, want ErrChecksum", err)
+	}
+
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("cut frame: %v, want ErrTruncated", err)
+	}
+
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize prefix: %v, want ErrFrameTooLarge", err)
+	}
+
+	if _, err := AppendFrame(nil, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("empty payload: %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := AppendFrame(nil, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversize payload: %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -1,0 +1,186 @@
+package strip_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/strip"
+)
+
+func TestAdoptReplicationEpoch(t *testing.T) {
+	db := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := db.AdoptReplicationEpoch(0); err == nil {
+		t.Fatalf("zero epoch accepted")
+	}
+	if err := db.AdoptReplicationEpoch(7); err != nil {
+		t.Fatalf("AdoptReplicationEpoch: %v", err)
+	}
+	if got := db.ReplicationEpoch(); got != 7 {
+		t.Fatalf("ReplicationEpoch = %d, want 7", got)
+	}
+	db.Close()
+	if err := db.AdoptReplicationEpoch(8); !errors.Is(err, strip.ErrClosed) {
+		t.Fatalf("adoption after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestResetToSnapshotReplaces pins the replace-vs-merge distinction:
+// a reset installs every snapshot view even over newer local state,
+// blanks views the snapshot omits, and swaps the general store
+// wholesale.
+func TestResetToSnapshotReplaces(t *testing.T) {
+	src := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	for _, v := range []string{"v1", "v2"} {
+		if err := src.DefineView(v, strip.High); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := time.Now()
+	for i, v := range []string{"v1", "v2"} {
+		err := src.ApplyUpdate(strip.Update{Object: v, Value: float64(i + 1), Generated: base})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	replWaitFor(t, "source installs", func() bool { return src.Stats().UpdatesInstalled == 2 })
+	res := src.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func:     func(tx *strip.Tx) error { tx.Set("g", 7); return nil },
+	})
+	if !res.Committed() {
+		t.Fatal(res.Err)
+	}
+
+	// The divergent node: v2 carries a NEWER generation than the
+	// snapshot (a deposed primary's write), v3 exists only locally,
+	// and the general store holds a key the snapshot lacks.
+	dst := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	for _, v := range []string{"v2", "v3"} {
+		if err := dst.DefineView(v, strip.High); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := dst.ApplyUpdate(strip.Update{Object: "v2", Value: 999, Generated: base.Add(time.Hour)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = dst.ApplyUpdate(strip.Update{Object: "v3", Value: 333, Generated: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replWaitFor(t, "divergent installs", func() bool { return dst.Stats().UpdatesInstalled == 2 })
+	res = dst.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func:     func(tx *strip.Tx) error { tx.Set("h", 13); return nil },
+	})
+	if !res.Committed() {
+		t.Fatal(res.Err)
+	}
+
+	if err := dst.ResetToSnapshot(src.ReplicaSnapshot()); err != nil {
+		t.Fatalf("ResetToSnapshot: %v", err)
+	}
+
+	got := dst.ReplicaSnapshot()
+	want := map[string]float64{"v1": 1, "v2": 2, "v3": 0}
+	for _, v := range got.Views {
+		expect, ok := want[v.Name]
+		if !ok {
+			t.Errorf("unexpected view %q after reset", v.Name)
+			continue
+		}
+		delete(want, v.Name)
+		if v.Value != expect {
+			t.Errorf("view %s = %v after reset, want %v", v.Name, v.Value, expect)
+		}
+		if v.Name == "v3" && !v.Generated.IsZero() {
+			t.Errorf("blanked view v3 kept generation %v", v.Generated)
+		}
+	}
+	for v := range want {
+		t.Errorf("view %q missing after reset", v)
+	}
+	if len(got.General) != 1 || got.General[0].Key != "g" || got.General[0].Value != 7 {
+		t.Errorf("general store after reset = %+v, want only g=7", got.General)
+	}
+	if n := dst.Stats().ReplSnapshotsInstalled; n != 1 {
+		t.Errorf("Stats.ReplSnapshotsInstalled = %d, want 1", n)
+	}
+}
+
+// TestResetBarrierDiscardsQueuedReplicated checks that replicated
+// updates admitted before a reset — the deposed stream's tail sitting
+// in the scheduler queue — are discarded when the scheduler finally
+// gets to them, instead of resurrecting over the adopted state.
+func TestResetBarrierDiscardsQueuedReplicated(t *testing.T) {
+	src := openReplDB(t, strip.Config{Policy: strip.UpdatesFirst})
+	if err := src.DefineView("v1", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now()
+	if err := src.ApplyUpdate(strip.Update{Object: "v1", Value: 5, Generated: base}); err != nil {
+		t.Fatal(err)
+	}
+	replWaitFor(t, "source installs", func() bool { return src.Stats().UpdatesInstalled == 1 })
+
+	dst := openReplDB(t, strip.Config{Policy: strip.OnDemand})
+	if err := dst.DefineView("v1", strip.High); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the scheduler inside a transaction so the stream update is
+	// still waiting in the ingest path when the reset lands — the
+	// exact window the barrier exists for. (Transactions run on the
+	// scheduler goroutine; while Func blocks, nothing installs.)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan strip.Result, 1)
+	go func() {
+		done <- dst.Exec(strip.TxnSpec{
+			Value:    1,
+			Deadline: time.Now().Add(30 * time.Second),
+			Func: func(tx *strip.Tx) error {
+				close(started)
+				<-release
+				return nil
+			},
+		})
+	}()
+	<-started
+	err := dst.ApplyReplicated(strip.Update{
+		Object: "v1", Value: 999, Generated: base.Add(time.Hour), // newer than the snapshot
+	}, strip.High)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ResetToSnapshot(src.ReplicaSnapshot()); err != nil {
+		t.Fatalf("ResetToSnapshot: %v", err)
+	}
+	close(release)
+	if res := <-done; !res.Committed() {
+		t.Fatal(res.Err)
+	}
+
+	// The scheduler now drains the pre-reset update; the barrier must
+	// discard it instead of letting it clobber the adopted state.
+	replWaitFor(t, "stale update discarded", func() bool { return dst.Stats().UpdatesSkipped == 1 })
+	res := dst.Exec(strip.TxnSpec{
+		Value:    1,
+		Deadline: time.Now().Add(5 * time.Second),
+		Func: func(tx *strip.Tx) error {
+			e, err := tx.Read("v1")
+			if err != nil {
+				return err
+			}
+			if e.Value != 5 {
+				t.Errorf("read %v after reset, want the snapshot value 5", e.Value)
+			}
+			return nil
+		},
+	})
+	if !res.Committed() {
+		t.Fatal(res.Err)
+	}
+}

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"time"
+)
+
+// Window is one network-partition interval, expressed relative to the
+// owning Partition's start time. The window is half-open: blackholed
+// for Start <= elapsed < End, healed at End.
+type Window struct {
+	Start, End time.Duration
+}
+
+// SeededWindows derives n deterministic blackhole windows from seed:
+// each window starts uniformly inside [0, within) and lasts uniformly
+// in [minDur, maxDur). Windows are returned in draw order and may
+// overlap — a link is partitioned while inside any of them. The same
+// seed always yields the same schedule, so a torture run's partition
+// script is reproducible from its seed alone.
+func SeededWindows(seed uint64, n int, within, minDur, maxDur time.Duration) []Window {
+	if n <= 0 || within <= 0 {
+		return nil
+	}
+	if minDur < 0 {
+		minDur = 0
+	}
+	if maxDur < minDur {
+		maxDur = minDur
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9b05688c2b3e6c1f))
+	out := make([]Window, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Duration(rng.Uint64() % uint64(within))
+		dur := minDur
+		if maxDur > minDur {
+			dur += time.Duration(rng.Uint64() % uint64(maxDur-minDur))
+		}
+		out = append(out, Window{Start: start, End: start + dur})
+	}
+	return out
+}
+
+// Partition is a declarative full-blackhole schedule for network
+// links: while the clock is inside any window, every operation on a
+// gated connection and every gated dial fails with ErrInjected; when
+// the last window ends the link heals by itself — no per-test heal
+// goroutines. One Partition can gate any number of links (they share
+// the schedule), and tests script asymmetric partitions by giving
+// different links different Partitions.
+//
+// The gate is evaluated per operation: a Read already blocked inside
+// the kernel when a window opens is not interrupted (the peer's
+// failing writes break the link promptly in practice). Election and
+// replication transports exchange short frames under deadlines, so a
+// window reliably severs them.
+type Partition struct {
+	clock   func() time.Time
+	start   time.Time
+	windows []Window
+	// OnFault, when set, observes every blackholed operation: op is
+	// "dial", "read" or "write".
+	OnFault func(op string)
+}
+
+// NewPartition builds a schedule anchored at clock() now. A nil clock
+// means time.Now.
+func NewPartition(clock func() time.Time, windows ...Window) *Partition {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Partition{clock: clock, start: clock(), windows: windows}
+}
+
+// Active reports whether the schedule is inside a blackhole window.
+func (p *Partition) Active() bool {
+	elapsed := p.clock().Sub(p.start)
+	for _, w := range p.windows {
+		if elapsed >= w.Start && elapsed < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// HealedBy returns the instant every window has ended — when the link
+// is guaranteed healed (tests wait for it before asserting
+// convergence).
+func (p *Partition) HealedBy() time.Time {
+	var last time.Duration
+	for _, w := range p.windows {
+		if w.End > last {
+			last = w.End
+		}
+	}
+	return p.start.Add(last)
+}
+
+// fault reports one blackholed operation.
+func (p *Partition) fault(op string) {
+	if p.OnFault != nil {
+		p.OnFault(op)
+	}
+}
+
+// Dial gates a dial function: during a window it fails immediately
+// with ErrInjected (an unreachable network), outside one it dials and
+// gates the resulting connection, so a window opening mid-session
+// severs established links too.
+func (p *Partition) Dial(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		if p.Active() {
+			p.fault("dial")
+			return nil, fmt.Errorf("%w: partitioned", ErrInjected)
+		}
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(conn), nil
+	}
+}
+
+// Wrap gates one established connection with the schedule.
+func (p *Partition) Wrap(c net.Conn) net.Conn {
+	return &partitionConn{Conn: c, p: p}
+}
+
+// partitionConn fails every operation that lands inside a window.
+// The underlying connection is closed on the first blackholed
+// operation: a partitioned TCP session never resumes transparently,
+// and closing unblocks the peer instead of leaving it half-open.
+type partitionConn struct {
+	net.Conn
+	p *Partition
+}
+
+func (c *partitionConn) Read(b []byte) (int, error) {
+	if c.p.Active() {
+		c.p.fault("read")
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: partitioned during read", ErrInjected)
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *partitionConn) Write(b []byte) (int, error) {
+	if c.p.Active() {
+		c.p.fault("write")
+		c.Conn.Close()
+		return 0, fmt.Errorf("%w: partitioned during write", ErrInjected)
+	}
+	return c.Conn.Write(b)
+}

@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeededWindowsDeterministic(t *testing.T) {
+	a := SeededWindows(42, 5, time.Second, 10*time.Millisecond, 50*time.Millisecond)
+	b := SeededWindows(42, 5, time.Second, 10*time.Millisecond, 50*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("got %d windows, want 5", len(a))
+	}
+	for i, w := range a {
+		if w.Start < 0 || w.Start >= time.Second {
+			t.Errorf("window %d starts at %v, outside [0, 1s)", i, w.Start)
+		}
+		if d := w.End - w.Start; d < 10*time.Millisecond || d >= 50*time.Millisecond {
+			t.Errorf("window %d lasts %v, outside [10ms, 50ms)", i, d)
+		}
+	}
+	c := SeededWindows(43, 5, time.Second, 10*time.Millisecond, 50*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced identical schedules")
+	}
+	if SeededWindows(1, 0, time.Second, 0, 0) != nil {
+		t.Fatalf("zero windows should be nil")
+	}
+}
+
+// fakeClock is a mutable time source shared with a Partition.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) get() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestPartitionSchedule(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	p := NewPartition(clk.get,
+		Window{Start: 10 * time.Millisecond, End: 20 * time.Millisecond},
+		Window{Start: 40 * time.Millisecond, End: 50 * time.Millisecond},
+	)
+	if p.Active() {
+		t.Fatalf("active before first window")
+	}
+	clk.advance(15 * time.Millisecond)
+	if !p.Active() {
+		t.Fatalf("not active inside first window")
+	}
+	clk.advance(10 * time.Millisecond) // 25ms: between windows
+	if p.Active() {
+		t.Fatalf("active between windows")
+	}
+	if want := time.Unix(100, 0).Add(50 * time.Millisecond); !p.HealedBy().Equal(want) {
+		t.Fatalf("HealedBy = %v, want %v", p.HealedBy(), want)
+	}
+}
+
+func TestPartitionSeversDialAndConn(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(100, 0)}
+	p := NewPartition(clk.get, Window{Start: 10 * time.Millisecond, End: 20 * time.Millisecond})
+	var faults []string
+	p.OnFault = func(op string) { faults = append(faults, op) }
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 16)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						c.Close()
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}()
+		}
+	}()
+
+	dial := p.Dial(func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) })
+	conn, err := dial()
+	if err != nil {
+		t.Fatalf("dial before window: %v", err)
+	}
+	if _, err := conn.Write([]byte("hi")); err != nil {
+		t.Fatalf("write before window: %v", err)
+	}
+	buf := make([]byte, 2)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("read before window: %v", err)
+	}
+
+	clk.advance(15 * time.Millisecond) // inside the window
+	if _, err := conn.Write([]byte("hi")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write inside window: %v, want ErrInjected", err)
+	}
+	if _, err := dial(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial inside window: %v, want ErrInjected", err)
+	}
+
+	clk.advance(10 * time.Millisecond) // healed
+	conn2, err := dial()
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	conn2.Close()
+	if len(faults) != 2 || faults[0] != "write" || faults[1] != "dial" {
+		t.Fatalf("OnFault saw %v, want [write dial]", faults)
+	}
+}

@@ -1,0 +1,330 @@
+package repl
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/strip"
+	"repro/strip/elect"
+)
+
+// FailoverRole is a node's current replication role under failover
+// management.
+type FailoverRole string
+
+const (
+	// RoleIdle is the startup role: no election has concluded yet.
+	RoleIdle FailoverRole = "idle"
+	// RolePrimary serves the replication stream for the decided epoch.
+	RolePrimary FailoverRole = "primary"
+	// RoleReplica follows the decided primary's stream.
+	RoleReplica FailoverRole = "replica"
+)
+
+// FailoverConfig wires a database to an election node.
+type FailoverConfig struct {
+	// Node is the election engine this manager obeys. The manager
+	// consumes Node.Observe; nothing else should.
+	Node *elect.Node
+	// ReplAddrOf maps a peer's elect ID to its replication address
+	// (the -repl-listen address its Primary would serve on).
+	ReplAddrOf func(peerID string) string
+	// ListenRepl opens the local replication listener on promotion.
+	ListenRepl func() (net.Listener, error)
+	// DialRepl overrides how a leader's replication address is dialed
+	// (tests gate it with fault.Partition or wrap in fault.ChaosConn);
+	// nil means net.Dial tcp.
+	DialRepl func(addr string) (net.Conn, error)
+
+	// RingFrames sizes the promoted Primary's resume ring.
+	RingFrames int
+	// BackoffBase/BackoffMax/Seed parameterize the follower replica's
+	// reconnect backoff, exactly as in ReplicaConfig.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Seed        uint64
+
+	// OnRole, when set, observes every role transition (tests and the
+	// stripd report hook in here).
+	OnRole func(role FailoverRole, epoch uint64)
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Failover keeps one database playing the role its election node
+// decided: when the node learns that this process won epoch E, the
+// manager adopts E as the database's replication epoch and starts
+// serving the stream (promotion); when another node won, it points a
+// snapshot-resetting Replica at the winner (demotion or re-point).
+// The epoch machinery does the rest — a deposed primary or a stale
+// follower presents a cursor from the old history, is refused resume,
+// and re-bootstraps from the new primary's snapshot, so failover
+// cannot splice two histories together.
+type Failover struct {
+	db   *strip.DB
+	cfg  FailoverConfig
+	logf func(string, ...any)
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	role    FailoverRole // guarded by mu
+	epoch   uint64       // guarded by mu; epoch of the last applied decision
+	leader  string       // guarded by mu; elect ID of the current leader
+	primary *Primary     // guarded by mu; serving side when RolePrimary
+	replica *Replica     // guarded by mu; importing side when RoleReplica
+	closed  bool         // guarded by mu
+}
+
+// StartFailover attaches a manager to the database and begins obeying
+// the election node's decisions. Close stops it (and whichever of
+// Primary/Replica it is running); it does not close the database or
+// the node.
+func StartFailover(db *strip.DB, cfg FailoverConfig) (*Failover, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("repl: FailoverConfig needs Node")
+	}
+	if cfg.ReplAddrOf == nil {
+		return nil, fmt.Errorf("repl: FailoverConfig needs ReplAddrOf")
+	}
+	if cfg.ListenRepl == nil {
+		return nil, fmt.Errorf("repl: FailoverConfig needs ListenRepl")
+	}
+	f := &Failover{
+		db:   db,
+		cfg:  cfg,
+		logf: cfg.Logf,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		role: RoleIdle,
+	}
+	if f.logf == nil {
+		f.logf = func(string, ...any) {}
+	}
+	go f.run()
+	return f, nil
+}
+
+// Role returns the current role and the epoch of the decision that
+// produced it (zero while idle).
+func (f *Failover) Role() (FailoverRole, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.role, f.epoch
+}
+
+// Close stops the manager and tears down whichever side it runs.
+func (f *Failover) Close() error {
+	if f.markClosed() {
+		close(f.stop)
+	}
+	<-f.done
+	return nil
+}
+
+// markClosed flips closed and reports whether this call did the flip.
+func (f *Failover) markClosed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false
+	}
+	f.closed = true
+	return true
+}
+
+// run is the decision loop.
+func (f *Failover) run() {
+	defer close(f.done)
+	defer f.teardown()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case d := <-f.cfg.Node.Observe():
+			f.apply(d)
+		}
+	}
+}
+
+// teardown closes whichever side is live.
+func (f *Failover) teardown() {
+	primary, replica := f.take()
+	if primary != nil {
+		primary.Close()
+	}
+	if replica != nil {
+		replica.Close()
+	}
+}
+
+// take detaches the live primary/replica from the state so teardown
+// and transitions close them outside the lock.
+func (f *Failover) take() (*Primary, *Replica) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, r := f.primary, f.replica
+	f.primary, f.replica = nil, nil
+	return p, r
+}
+
+// apply executes one decision. Decisions arrive in increasing epoch
+// order from one node, but a decision at or below the last applied
+// epoch is skipped defensively — replaying a role change for an old
+// epoch could demote a legitimately promoted primary.
+func (f *Failover) apply(d elect.Decision) {
+	self, alreadyPrimary, ok := f.admit(d)
+	if !ok {
+		return
+	}
+	switch {
+	case alreadyPrimary:
+		// Re-elected with a higher epoch (e.g. after a partition the
+		// quorum re-confirmed us). Adopt the epoch; the running
+		// Primary picks it up on the next handshake, and every
+		// follower from the old epoch re-bootstraps.
+		if err := f.db.AdoptReplicationEpoch(d.Epoch); err != nil {
+			f.logf("repl: failover epoch adoption failed: %v", err)
+		}
+		f.setRole(RolePrimary, d.Epoch)
+	case self:
+		f.promote(d)
+	default:
+		f.follow(d)
+	}
+}
+
+// admit records a decision's epoch and leader and reports how to act
+// on it: self means this node won, alreadyPrimary that it was already
+// serving. ok is false for a stale decision or a closed manager.
+func (f *Failover) admit(d elect.Decision) (self, alreadyPrimary, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || d.Epoch <= f.epoch {
+		return false, false, false
+	}
+	self = d.Leader == f.selfID()
+	alreadyPrimary = self && f.primary != nil
+	f.epoch = d.Epoch
+	f.leader = d.Leader
+	return self, alreadyPrimary, true
+}
+
+// selfID is the election node's own peer ID.
+func (f *Failover) selfID() string { return f.cfg.Node.Self() }
+
+// promote makes this node the primary for the decided epoch: stop
+// following, adopt the minted epoch, serve the stream.
+func (f *Failover) promote(d elect.Decision) {
+	primary, replica := f.take()
+	if primary != nil {
+		primary.Close()
+	}
+	if replica != nil {
+		replica.Close()
+	}
+	if err := f.db.AdoptReplicationEpoch(d.Epoch); err != nil {
+		f.logf("repl: failover epoch adoption failed: %v", err)
+		return
+	}
+	// Make the promoted state durable under the new epoch before
+	// serving it: recovery then replays what the followers will see.
+	if err := f.db.Checkpoint(); err != nil {
+		f.logf("repl: post-promotion checkpoint failed: %v", err)
+	}
+	ln, err := f.cfg.ListenRepl()
+	if err != nil {
+		f.logf("repl: promotion listen failed: %v", err)
+		return
+	}
+	p := NewPrimary(f.db, PrimaryConfig{RingFrames: f.cfg.RingFrames, Logf: f.cfg.Logf})
+	go func() {
+		if err := p.Serve(ln); err != nil {
+			f.logf("repl: promoted primary serve: %v", err)
+		}
+	}()
+	if !f.adoptPrimary(p) {
+		p.Close()
+		return
+	}
+	f.logf("repl: promoted to primary for epoch %d", d.Epoch)
+	f.setRole(RolePrimary, d.Epoch)
+}
+
+// follow points this node's replica at the decided leader, demoting
+// it first if it was the primary. The replica starts with a cold
+// cursor and ResetSnapshots set, so its first frame is a snapshot
+// that replaces — not merges into — the local state.
+func (f *Failover) follow(d elect.Decision) {
+	primary, replica := f.take()
+	if primary != nil {
+		primary.Close()
+		f.logf("repl: demoted: epoch %d belongs to %s", d.Epoch, d.Leader)
+	}
+	if replica != nil {
+		replica.Close()
+	}
+	addr := f.cfg.ReplAddrOf(d.Leader)
+	if addr == "" {
+		f.logf("repl: no replication address for leader %s", d.Leader)
+		return
+	}
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	if f.cfg.DialRepl != nil {
+		dial = func() (net.Conn, error) { return f.cfg.DialRepl(addr) }
+	}
+	r, err := StartReplica(f.db, ReplicaConfig{
+		Dial:           dial,
+		BackoffBase:    f.cfg.BackoffBase,
+		BackoffMax:     f.cfg.BackoffMax,
+		Seed:           f.cfg.Seed,
+		ResetSnapshots: true,
+		Logf:           f.cfg.Logf,
+	})
+	if err != nil {
+		f.logf("repl: failover replica start failed: %v", err)
+		return
+	}
+	if !f.adoptReplica(r) {
+		r.Close()
+		return
+	}
+	f.setRole(RoleReplica, d.Epoch)
+}
+
+// adoptPrimary stores the serving side, unless the manager closed
+// while it was being built (the caller then closes it).
+func (f *Failover) adoptPrimary(p *Primary) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false
+	}
+	f.primary = p
+	return true
+}
+
+// adoptReplica stores the importing side, unless the manager closed
+// while it was being built (the caller then closes it).
+func (f *Failover) adoptReplica(r *Replica) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false
+	}
+	f.replica = r
+	return true
+}
+
+// setRole records and announces a transition.
+func (f *Failover) setRole(role FailoverRole, epoch uint64) {
+	f.mu.Lock()
+	f.role = role
+	f.mu.Unlock()
+	if f.cfg.OnRole != nil {
+		f.cfg.OnRole(role, epoch)
+	}
+}

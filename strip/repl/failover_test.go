@@ -1,0 +1,400 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/strip"
+	"repro/strip/elect"
+	"repro/strip/fault"
+)
+
+// failoverTiming shrinks the election clocks for tests.
+func failoverTiming() elect.Timing {
+	return elect.Timing{
+		ProbeInterval: 20 * time.Millisecond,
+		FailAfter:     150 * time.Millisecond,
+		PhaseTimeout:  80 * time.Millisecond,
+		BackoffBase:   15 * time.Millisecond,
+		BackoffMax:    150 * time.Millisecond,
+	}
+}
+
+// winnerLog cross-checks the tentpole invariant from the outside:
+// at most one node may ever report itself primary for a given epoch.
+type winnerLog struct {
+	mu      sync.Mutex
+	byEpoch map[uint64]string
+	bad     []string
+}
+
+func newWinnerLog() *winnerLog { return &winnerLog{byEpoch: make(map[uint64]string)} }
+
+func (w *winnerLog) promoted(node string, epoch uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if prev, ok := w.byEpoch[epoch]; ok && prev != node {
+		w.bad = append(w.bad, fmt.Sprintf("epoch %d claimed by both %s and %s", epoch, prev, node))
+		return
+	}
+	w.byEpoch[epoch] = node
+}
+
+func (w *winnerLog) violations() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.bad...)
+}
+
+// failNode is one complete failover participant: a database on a
+// crashable in-memory filesystem, an election node, and the manager
+// tying them together.
+type failNode struct {
+	id       string // elect address (peer ID)
+	replAddr string
+	fs       *fault.MemFS
+	db       *strip.DB
+	node     *elect.Node
+	fo       *Failover
+}
+
+// role returns the node's current failover role and epoch.
+func (n *failNode) role() (FailoverRole, uint64) { return n.fo.Role() }
+
+// kill tears the node down ungracefully, in process-death order:
+// manager first (so no re-point races the close), then the election
+// node, then the database.
+func (n *failNode) kill() {
+	n.fo.Close()
+	n.node.Close()
+	n.db.Close()
+}
+
+// failoverRig wires up a full n-node failover group on loopback, all
+// dials gated through a swappable partition schedule.
+type failoverRig struct {
+	t       *testing.T
+	peers   []string
+	replOf  map[string]string
+	nodes   map[string]*failNode
+	winners *winnerLog
+	part    atomic.Pointer[fault.Partition]
+}
+
+// gate routes a dial through the currently installed partition.
+func (rig *failoverRig) gate(dial func() (net.Conn, error)) (net.Conn, error) {
+	if p := rig.part.Load(); p != nil {
+		return p.Dial(dial)()
+	}
+	return dial()
+}
+
+// startNode builds and starts one participant on fs. Restarting a
+// crashed node passes the filesystem its previous life left behind,
+// so recovery replays the old history's WAL first.
+func (rig *failoverRig) startNode(id string, ln net.Listener, fs *fault.MemFS, seed uint64) *failNode {
+	t := rig.t
+	t.Helper()
+	db, err := strip.Open(strip.Config{Policy: strip.UpdatesFirst, WALPath: "wal", FS: fs})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", id, err)
+	}
+	for _, o := range []string{"fx/a", "fx/b", "fx/c"} {
+		if err := db.DefineView(o, strip.High); err != nil {
+			t.Fatalf("DefineView(%s): %v", id, err)
+		}
+	}
+	node, err := elect.NewNode(elect.Config{
+		Self:      id,
+		Peers:     rig.peers,
+		Seed:      seed,
+		Timing:    failoverTiming(),
+		TickEvery: 5 * time.Millisecond,
+		IOTimeout: 500 * time.Millisecond,
+		Dial: func(addr string) (net.Conn, error) {
+			return rig.gate(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 500*time.Millisecond)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", id, err)
+	}
+	go node.Serve(ln)
+	n := &failNode{id: id, replAddr: rig.replOf[id], fs: fs, db: db, node: node}
+	fo, err := StartFailover(db, FailoverConfig{
+		Node:       node,
+		ReplAddrOf: func(peer string) string { return rig.replOf[peer] },
+		ListenRepl: func() (net.Listener, error) { return net.Listen("tcp", n.replAddr) },
+		DialRepl: func(addr string) (net.Conn, error) {
+			return rig.gate(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, 500*time.Millisecond)
+			})
+		},
+		RingFrames:  256,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Seed:        seed,
+		OnRole: func(role FailoverRole, epoch uint64) {
+			if role == RolePrimary {
+				rig.winners.promoted(id, epoch)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartFailover(%s): %v", id, err)
+	}
+	n.fo = fo
+	rig.nodes[id] = n
+	return n
+}
+
+// newFailoverRig boots a 3-node group and returns it once every node
+// has a role: one primary, the rest replicas of it.
+func newFailoverRig(t *testing.T, seed uint64) *failoverRig {
+	t.Helper()
+	rig := &failoverRig{
+		t:       t,
+		replOf:  make(map[string]string),
+		nodes:   make(map[string]*failNode),
+		winners: newWinnerLog(),
+	}
+	listeners := make([]net.Listener, 3)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		rig.peers = append(rig.peers, l.Addr().String())
+	}
+	for _, id := range rig.peers {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		addr := l.Addr().String()
+		l.Close()
+		rig.replOf[id] = addr
+	}
+	for i, id := range rig.peers {
+		rig.startNode(id, listeners[i], fault.NewMemFS(), seed+uint64(i))
+	}
+	t.Cleanup(func() {
+		for _, n := range rig.nodes {
+			n.kill()
+		}
+	})
+	return rig
+}
+
+// awaitRoles waits until exactly one live node is primary at an epoch
+// above after, with every other live node following at the same
+// epoch, and returns the primary.
+func (rig *failoverRig) awaitRoles(after uint64, live []*failNode) *failNode {
+	rig.t.Helper()
+	var primary *failNode
+	waitFor(rig.t, 20*time.Second, "role assignment", func() bool {
+		primary = nil
+		var epoch uint64
+		for _, n := range live {
+			role, e := n.role()
+			if role == RolePrimary {
+				if primary != nil {
+					return false
+				}
+				primary = n
+				epoch = e
+			}
+		}
+		if primary == nil || epoch <= after {
+			return false
+		}
+		for _, n := range live {
+			if n == primary {
+				continue
+			}
+			role, e := n.role()
+			if role != RoleReplica || e != epoch {
+				return false
+			}
+		}
+		return true
+	})
+	return primary
+}
+
+// feedAndSettle streams updates and a committed batch through the
+// primary and waits for every follower to match it byte for byte.
+func (rig *failoverRig) feedAndSettle(primary *failNode, followers []*failNode, round int) {
+	t := rig.t
+	t.Helper()
+	gen := time.Now()
+	feedUpdates(t, primary.db, []string{"fx/a", "fx/b", "fx/c"}, 30, gen)
+	execSet(t, primary.db, fmt.Sprintf("round/%d", round), float64(round))
+	want := encodedState(t, primary.db)
+	waitFor(t, 20*time.Second, "follower convergence", func() bool {
+		want = encodedState(t, primary.db)
+		for _, f := range followers {
+			if !bytes.Equal(want, encodedState(t, f.db)) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// assertInvariants checks the cross-node safety properties: no
+// double-decided epoch anywhere, no two primaries for one epoch.
+func (rig *failoverRig) assertInvariants(live []*failNode) {
+	t := rig.t
+	t.Helper()
+	for _, n := range live {
+		if conf := n.node.Conflicts(); len(conf) != 0 {
+			t.Fatalf("%s observed decision conflicts: %v", n.id, conf)
+		}
+	}
+	if bad := rig.winners.violations(); len(bad) != 0 {
+		t.Fatalf("multiple primaries claimed one epoch: %v", bad)
+	}
+}
+
+// TestFailoverPromotionAndRepoint is the basic tentpole path with a
+// healthy network: elect, replicate, kill the primary, re-elect at a
+// higher epoch, re-point, converge.
+func TestFailoverPromotionAndRepoint(t *testing.T) {
+	rig := newFailoverRig(t, 4000)
+	all := []*failNode{rig.nodes[rig.peers[0]], rig.nodes[rig.peers[1]], rig.nodes[rig.peers[2]]}
+	primary := rig.awaitRoles(0, all)
+	_, e1 := primary.role()
+	var followers []*failNode
+	for _, n := range all {
+		if n != primary {
+			followers = append(followers, n)
+		}
+	}
+	rig.feedAndSettle(primary, followers, 1)
+
+	primary.kill()
+	next := rig.awaitRoles(e1, followers)
+	if next == primary {
+		t.Fatalf("dead primary re-elected")
+	}
+	_, e2 := next.role()
+	if e2 <= e1 {
+		t.Fatalf("new epoch %d not above %d", e2, e1)
+	}
+	var rest []*failNode
+	for _, n := range followers {
+		if n != next {
+			rest = append(rest, n)
+		}
+	}
+	rig.feedAndSettle(next, rest, 2)
+	rig.assertInvariants(followers)
+}
+
+// TestFailoverTortureCrashPoints kills the elected primary at each
+// enumerated crash point — right after electing, mid-stream, and mid-
+// checkpoint (the filesystem crashes partway through the checkpoint's
+// write sequence) — with seeded partition windows active on every
+// link. Afterwards the survivors must agree on exactly one winner per
+// epoch and converge byte-identically once the schedule heals; the
+// old primary is then restarted from its crash-frozen disk and must
+// re-bootstrap from the new history's snapshot and converge too.
+func TestFailoverTortureCrashPoints(t *testing.T) {
+	crashPoints := []string{"AfterElect", "MidStream", "MidCheckpoint"}
+	for i, cp := range crashPoints {
+		cp := cp
+		seed := 5000 + uint64(i)*100
+		t.Run(cp, func(t *testing.T) {
+			runFailoverCrash(t, cp, seed)
+		})
+	}
+}
+
+func runFailoverCrash(t *testing.T, crashPoint string, seed uint64) {
+	rig := newFailoverRig(t, seed)
+	all := []*failNode{rig.nodes[rig.peers[0]], rig.nodes[rig.peers[1]], rig.nodes[rig.peers[2]]}
+	primary := rig.awaitRoles(0, all)
+	_, e1 := primary.role()
+	var followers []*failNode
+	for _, n := range all {
+		if n != primary {
+			followers = append(followers, n)
+		}
+	}
+	rig.feedAndSettle(primary, followers, 1)
+
+	// Blackhole windows over every link, live while the primary dies.
+	part := fault.NewPartition(nil, fault.SeededWindows(seed, 3, 500*time.Millisecond, 20*time.Millisecond, 80*time.Millisecond)...)
+	rig.part.Store(part)
+
+	switch crashPoint {
+	case "AfterElect":
+	case "MidStream":
+		// Die with the stream's tail still in flight to the followers.
+		gen := time.Now()
+		feedUpdates(t, primary.db, []string{"fx/a", "fx/b", "fx/c"}, 60, gen)
+		execSet(t, primary.db, "tail", 1)
+	case "MidCheckpoint":
+		// The filesystem crashes three operations into the checkpoint,
+		// freezing a half-written checkpoint on disk.
+		var ops atomic.Int64
+		primary.fs.SetInjector(func(op fault.Op) (int, error) {
+			if ops.Add(1) == 3 {
+				primary.fs.Crash()
+			}
+			return 0, nil
+		})
+		if err := primary.db.Checkpoint(); err == nil {
+			t.Logf("checkpoint survived the crash injection (crash landed after its writes)")
+		}
+	default:
+		t.Fatalf("unknown crash point %q", crashPoint)
+	}
+	crashOps := primary.fs.Ops()
+	primary.kill()
+
+	next := rig.awaitRoles(e1, followers)
+	_, e2 := next.role()
+	var rest []*failNode
+	for _, n := range followers {
+		if n != next {
+			rest = append(rest, n)
+		}
+	}
+
+	// Let the schedule heal fully, then require byte-identical
+	// convergence of the survivors on the new history.
+	for part.Active() || time.Now().Before(part.HealedBy()) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	rig.feedAndSettle(next, rest, 2)
+
+	// Restart the old primary from the disk its crash left behind: it
+	// recovers the deposed history, learns the new epoch, and must
+	// re-bootstrap from the new primary's snapshot — not resume — and
+	// converge byte-identically.
+	rebuilt := fault.BuildFS(crashOps, fault.CrashPoint{OpIdx: len(crashOps)})
+	ln, err := net.Listen("tcp", primary.id)
+	if err != nil {
+		t.Fatalf("relisten %s: %v", primary.id, err)
+	}
+	revived := rig.startNode(primary.id, ln, rebuilt, seed+7)
+	waitFor(t, 20*time.Second, "revived node re-points", func() bool {
+		role, e := revived.role()
+		return role == RoleReplica && e >= e2
+	})
+	waitFor(t, 20*time.Second, "revived node re-bootstraps", func() bool {
+		return revived.db.Stats().ReplSnapshotsInstalled >= 1
+	})
+	rig.feedAndSettle(next, []*failNode{rest[0], revived}, 3)
+	rig.assertInvariants([]*failNode{next, rest[0], revived})
+	t.Logf("crash point %s: epoch %d -> %d, winners %v", crashPoint, e1, e2, rig.winners.byEpoch)
+}

@@ -30,6 +30,13 @@ type ReplicaConfig struct {
 	BackoffJitter float64
 	Seed          uint64
 
+	// ResetSnapshots makes snapshots replace the local state wholesale
+	// (db.ResetToSnapshot) instead of merging by generation. Failover
+	// re-pointing sets it: the new primary's history supersedes
+	// everything local, including writes a deposed primary accepted
+	// that never reached the quorum's chosen leader.
+	ResetSnapshots bool
+
 	// OnFrame, when set, observes every applied frame in order (the
 	// resume tests record the sequence history through it).
 	OnFrame func(kind byte, seq uint64)
@@ -284,7 +291,16 @@ func (r *Replica) logStreamEnd(err error, applied int) {
 func (r *Replica) apply(msg Msg, connEpoch uint64) error {
 	switch m := msg.(type) {
 	case *SnapshotMsg:
-		if err := r.db.InstallSnapshot(m.Snap); err != nil {
+		if r.cfg.ResetSnapshots {
+			// The reset's installs and general-store swap are WAL-logged,
+			// and a node that crashes between here and its next checkpoint
+			// rejoins through the failover manager, which re-points it and
+			// resets again — so no synchronous checkpoint on the stream
+			// path; replication stays ahead of durability by design.
+			if err := r.db.ResetToSnapshot(m.Snap); err != nil {
+				return err
+			}
+		} else if err := r.db.InstallSnapshot(m.Snap); err != nil {
 			return err
 		}
 		r.rebase(m.Snap.Seq, connEpoch)

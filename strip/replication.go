@@ -110,7 +110,33 @@ func (db *DB) Sequence() uint64 {
 // history (see Config.ReplicationEpoch). Two databases with different
 // epochs share no sequence numbering, and a replica moving between
 // them must re-bootstrap from a snapshot.
-func (db *DB) ReplicationEpoch() uint64 { return db.epoch }
+func (db *DB) ReplicationEpoch() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.epoch
+}
+
+// AdoptReplicationEpoch installs an epoch minted outside the database
+// — by a strip/elect election deciding (primary, epoch) — replacing
+// the instance epoch chosen at Open. A replica promoting itself to
+// primary adopts the minted epoch before it starts serving: every
+// node still holding a cursor from the old history (the demoted
+// primary included) then fails the resume epoch check and
+// re-bootstraps from a snapshot, which is what makes automatic
+// failover divergence-free. Sequence numbering continues unchanged;
+// the epoch renames the history, it does not restart it.
+func (db *DB) AdoptReplicationEpoch(epoch uint64) error {
+	if epoch == 0 {
+		return fmt.Errorf("strip: replication epoch must be nonzero")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.epoch = epoch
+	return nil
+}
 
 // emitLocked assigns the next sequence number and hands the event to
 // the sink when one is attached. Callers hold db.mu for writing;
@@ -364,6 +390,71 @@ func (db *DB) InstallSnapshot(s Snapshot) error {
 		m[kv.Key] = kv.Value
 	}
 	return db.applyWritesLocked(m)
+}
+
+// ResetToSnapshot replaces the database's replicable state with the
+// snapshot's, unconditionally: every snapshot view is installed even
+// when the local generation is newer (the snapshot IS the new truth),
+// non-derived views the snapshot omits are blanked, and the general
+// store is replaced wholesale rather than merged. This is failover's
+// re-point path — a node that followed (or was) a deposed primary
+// adopts the elected primary's state exactly, discarding anything the
+// old history wrote that the new one never saw; InstallSnapshot's
+// merge semantics would let such divergent writes survive a leader
+// change. Durability of the replacement is the caller's concern: with
+// a WAL attached, follow with Checkpoint (the replica's reset path
+// does) so recovery replays the new state, not the old.
+func (db *DB) ResetToSnapshot(s Snapshot) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	//striplint:ignore alloc-in-hotpath -- a reset happens once per failover re-point, never on the per-frame path
+	inSnap := make(map[string]bool, len(s.Views))
+	for _, v := range s.Views {
+		inSnap[v.Name] = true
+		id, ok := db.names[v.Name]
+		if !ok {
+			id = db.defineViewLocked(v.Name, v.Importance)
+		} else if db.defs[id].derived {
+			continue
+		}
+		e := &db.entries[id]
+		e.value = v.Value
+		e.fields = kvFields(v.Fields)
+		e.generated = v.Generated
+		db.recordHistoryLocked(id)
+		db.lag.Installed(id, db.secs(v.Generated))
+		db.emitSnapshotViewLocked(v)
+	}
+	// Blank views from the old history that the new one never defined;
+	// their entries stay registered (queued updates may still name the
+	// IDs) but hold no state and no generation, so any later install
+	// wins. The deposed history's updates still in the scheduler queue
+	// would otherwise resurrect as fresher-than-snapshot state.
+	for id, def := range db.defs {
+		if def.derived || inSnap[def.name] {
+			continue
+		}
+		e := &db.entries[id]
+		e.value = 0
+		e.fields = nil
+		e.generated = time.Time{}
+		db.lag.Removed(model.ObjectID(id))
+	}
+	// Everything already admitted to the scheduler queue predates the
+	// reset; the barrier makes installEntry discard it on arrival.
+	db.replBarrier = db.arrival
+	db.stats.ReplSnapshotsInstalled++
+	//striplint:ignore alloc-in-hotpath -- a reset happens once per failover re-point, never on the per-frame path
+	general := make(map[string]float64, len(s.General))
+	for _, kv := range s.General {
+		general[kv.Key] = kv.Value
+	}
+	db.general = general
+	db.emitBatchLocked(general)
+	return nil
 }
 
 // ReplicaLag returns the aggregate replication lag under the paper's
