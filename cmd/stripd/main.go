@@ -31,6 +31,9 @@
 //	    -peers 127.0.0.1:7107=127.0.0.1:7207,127.0.0.1:7108=127.0.0.1:7208
 //
 // The once-a-second report then carries elect-state and elect-epoch.
+// -elect-state names the durable election ledger (promises, accepted
+// values, the decided epoch) so a restarted node keeps its word; it
+// defaults to <wal>.elect when -wal is set.
 //
 // The server also runs a sample read-only transaction each second so
 // the transaction counters move.
@@ -74,6 +77,7 @@ func run(args []string) error {
 	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint interval when -wal is set (also heals a degraded log)")
 	electListen := fs.String("elect-listen", "", "join leader election with this address as the node's identity")
 	peers := fs.String("peers", "", "election membership as elect=repl address pairs, comma separated (identical on every node)")
+	electState := fs.String("elect-state", "", "election ledger path: makes promises and decisions durable across restarts (defaults to <wal>.elect when -wal is set)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +98,7 @@ func run(args []string) error {
 			ckptEvery:     *ckptEvery,
 			electListen:   *electListen,
 			peers:         *peers,
+			electState:    *electState,
 		})
 	default:
 		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica), -elect-listen <addr> (failover group) or -feed <addr> (feed client)")
@@ -113,6 +118,7 @@ type serverConfig struct {
 	ckptEvery     time.Duration
 	electListen   string
 	peers         string
+	electState    string
 }
 
 // parsePeers parses the -peers membership list: comma-separated
@@ -254,11 +260,18 @@ func runServer(cfg serverConfig) error {
 			return fmt.Errorf("-elect-listen %q is not one of the elect addresses in -peers", cfg.electListen)
 		}
 		logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		// The election ledger rides next to the WAL by default: a node
+		// durable enough to keep its data should also keep its word.
+		statePath := cfg.electState
+		if statePath == "" && cfg.walPath != "" {
+			statePath = cfg.walPath + ".elect"
+		}
 		node, err := elect.NewNode(elect.Config{
-			Self:  cfg.electListen,
-			Peers: peerOrder,
-			Seed:  uint64(time.Now().UnixNano()),
-			Logf:  logf,
+			Self:      cfg.electListen,
+			Peers:     peerOrder,
+			Seed:      uint64(time.Now().UnixNano()),
+			Logf:      logf,
+			StatePath: statePath,
 		})
 		if err != nil {
 			return err

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/strip/fault"
 )
 
 // Config configures a Node.
@@ -39,6 +41,20 @@ type Config struct {
 	// Default 1s.
 	IOTimeout time.Duration
 
+	// StatePath, when set, persists the node's durable ledger — the
+	// promises and values it has accepted, the ballot rounds it has
+	// spent, the decision it has learned — and restores it on
+	// construction, so the node's consensus word survives its
+	// crashes. Promises reach disk before the reply reaches the wire.
+	// Empty means memory-only: fine for tests and scripted cores, but
+	// a crash-restarted memory-only acceptor rejoins with amnesia and
+	// can enable a double-decided epoch.
+	StatePath string
+	// FS is the filesystem StatePath lives on (tests inject
+	// fault.MemFS to crash it deterministically); nil means the real
+	// one.
+	FS fault.FS
+
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -59,6 +75,13 @@ type Node struct {
 	// ln, closed: listener lifecycle, guarded by mu like repl.Primary.
 	closed bool // guarded by mu
 
+	// store is non-nil when StatePath is configured. persistMu
+	// serializes state-file writes and orders them by version;
+	// persisted is the highest version on disk, guarded by persistMu.
+	store     fault.FS
+	persistMu sync.Mutex
+	persisted uint64 // guarded by persistMu
+
 	events chan Decision
 	sends  map[string]chan Msg // per-peer outbound queues (fixed at start)
 	stop   chan struct{}
@@ -77,7 +100,20 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.IOTimeout <= 0 {
 		cfg.IOTimeout = time.Second
 	}
-	c, err := newCore(cfg.Self, cfg.Peers, cfg.Seed, cfg.Timing, clock())
+	var store fault.FS
+	var restore *persistentState
+	if cfg.StatePath != "" {
+		store = cfg.FS
+		if store == nil {
+			store = fault.OS
+		}
+		st, err := loadState(store, cfg.StatePath)
+		if err != nil {
+			return nil, err
+		}
+		restore = st
+	}
+	c, err := newCore(cfg.Self, cfg.Peers, cfg.Seed, cfg.Timing, clock(), restore)
 	if err != nil {
 		return nil, err
 	}
@@ -86,12 +122,22 @@ func NewNode(cfg Config) (*Node, error) {
 		clock:  clock,
 		logf:   cfg.Logf,
 		core:   c,
+		store:  store,
 		events: make(chan Decision, 64),
 		sends:  make(map[string]chan Msg),
 		stop:   make(chan struct{}),
 	}
 	if n.logf == nil {
 		n.logf = func(string, ...any) {}
+	}
+	// Replay the restored decision to Observe so a failover manager
+	// re-adopts its follower role across the restart — unless this
+	// node itself was the recorded leader: it must not resume serving
+	// a reign the quorum may have buried while it was down (the core
+	// campaigns for a fresh epoch instead, and the outcome arrives on
+	// Observe like any other decision).
+	if restore != nil && restore.maxDecided != 0 && restore.leader != cfg.Self {
+		n.events <- Decision{Epoch: restore.maxDecided, Leader: restore.leader}
 	}
 	for _, p := range cfg.Peers {
 		if p == cfg.Self {
@@ -139,7 +185,11 @@ func (n *Node) Campaign() {
 	now := n.clock()
 	n.mu.Lock()
 	envs, decs := n.core.StartCampaign(now)
+	st, ver := n.takeDirtyLocked()
 	n.mu.Unlock()
+	if !n.persist(st, ver) {
+		envs = nil
+	}
 	n.dispatch(envs, decs)
 }
 
@@ -225,7 +275,11 @@ func (n *Node) tickLoop() {
 			now := n.clock()
 			n.mu.Lock()
 			envs, decs := n.core.Tick(now)
+			st, ver := n.takeDirtyLocked()
 			n.mu.Unlock()
+			if !n.persist(st, ver) {
+				envs = nil
+			}
 			n.dispatch(envs, decs)
 		}
 	}
@@ -252,10 +306,51 @@ func (n *Node) serveConn(conn net.Conn) {
 		now := n.clock()
 		n.mu.Lock()
 		envs, decs := n.core.Step(now, msg)
+		st, ver := n.takeDirtyLocked()
 		n.mu.Unlock()
+		if !n.persist(st, ver) {
+			envs = nil
+		}
 		n.dispatch(envs, decs)
 		conn.SetReadDeadline(n.clock().Add(n.cfg.IOTimeout))
 	}
+}
+
+// takeDirtyLocked snapshots the engine's unpersisted durable state
+// (nil when clean or when no StatePath is configured). Must run under
+// mu, in the same critical section as the engine call that may have
+// dirtied it.
+func (n *Node) takeDirtyLocked() (*persistentState, uint64) {
+	if n.store == nil {
+		return nil, 0
+	}
+	return n.core.takeDirtyState()
+}
+
+// persist writes st (at version ver) through the state file and
+// reports whether the engine call's outbound messages may be sent: a
+// promise or acceptance must be on disk before it is on the wire, so
+// a failed write suppresses the envelopes (the decisions still
+// propagate to Observe — they reflect quorum state that exists
+// regardless of this node's disk). Concurrent calls race benignly:
+// the durable state is monotone, so only the newest version needs to
+// land, and older snapshots are discarded once it has.
+func (n *Node) persist(st *persistentState, ver uint64) bool {
+	if st == nil {
+		return true
+	}
+	n.persistMu.Lock()
+	defer n.persistMu.Unlock()
+	if ver <= n.persisted {
+		return true // a newer snapshot already reached disk
+	}
+	//striplint:ignore block-under-lock -- persistMu exists solely to serialize state-file writes; no protocol or engine path ever holds it
+	if err := saveState(n.store, n.cfg.StatePath, st); err != nil {
+		n.logf("elect: persisting state to %s failed (suppressing replies): %v", n.cfg.StatePath, err)
+		return false
+	}
+	n.persisted = ver
+	return true
 }
 
 // dispatch queues outbound envelopes and publishes decisions, both

@@ -4,6 +4,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"repro/strip/fault"
 )
 
 // startTestCluster listens on n loopback ports, uses the resulting
@@ -157,5 +159,90 @@ func TestObserveStreamsDecisions(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatalf("no decision observed")
+	}
+}
+
+// TestNodeRestoresStateAcrossRestart runs a real election with the
+// durable ledger enabled, crash-restarts a follower onto the same
+// filesystem, and checks the replacement node knows the decided
+// (leader, epoch) pair immediately — from disk, before any network
+// traffic — and replays it to Observe for its failover manager.
+func TestNodeRestoresStateAcrossRestart(t *testing.T) {
+	const n = 3
+	listeners := make([]net.Listener, n)
+	var peers []string
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		peers = append(peers, l.Addr().String())
+	}
+	stores := make(map[string]*fault.MemFS)
+	nodes := make(map[string]*Node)
+	for i, self := range peers {
+		stores[self] = fault.NewMemFS()
+		node, err := NewNode(Config{
+			Self:      self,
+			Peers:     peers,
+			Seed:      4200 + uint64(i),
+			Timing:    testTiming(),
+			TickEvery: 5 * time.Millisecond,
+			IOTimeout: 500 * time.Millisecond,
+			Logf:      t.Logf,
+			StatePath: "ledger",
+			FS:        stores[self],
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", self, err)
+		}
+		nodes[self] = node
+		go node.Serve(listeners[i])
+		t.Cleanup(func() { node.Close() })
+	}
+
+	var leader string
+	var epoch uint64
+	waitFor(t, 10*time.Second, "initial election", func() bool {
+		var ok bool
+		leader, epoch, ok = agreement(nodes, peers)
+		return ok
+	})
+
+	var follower string
+	for _, id := range peers {
+		if id != leader {
+			follower = id
+			break
+		}
+	}
+	nodes[follower].Close()
+
+	// The replacement starts on the crashed follower's filesystem and
+	// never serves: everything it knows must come from the ledger.
+	revived, err := NewNode(Config{
+		Self:      follower,
+		Peers:     peers,
+		Seed:      9999,
+		Timing:    testTiming(),
+		Logf:      t.Logf,
+		StatePath: "ledger",
+		FS:        stores[follower],
+	})
+	if err != nil {
+		t.Fatalf("NewNode(revived %s): %v", follower, err)
+	}
+	defer revived.Close()
+	if l, e, ok := revived.Leader(); !ok || l != leader || e != epoch {
+		t.Fatalf("revived follower sees (%s, %d, %v), want (%s, %d) from its ledger", l, e, ok, leader, epoch)
+	}
+	select {
+	case d := <-revived.Observe():
+		if d.Leader != leader || d.Epoch != epoch {
+			t.Fatalf("replayed decision %+v, want (%s, %d)", d, leader, epoch)
+		}
+	default:
+		t.Fatalf("restored decision not replayed to Observe")
 	}
 }

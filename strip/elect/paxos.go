@@ -91,12 +91,13 @@ type core struct {
 	quorum  int
 
 	// Learner state.
-	decisions  map[uint64]string // epoch -> winner, every decision learned
+	decisions  map[uint64]string // epoch -> winner, a decisionsKept-wide trailing window
 	maxDecided uint64            // highest decided epoch (0 = none)
 	leader     string            // winner of maxDecided
 	conflicts  []string          // observed double-decides (must stay empty)
 
-	// Acceptor state, one entry per epoch instance touched.
+	// Acceptor state, one entry per undecided epoch instance touched;
+	// record prunes entries a decision supersedes.
 	acc map[uint64]*acceptorState
 
 	// Proposer state.
@@ -120,6 +121,15 @@ type core struct {
 	timing   Timing
 	now      time.Time // the current entry point's clock reading
 
+	// Durability tracking (state.go). dirty marks changes to the
+	// state that must reach disk before this call's messages reach
+	// the wire: promises, accepted values, the campaign round, the
+	// learned decision. stateVer increments with every such change so
+	// the shell can discard a stale snapshot that lost the race to a
+	// newer one (the durable state is monotone, so newest wins).
+	dirty    bool
+	stateVer uint64
+
 	// out and events accumulate the current call's results. Each entry
 	// point starts them fresh: the returned slices are read by the
 	// shell after it releases its lock, so they must never be reused.
@@ -129,8 +139,11 @@ type core struct {
 
 // newCore builds the engine. peers must contain self; now seeds the
 // liveness timers (a fresh node gives an existing leader FailAfter to
-// make itself known before campaigning).
-func newCore(self string, peers []string, seed uint64, timing Timing, now time.Time) (*core, error) {
+// make itself known before campaigning). restore, when non-nil, is
+// the durable ledger a previous life of this node left behind — its
+// promises, accepted values, spent campaign rounds and learned
+// decision are binding across the crash.
+func newCore(self string, peers []string, seed uint64, timing Timing, now time.Time, restore *persistentState) (*core, error) {
 	if len(peers) == 0 {
 		return nil, fmt.Errorf("elect: empty peer set")
 	}
@@ -167,7 +180,67 @@ func newCore(self string, peers []string, seed uint64, timing Timing, now time.T
 		probeAt:    now,
 	}
 	c.campaignAt = now.Add(c.timing.FailAfter + c.jitter())
+	if restore != nil {
+		c.round = restore.round
+		if restore.maxDecided != 0 {
+			c.maxDecided = restore.maxDecided
+			c.leader = restore.leader
+			c.decisions[restore.maxDecided] = restore.leader
+		}
+		for inst, a := range restore.acc {
+			if inst > c.maxDecided {
+				cp := a
+				c.acc[inst] = &cp
+			}
+		}
+		if c.maxDecided != 0 && c.leader == c.self {
+			// This node crashed while primary. It must not resume a
+			// reign the quorum may have buried while it was down, so
+			// it campaigns immediately for the next epoch instead: if
+			// the cluster moved on, the campaign's Decided answers
+			// walk it onto the new reign; if not, it re-wins under a
+			// fresh epoch that forces its followers to re-bootstrap
+			// (their streams may have diverged from its unsynced
+			// pre-crash state).
+			c.campaignAt = now.Add(c.jitter())
+		}
+	}
 	return c, nil
+}
+
+// markDirty stamps the durable state changed; the shell persists it
+// before this call's outbound messages are dispatched.
+func (c *core) markDirty() {
+	c.dirty = true
+	c.stateVer++
+}
+
+// persistent snapshots the durable ledger: the campaign round, the
+// highest learned decision, and the acceptor entries for instances
+// that decision does not already answer.
+func (c *core) persistent() *persistentState {
+	st := &persistentState{round: c.round, maxDecided: c.maxDecided, leader: c.leader}
+	for inst, a := range c.acc {
+		if inst > c.maxDecided {
+			if st.acc == nil {
+				st.acc = make(map[uint64]acceptorState, len(c.acc))
+			}
+			st.acc[inst] = *a
+		}
+	}
+	return st
+}
+
+// takeDirtyState returns the pending durable snapshot and its
+// version, or nil when everything is already persisted. Called by the
+// shell under its lock, immediately after the engine call that may
+// have dirtied the state.
+func (c *core) takeDirtyState() (*persistentState, uint64) {
+	if !c.dirty {
+		return nil, 0
+	}
+	c.dirty = false
+	return c.persistent(), c.stateVer
 }
 
 // jitter draws a uniform duration in [0, BackoffBase) from the seeded
@@ -200,8 +273,12 @@ func (c *core) Leader() (leader string, epoch uint64, ok bool) {
 	return c.leader, c.maxDecided, true
 }
 
-// Conflicts returns observed double-decides. Paxos safety makes this
-// empty while a majority of acceptors retain their state; the torture
+// Conflicts returns observed double-decides. Paxos safety keeps this
+// empty as long as every acceptor honors the promises it has made —
+// which is why those promises live in the durable ledger (state.go)
+// and survive crash-restarts. A node whose ledger is destroyed
+// rejoins with amnesia and could in principle vote twice for one
+// instance; this detector exists to surface exactly that. The torture
 // tests assert it stays empty.
 func (c *core) Conflicts() []string { return c.conflicts }
 
@@ -222,26 +299,42 @@ func (c *core) Step(now time.Time, m Msg) ([]Envelope, []Decision) {
 	return c.out, c.events
 }
 
-// Tick advances the timers: probes the leader, detects its death,
+// Tick advances the timers: probes peers, detects leader death,
 // starts or retries campaigns, and times out stuck phases.
 func (c *core) Tick(now time.Time) ([]Envelope, []Decision) {
 	c.begin(now)
-	// A sitting primary is passive: it answers pings and steps down
-	// only when it learns a higher decided epoch.
-	if c.maxDecided != 0 && c.leader == c.self {
-		return c.out, c.events
-	}
+	isLeader := c.maxDecided != 0 && c.leader == c.self
 	if c.phase != phaseIdle && now.After(c.deadline) {
 		c.abortCampaign(now)
 	}
+	// No isLeader guard here: a sitting leader never *schedules* a
+	// campaign (the failure detector below is follower-only and
+	// record zeroes campaignAt on every new decision), so a non-zero
+	// campaignAt on a leader is deliberate — a restored old primary
+	// re-confirming its reign under a fresh epoch.
 	if c.phase == phaseIdle && !c.campaignAt.IsZero() && !now.Before(c.campaignAt) {
 		c.startCampaign(now)
 	}
 	if !now.Before(c.probeAt) {
 		c.probeAt = now.Add(c.timing.ProbeInterval)
-		if c.maxDecided != 0 {
-			c.send(c.leader, &Ping{From: c.self})
-		} else {
+		switch {
+		case isLeader:
+			// The leader heartbeats every peer. The pings carry its
+			// decided (epoch, leader) pair and the answering pongs
+			// carry the peers'; either direction suffices for an
+			// alive-but-deposed primary to learn, after a partition
+			// heals, about the epoch that outlived it. Without this a
+			// deposed primary is never contacted at all — followers
+			// ping only their own leader — and it would keep acking
+			// writes into a dead history forever.
+			for _, p := range c.peers {
+				if p != c.self {
+					c.send(p, &Ping{From: c.self, Epoch: c.maxDecided, Leader: c.leader})
+				}
+			}
+		case c.maxDecided != 0:
+			c.send(c.leader, &Ping{From: c.self, Epoch: c.maxDecided, Leader: c.leader})
+		default:
 			// Leaderless: probe everyone to discover a decided leader
 			// this node missed (restart, partition heal).
 			for _, p := range c.peers {
@@ -253,7 +346,7 @@ func (c *core) Tick(now time.Time) ([]Envelope, []Decision) {
 	}
 	// Leader silence past FailAfter schedules a campaign (once; the
 	// schedule stands until evidence of life cancels it).
-	if c.maxDecided != 0 && c.leader != c.self && c.phase == phaseIdle &&
+	if !isLeader && c.maxDecided != 0 && c.phase == phaseIdle &&
 		c.campaignAt.IsZero() && now.Sub(c.leaderSeen) > c.timing.FailAfter {
 		c.campaignAt = now.Add(c.jitter())
 	}
@@ -298,6 +391,17 @@ func (c *core) handle(m Msg) {
 	case *Decided:
 		c.record(m.Epoch, m.Value)
 	case *Ping:
+		// Adopt the pinger's decided reign first, so the pong below
+		// answers with the freshest view — and so a leader heartbeat
+		// deposes a stale primary directly.
+		if m.Epoch != 0 && m.Leader != "" {
+			c.record(m.Epoch, m.Leader)
+		}
+		if c.maxDecided != 0 && m.From == c.leader {
+			c.leaderSeen = c.now
+			c.campaignAt = time.Time{}
+			c.failures = 0
+		}
 		c.send(m.From, &Pong{From: c.self, Epoch: c.maxDecided, Leader: c.leader})
 	case *Pong:
 		if m.Epoch != 0 && m.Leader != "" {
@@ -353,6 +457,7 @@ func (c *core) onPrepare(m *Prepare) {
 	a := c.acceptor(m.Epoch)
 	if m.Ballot > a.promised {
 		a.promised = m.Ballot
+		c.markDirty()
 		c.send(m.From, &Promise{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot,
 			OK: true, AccBallot: a.accBallot, AccValue: a.accValue})
 		return
@@ -373,6 +478,7 @@ func (c *core) onAccept(m *Accept) {
 		a.promised = m.Ballot
 		a.accBallot = m.Ballot
 		a.accValue = m.Value
+		c.markDirty()
 		c.send(m.From, &Accepted{From: c.self, Epoch: m.Epoch, Ballot: m.Ballot, OK: true})
 		return
 	}
@@ -394,6 +500,12 @@ func (c *core) startCampaign(now time.Time) {
 	c.inst = c.maxDecided + 1
 	c.round++
 	c.ballot = c.round*uint64(len(c.peers)) + c.selfIdx + 1
+	// The spent round is durable: were a crash-restarted proposer to
+	// reissue a ballot number it already used with a different value,
+	// an acceptor could accept both under one ballot and split the
+	// quorum intersection. (Rounds merely observed via bumpRound need
+	// no persistence — those ballots belong to other indices.)
+	c.markDirty()
 	c.phase = phasePrepare
 	c.proposal = c.self
 	c.deadline = now.Add(c.timing.PhaseTimeout)
@@ -478,13 +590,18 @@ func (c *core) onAccepted(m *Accepted) {
 
 // ---- Learner ----
 
+// decisionsKept bounds the decisions map: epochs more than this far
+// below the maximum are pruned. The window exists only to catch
+// double-decides close to the frontier (the conflict detector); a
+// long-lived node must not leak a map entry per epoch ever decided.
+const decisionsKept = 64
+
 // record learns one decision. A decision above the current maximum
 // changes the leader, is emitted to the shell's observers, counts as
 // evidence of a live leader, and cancels any scheduled or running
 // campaign for an instance it covers. A second, different value for
-// an already-learned epoch is recorded as a conflict — impossible
-// while a majority of acceptors retain state, asserted empty by the
-// torture tests.
+// an already-learned epoch is recorded as a conflict — see Conflicts
+// for the guarantee; the torture tests assert none are observed.
 func (c *core) record(inst uint64, value string) {
 	if prev, ok := c.decisions[inst]; ok {
 		if prev != value {
@@ -501,6 +618,22 @@ func (c *core) record(inst uint64, value string) {
 	c.leader = value
 	c.leaderSeen = c.now
 	c.campaignAt = time.Time{}
+	c.markDirty()
+	// Prepares and accepts for instances at or below the decision are
+	// answered from the decision itself, so their acceptor entries
+	// are dead weight from here on; and the decisions window slides.
+	for e := range c.acc {
+		if e <= inst {
+			delete(c.acc, e)
+		}
+	}
+	if inst > decisionsKept {
+		for e := range c.decisions {
+			if e < inst-decisionsKept {
+				delete(c.decisions, e)
+			}
+		}
+	}
 	if c.phase != phaseIdle && c.inst <= inst {
 		c.phase = phaseIdle
 		c.votes = nil

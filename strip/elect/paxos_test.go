@@ -55,13 +55,29 @@ func newCluster(t *testing.T, seed uint64, n int) *cluster {
 		cl.peers = append(cl.peers, fmt.Sprintf("n%d", i))
 	}
 	for i, p := range cl.peers {
-		c, err := newCore(p, cl.peers, seed*31+uint64(i)+1, testTiming(), cl.now)
+		c, err := newCore(p, cl.peers, seed*31+uint64(i)+1, testTiming(), cl.now, nil)
 		if err != nil {
 			t.Fatalf("newCore(%s): %v", p, err)
 		}
 		cl.cores[p] = c
 	}
 	return cl
+}
+
+// restart simulates a crash-restart of id: the replacement core keeps
+// only what the durable ledger carries — promises, accepted values,
+// spent rounds, the learned decision — and forgets all in-memory
+// proposer and liveness state, exactly as a real process restart
+// restoring its state file would.
+func (cl *cluster) restart(id string, seed uint64) {
+	cl.t.Helper()
+	st := cl.cores[id].persistent()
+	c, err := newCore(id, cl.peers, seed, testTiming(), cl.now, st)
+	if err != nil {
+		cl.t.Fatalf("restart(%s): %v", id, err)
+	}
+	cl.cores[id] = c
+	cl.dead[id] = false
 }
 
 // collect queues a call's outputs and logs its decisions.
@@ -268,5 +284,157 @@ func TestStaleNodeRejoins(t *testing.T) {
 	}
 	if epoch != e0 {
 		t.Fatalf("rejoin minted a new epoch (%d -> %d)", e0, epoch)
+	}
+}
+
+// TestDeposedPrimaryLearnsNewEpoch pins the heal path the review
+// caught missing: a primary that is partitioned away (alive, not
+// killed) while the majority elects a successor must learn of its
+// deposition once the partition heals. The new leader's heartbeats
+// carry the decided (epoch, leader) pair, so the old primary demotes
+// without anyone having to campaign at it.
+func TestDeposedPrimaryLearnsNewEpoch(t *testing.T) {
+	cl := newCluster(t, 43, 3)
+	cl.run(2 * time.Second)
+	oldLeader, oldEpoch := cl.assertAgreement()
+
+	// Isolate the primary: alive, ticking, unreachable.
+	cl.drop = func(from, to string) bool { return from == oldLeader || to == oldLeader }
+	cl.run(3 * time.Second)
+	var other string
+	for _, p := range cl.peers {
+		if p != oldLeader {
+			other = p
+			break
+		}
+	}
+	newLeader, newEpoch, ok := cl.cores[other].Leader()
+	if !ok || newEpoch <= oldEpoch {
+		t.Fatalf("majority failed to re-elect during the partition")
+	}
+	if l, e, _ := cl.cores[oldLeader].Leader(); l != oldLeader || e != oldEpoch {
+		t.Fatalf("isolated primary should still believe in its reign, sees (%s, %d)", l, e)
+	}
+
+	// Heal. Nothing kills or restarts the old primary; gossip alone
+	// must depose it, and the heal must not mint yet another epoch.
+	cl.drop = nil
+	cl.run(time.Second)
+	leader, epoch := cl.assertAgreement()
+	if leader != newLeader || epoch != newEpoch {
+		t.Fatalf("after heal: (%s, %d), want the majority's (%s, %d)", leader, epoch, newLeader, newEpoch)
+	}
+}
+
+// TestStrandedFollowerConvergesAfterHeal is the deposed-primary
+// scenario with company: in a 5-node group, the primary and one
+// follower are cut off together. The stranded follower keeps pinging
+// its old leader — which answers, so its failure detector never fires
+// — and the pair would stay on the dead reign forever if the new
+// leader's heartbeats did not reach across the healed partition.
+func TestStrandedFollowerConvergesAfterHeal(t *testing.T) {
+	cl := newCluster(t, 47, 5)
+	cl.run(2 * time.Second)
+	oldLeader, oldEpoch := cl.assertAgreement()
+
+	var follower string
+	for _, p := range cl.peers {
+		if p != oldLeader {
+			follower = p
+			break
+		}
+	}
+	minority := map[string]bool{oldLeader: true, follower: true}
+	cl.drop = func(from, to string) bool { return minority[from] != minority[to] }
+	cl.run(3 * time.Second)
+	var maj string
+	for _, p := range cl.peers {
+		if !minority[p] {
+			maj = p
+			break
+		}
+	}
+	_, newEpoch, ok := cl.cores[maj].Leader()
+	if !ok || newEpoch <= oldEpoch {
+		t.Fatalf("majority failed to re-elect during the partition")
+	}
+	if _, e, _ := cl.cores[follower].Leader(); e != oldEpoch {
+		t.Fatalf("stranded follower moved to epoch %d mid-partition", e)
+	}
+
+	cl.drop = nil
+	cl.run(time.Second)
+	if _, epoch := cl.assertAgreement(); epoch != newEpoch {
+		t.Fatalf("after heal epoch = %d, want the majority's %d", epoch, newEpoch)
+	}
+}
+
+// TestRestartedAcceptorKeepsPromises is the review's double-decide
+// scenario, closed by the durable ledger. A quorum {n0, n1} accepted
+// "n0" for epoch 1 and n0 (now gone) may have decided it; n1 then
+// crash-restarts. When n2 campaigns with the only available quorum
+// {n1, n2}, n1's restored ledger must surface the accepted value so
+// n2 adopts "n0" — re-deciding epoch 1 for anyone else would put two
+// primaries behind one epoch.
+func TestRestartedAcceptorKeepsPromises(t *testing.T) {
+	cl := newCluster(t, 23, 3)
+	// Script the accepted-but-unannounced state by hand, as a crash
+	// would leave it: n1 promised and accepted under n0's campaign,
+	// but every reply and the decision announcement were lost.
+	n1 := cl.cores["n1"]
+	n1.Step(cl.now, &Prepare{From: "n0", Epoch: 1, Ballot: 4})
+	n1.Step(cl.now, &Accept{From: "n0", Epoch: 1, Ballot: 4, Value: "n0"})
+
+	cl.restart("n1", 77) // the acceptor crash-restarts: its word survives
+	cl.dead["n0"] = true // the old candidate stays down
+
+	envs, decs := cl.cores["n2"].StartCampaign(cl.now)
+	cl.collect("n2", envs, decs)
+	cl.settle()
+	leader, epoch := cl.assertAgreement()
+	if leader != "n0" || epoch != 1 {
+		t.Fatalf("epoch 1 re-decided for (%s, %d); the restarted acceptor's ledger must force the adoption of n0", leader, epoch)
+	}
+}
+
+// TestRestartedProposerSkipsSpentBallots pins round durability: a
+// proposer that crashes mid-campaign must not reissue a ballot number
+// it already spent — an acceptor could accept two values under one
+// ballot and split the quorum intersection.
+func TestRestartedProposerSkipsSpentBallots(t *testing.T) {
+	cl := newCluster(t, 31, 3)
+	cl.drop = func(from, to string) bool { return true } // campaign into a void
+	envs, decs := cl.cores["n0"].StartCampaign(cl.now)
+	cl.collect("n0", envs, decs)
+	cl.settle()
+	spent := cl.cores["n0"].ballot
+	if spent == 0 {
+		t.Fatalf("no ballot issued")
+	}
+
+	cl.restart("n0", 99)
+	envs, decs = cl.cores["n0"].StartCampaign(cl.now)
+	cl.collect("n0", envs, decs)
+	cl.settle()
+	if got := cl.cores["n0"].ballot; got <= spent {
+		t.Fatalf("restarted proposer reused ballot %d (previously spent %d)", got, spent)
+	}
+}
+
+// TestRestartedLeaderMintsNewEpoch pins the restore rule for a
+// crashed primary: it must not silently resume its old reign from the
+// ledger; it re-campaigns, and leadership is only re-established
+// under a strictly higher epoch that forces its followers through the
+// snapshot re-bootstrap.
+func TestRestartedLeaderMintsNewEpoch(t *testing.T) {
+	cl := newCluster(t, 53, 3)
+	cl.run(2 * time.Second)
+	oldLeader, oldEpoch := cl.assertAgreement()
+
+	cl.restart(oldLeader, 5)
+	cl.run(2 * time.Second)
+	_, epoch := cl.assertAgreement()
+	if epoch <= oldEpoch {
+		t.Fatalf("epoch still %d after the leader's restart; a restarted primary must re-confirm its reign under a fresh epoch", epoch)
 	}
 }

@@ -1,0 +1,146 @@
+package elect
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"slices"
+
+	"repro/strip/fault"
+)
+
+// persistentState is the slice of engine state whose loss breaks the
+// Paxos safety argument: the acceptor ledger (promises and accepted
+// values for undecided instances), the highest campaign round this
+// node has spent (a restarted proposer must never reuse a ballot it
+// already issued), and the highest learned decision (so a restarted
+// node answers prepares for settled epochs with the decision instead
+// of re-voting them). Everything durable here is monotone — promises,
+// accepted ballots, round and decided epoch only grow — so a newer
+// snapshot always supersedes an older one.
+type persistentState struct {
+	round      uint64
+	maxDecided uint64
+	leader     string
+	acc        map[uint64]acceptorState // instances above maxDecided only
+}
+
+// stateVersion is the state-file format version byte.
+const stateVersion = 1
+
+// encodeState renders st as one frame payload (the file reuses the
+// wire framing, CRC32 trailer included). Acceptor entries are sorted
+// by instance so the encoding is byte-stable.
+//
+// Layout, integers big-endian, strings u16-length-prefixed:
+//
+//	version:u8 round:u64 maxdecided:u64 leader:str n:u32
+//	n × (inst:u64 promised:u64 accballot:u64 accvalue:str)
+func encodeState(st *persistentState) ([]byte, error) {
+	b := []byte{stateVersion}
+	b = binary.BigEndian.AppendUint64(b, st.round)
+	b = binary.BigEndian.AppendUint64(b, st.maxDecided)
+	b, err := appendString(b, st.leader)
+	if err != nil {
+		return nil, err
+	}
+	insts := make([]uint64, 0, len(st.acc))
+	for inst := range st.acc {
+		insts = append(insts, inst)
+	}
+	slices.Sort(insts)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(insts)))
+	for _, inst := range insts {
+		a := st.acc[inst]
+		b = binary.BigEndian.AppendUint64(b, inst)
+		b = binary.BigEndian.AppendUint64(b, a.promised)
+		b = binary.BigEndian.AppendUint64(b, a.accBallot)
+		if b, err = appendString(b, a.accValue); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// decodeState parses a state-file payload, rejecting (never
+// panicking on) any malformed input, in the wire decoder's style.
+func decodeState(payload []byte) (*persistentState, error) {
+	d := decoder{b: payload}
+	if v := d.u8(); d.err == nil && v != stateVersion {
+		return nil, fmt.Errorf("%w: unknown state version %d", ErrMalformed, v)
+	}
+	st := &persistentState{round: d.u64(), maxDecided: d.u64(), leader: d.str()}
+	n := d.u32()
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		inst := d.u64()
+		a := acceptorState{promised: d.u64(), accBallot: d.u64(), accValue: d.str()}
+		if d.err != nil {
+			break
+		}
+		if st.acc == nil {
+			st.acc = make(map[uint64]acceptorState, n)
+		}
+		st.acc[inst] = a
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return st, nil
+}
+
+// saveState atomically replaces the state file: write a sibling temp
+// file, sync, rename. The previous ledger survives any crash before
+// the rename commits, so the file on disk is always one whole
+// CRC-verified record.
+func saveState(fs fault.FS, path string, st *persistentState) error {
+	payload, err := encodeState(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(f, payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// loadState reads the state file. A missing file is a fresh node
+// (nil state, no error); a present-but-unreadable file is an error,
+// not amnesia — silently discarding the ledger would let the node
+// break promises it already made, which is the exact failure the
+// ledger exists to prevent.
+func loadState(fs fault.FS, path string) (*persistentState, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	payload, err := ReadFrame(f)
+	if err != nil {
+		return nil, fmt.Errorf("elect: state file %s unreadable: %w", path, err)
+	}
+	st, err := decodeState(payload)
+	if err != nil {
+		return nil, fmt.Errorf("elect: state file %s corrupt: %w", path, err)
+	}
+	return st, nil
+}

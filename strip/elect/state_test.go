@@ -1,0 +1,161 @@
+package elect
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/strip/fault"
+)
+
+func sampleState() *persistentState {
+	return &persistentState{
+		round:      7,
+		maxDecided: 3,
+		leader:     "n1:4001",
+		acc: map[uint64]acceptorState{
+			4: {promised: 11, accBallot: 11, accValue: "n2:4002"},
+			6: {promised: 2},
+		},
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	cases := []*persistentState{
+		sampleState(),
+		{}, // fresh node: all zero, no acceptor entries
+		{round: 1, maxDecided: 9, leader: "n0"},
+	}
+	for _, want := range cases {
+		payload, err := encodeState(want)
+		if err != nil {
+			t.Fatalf("encodeState(%+v): %v", want, err)
+		}
+		got, err := decodeState(payload)
+		if err != nil {
+			t.Fatalf("decodeState(encodeState(%+v)): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip changed state:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestStateCodecRejectsMalformed(t *testing.T) {
+	good, err := encodeState(sampleState())
+	if err != nil {
+		t.Fatalf("encodeState: %v", err)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown version", append([]byte{stateVersion + 1}, good[1:]...)},
+		{"truncated", good[:len(good)-3]},
+		{"trailing bytes", append(append([]byte(nil), good...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := decodeState(tc.payload); err == nil {
+			t.Errorf("%s: decodeState accepted malformed payload", tc.name)
+		}
+	}
+}
+
+func TestSaveLoadState(t *testing.T) {
+	fs := fault.NewMemFS()
+	const path = "ledger"
+
+	// A missing file is a fresh node, not an error.
+	st, err := loadState(fs, path)
+	if err != nil || st != nil {
+		t.Fatalf("loadState(missing) = %+v, %v; want nil, nil", st, err)
+	}
+
+	want := sampleState()
+	if err := saveState(fs, path, want); err != nil {
+		t.Fatalf("saveState: %v", err)
+	}
+	got, err := loadState(fs, path)
+	if err != nil {
+		t.Fatalf("loadState: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reloaded state differs:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Overwrite with a newer snapshot: the rename must replace, not append.
+	want.round = 20
+	want.maxDecided = 6
+	delete(want.acc, 4)
+	if err := saveState(fs, path, want); err != nil {
+		t.Fatalf("saveState #2: %v", err)
+	}
+	if got, err = loadState(fs, path); err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("after overwrite: %+v, %v; want %+v", got, err, want)
+	}
+}
+
+// TestSaveStateCrashKeepsOldLedger pins the atomicity argument: a
+// crash after the temp file is written but before the rename commits
+// must leave the previous ledger intact and loadable.
+func TestSaveStateCrashKeepsOldLedger(t *testing.T) {
+	fs := fault.NewMemFS()
+	const path = "ledger"
+	old := sampleState()
+	if err := saveState(fs, path, old); err != nil {
+		t.Fatalf("saveState: %v", err)
+	}
+
+	// Replay saveState's steps for a newer snapshot, stopping where a
+	// crash between Close and Rename would.
+	newer := sampleState()
+	newer.round = 99
+	payload, err := encodeState(newer)
+	if err != nil {
+		t.Fatalf("encodeState: %v", err)
+	}
+	f, err := fs.Create(path + ".tmp")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := WriteFrame(f, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// No rename: the crash ate it.
+
+	got, err := loadState(fs, path)
+	if err != nil {
+		t.Fatalf("loadState after crash: %v", err)
+	}
+	if !reflect.DeepEqual(got, old) {
+		t.Fatalf("crash before rename lost the old ledger:\n got %+v\nwant %+v", got, old)
+	}
+}
+
+// TestLoadStateCorruptIsError pins the no-amnesia rule: a corrupt
+// ledger must fail loudly instead of silently starting fresh.
+func TestLoadStateCorruptIsError(t *testing.T) {
+	fs := fault.NewMemFS()
+	const path = "ledger"
+	if err := saveState(fs, path, sampleState()); err != nil {
+		t.Fatalf("saveState: %v", err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := fs.WriteFile(path, data); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := loadState(fs, path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("loadState(corrupt) = %v, want ErrChecksum", err)
+	}
+}

@@ -141,10 +141,16 @@ type Decided struct {
 func (m *Decided) Sender() string { return m.From }
 
 // Ping probes a peer: followers ping their leader to detect its
-// death, and leaderless nodes ping everyone to discover a decided
-// leader they missed.
+// death, the leader heartbeats every peer, and leaderless nodes ping
+// everyone to discover a decided leader they missed. Like Pong it
+// carries the sender's highest decided epoch and its winner
+// (zero/empty when nothing is decided yet), so gossip flows in both
+// directions of every probe — a node behind the sender learns the
+// reign from the ping itself instead of waiting to be asked.
 type Ping struct {
-	From string
+	From   string
+	Epoch  uint64
+	Leader string
 }
 
 // Sender returns the originating peer ID.
@@ -223,7 +229,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 //	accept:   kind from:str epoch:u64 ballot:u64 value:str
 //	accepted: kind from:str epoch:u64 ballot:u64 ok:u8 promised:u64
 //	decided:  kind from:str epoch:u64 value:str
-//	ping:     kind from:str
+//	ping:     kind from:str epoch:u64 leader:str
 //	pong:     kind from:str epoch:u64 leader:str
 func Encode(m Msg) ([]byte, error) {
 	var b []byte
@@ -262,7 +268,10 @@ func Encode(m Msg) ([]byte, error) {
 			b, err = appendString(b, m.Value)
 		}
 	case *Ping:
-		b, err = header(KindPing, m.From)
+		if b, err = header(KindPing, m.From); err == nil {
+			b = binary.BigEndian.AppendUint64(b, m.Epoch)
+			b, err = appendString(b, m.Leader)
+		}
 	case *Pong:
 		if b, err = header(KindPong, m.From); err == nil {
 			b = binary.BigEndian.AppendUint64(b, m.Epoch)
@@ -303,7 +312,7 @@ func Decode(payload []byte) (Msg, error) {
 	case KindDecided:
 		m = &Decided{From: from, Epoch: d.u64(), Value: d.str()}
 	case KindPing:
-		m = &Ping{From: from}
+		m = &Ping{From: from, Epoch: d.u64(), Leader: d.str()}
 	case KindPong:
 		m = &Pong{From: from, Epoch: d.u64(), Leader: d.str()}
 	default:
@@ -361,6 +370,14 @@ func (d *decoder) bool() bool {
 		}
 		return false
 	}
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
 }
 
 func (d *decoder) u64() uint64 {

@@ -19,7 +19,8 @@ func allMessages() []Msg {
 		&Accepted{From: "c:3", Epoch: 7, Ballot: 13, OK: true},
 		&Accepted{From: "c:3", Epoch: 7, Ballot: 13, OK: false, Promised: 21},
 		&Decided{From: "a:1", Epoch: 7, Value: "a:1"},
-		&Ping{From: "b:2"},
+		&Ping{From: "b:2", Epoch: 7, Leader: "a:1"},
+		&Ping{From: "b:2"}, // nothing decided yet: zero epoch, empty leader
 		&Pong{From: "a:1", Epoch: 7, Leader: "a:1"},
 		&Pong{From: "c:3"}, // nothing decided yet: zero epoch, empty leader
 	}

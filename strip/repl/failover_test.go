@@ -116,6 +116,8 @@ func (rig *failoverRig) startNode(id string, ln net.Listener, fs *fault.MemFS, s
 		Timing:    failoverTiming(),
 		TickEvery: 5 * time.Millisecond,
 		IOTimeout: 500 * time.Millisecond,
+		StatePath: "elect-ledger",
+		FS:        fs,
 		Dial: func(addr string) (net.Conn, error) {
 			return rig.gate(func() (net.Conn, error) {
 				return net.DialTimeout("tcp", addr, 500*time.Millisecond)

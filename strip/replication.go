@@ -401,9 +401,12 @@ func (db *DB) InstallSnapshot(s Snapshot) error {
 // adopts the elected primary's state exactly, discarding anything the
 // old history wrote that the new one never saw; InstallSnapshot's
 // merge semantics would let such divergent writes survive a leader
-// change. Durability of the replacement is the caller's concern: with
-// a WAL attached, follow with Checkpoint (the replica's reset path
-// does) so recovery replays the new state, not the old.
+// change. Durability of the replacement is the caller's concern. The
+// replica's reset path deliberately does NOT checkpoint synchronously
+// (replication stays ahead of durability by design): a node that
+// crashes between the reset and its next checkpoint recovers the old
+// history's WAL and rejoins through the failover manager, which
+// re-points it at the leader and resets again.
 func (db *DB) ResetToSnapshot(s Snapshot) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
