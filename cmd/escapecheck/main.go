@@ -37,7 +37,7 @@ import (
 
 // defaultPkgs are the allocation-budget packages, mirroring
 // lint.AllocReportPkgs as build patterns.
-var defaultPkgs = []string{"./strip", "./strip/repl", "./internal/uqueue"}
+var defaultPkgs = []string{"./strip", "./strip/repl", "./strip/obs", "./internal/uqueue"}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

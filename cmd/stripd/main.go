@@ -35,6 +35,17 @@
 // values, the decided epoch) so a restarted node keeps its word; it
 // defaults to <wal>.elect when -wal is set.
 //
+// Observability: -metrics-listen serves the full metrics registry as
+// Prometheus text on /metrics (plus /debug/pprof and, with traces
+// enabled, /debug/traces), and -metrics-dump writes one final text
+// snapshot to a file on exit:
+//
+//	stripd -listen :7007 -metrics-listen :9100
+//	curl -s localhost:9100/metrics | grep strip_staleness
+//
+// The once-a-second console report is rendered from the same registry,
+// so the two views can never disagree.
+//
 // The server also runs a sample read-only transaction each second so
 // the transaction counters move.
 package main
@@ -44,6 +55,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,6 +64,7 @@ import (
 
 	"repro/strip"
 	"repro/strip/elect"
+	"repro/strip/obs"
 	"repro/strip/repl"
 )
 
@@ -78,6 +91,9 @@ func run(args []string) error {
 	electListen := fs.String("elect-listen", "", "join leader election with this address as the node's identity")
 	peers := fs.String("peers", "", "election membership as elect=repl address pairs, comma separated (identical on every node)")
 	electState := fs.String("elect-state", "", "election ledger path: makes promises and decisions durable across restarts (defaults to <wal>.elect when -wal is set)")
+	metricsListen := fs.String("metrics-listen", "", "serve Prometheus text on /metrics (plus /debug/pprof) on this HTTP address")
+	metricsDump := fs.String("metrics-dump", "", "write a final metrics snapshot (Prometheus text) to this file on exit")
+	traceDepth := fs.Int("trace-depth", 256, "keep the last N per-update pipeline traces for /debug/traces (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +115,9 @@ func run(args []string) error {
 			electListen:   *electListen,
 			peers:         *peers,
 			electState:    *electState,
+			metricsListen: *metricsListen,
+			metricsDump:   *metricsDump,
+			traceDepth:    *traceDepth,
 		})
 	default:
 		return fmt.Errorf("pass -listen <addr> (server), -replicate-from <addr> (replica), -elect-listen <addr> (failover group) or -feed <addr> (feed client)")
@@ -119,6 +138,9 @@ type serverConfig struct {
 	electListen   string
 	peers         string
 	electState    string
+	metricsListen string
+	metricsDump   string
+	traceDepth    int
 }
 
 // parsePeers parses the -peers membership list: comma-separated
@@ -188,19 +210,34 @@ func runServer(cfg serverConfig) error {
 		}
 	}
 	views := cfg.views
+	// One registry for the whole process: the database, replication
+	// sides and election node all register into it, the /metrics
+	// endpoint exposes it, and the 1s console report reads from it.
+	reg := obs.NewRegistry()
 	db, err := strip.Open(strip.Config{
 		Policy:  policy,
 		MaxAge:  cfg.maxAge,
 		OnStale: strip.Warn,
 		// Replicas install the full stream; an elected node may become
 		// one at any moment.
-		Coalesce: cfg.replicateFrom == "" && cfg.electListen == "",
-		WALPath:  cfg.walPath,
+		Coalesce:   cfg.replicateFrom == "" && cfg.electListen == "",
+		WALPath:    cfg.walPath,
+		Metrics:    reg,
+		TraceDepth: cfg.traceDepth,
 	})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
+	if cfg.metricsDump != "" {
+		// Runs before the deferred db.Close (LIFO), so gauge funcs still
+		// read a live database.
+		defer func() {
+			if err := dumpMetrics(reg, cfg.metricsDump); err != nil {
+				fmt.Fprintln(os.Stderr, "stripd: metrics dump:", err)
+			}
+		}()
+	}
 	if cfg.walPath != "" {
 		fmt.Printf("write-ahead log at %s (checkpoint every %v)\n", cfg.walPath, cfg.ckptEvery)
 	}
@@ -228,8 +265,18 @@ func runServer(cfg serverConfig) error {
 			views, l.Addr(), policy, cfg.maxAge)
 		go db.Serve(l)
 	}
+	if cfg.metricsListen != "" {
+		ml, err := net.Listen("tcp", cfg.metricsListen)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, db.Traces)}
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		go srv.Serve(ml)
+	}
 	if cfg.replListen != "" {
-		primary := repl.NewPrimary(db, repl.PrimaryConfig{})
+		primary := repl.NewPrimary(db, repl.PrimaryConfig{Metrics: reg})
 		defer primary.Close()
 		rl, err := net.Listen("tcp", cfg.replListen)
 		if err != nil {
@@ -240,8 +287,9 @@ func runServer(cfg serverConfig) error {
 	}
 	if cfg.replicateFrom != "" {
 		replica, err := repl.StartReplica(db, repl.ReplicaConfig{
-			Addr: cfg.replicateFrom,
-			Seed: uint64(time.Now().UnixNano()),
+			Addr:    cfg.replicateFrom,
+			Seed:    uint64(time.Now().UnixNano()),
+			Metrics: reg,
 		})
 		if err != nil {
 			return err
@@ -272,6 +320,7 @@ func runServer(cfg serverConfig) error {
 			Seed:      uint64(time.Now().UnixNano()),
 			Logf:      logf,
 			StatePath: statePath,
+			Metrics:   reg,
 		})
 		if err != nil {
 			return err
@@ -288,6 +337,7 @@ func runServer(cfg serverConfig) error {
 			ListenRepl: func() (net.Listener, error) { return net.Listen("tcp", selfRepl) },
 			Seed:       uint64(time.Now().UnixNano()),
 			Logf:       logf,
+			Metrics:    reg,
 		})
 		if err != nil {
 			return err
@@ -348,33 +398,65 @@ func runServer(cfg serverConfig) error {
 					return nil
 				},
 			})
-			s := db.Stats()
 			staleViews, _ := db.Aggregate("SELECT COUNT(*) FROM views WHERE stale")
-			line := fmt.Sprintf("recv=%d installed=%d skipped=%d expired=%d queue=%d txns=%d stale-views=%.0f stale-reads=%v",
-				s.UpdatesReceived, s.UpdatesInstalled, s.UpdatesSkipped,
-				s.UpdatesExpired, s.QueueLen, s.TxnsCommitted, staleViews, res.StaleReads)
-			if cfg.replListen != "" {
-				line += fmt.Sprintf(" repl-seq=%d", s.ReplicationSeq)
-			}
-			if cfg.replicateFrom != "" {
-				line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
-			}
-			if fo != nil {
-				role, epoch := fo.Role()
-				line += fmt.Sprintf(" elect-state=%s elect-epoch=%d", role, epoch)
-				if role == repl.RoleReplica {
-					line += fmt.Sprintf(" repl-lag=%.3fs/%du", s.ReplicaLagSeconds, s.ReplicaLagUpdates)
-				}
-			}
-			if cfg.walPath != "" {
-				line += fmt.Sprintf(" wal-errors=%d", s.WALErrors)
-				if s.Degraded {
-					line += " DEGRADED(commits failing; awaiting checkpoint)"
-				}
-			}
-			fmt.Println(line)
+			fmt.Println(reportLine(reg, cfg, fo, staleViews, res.StaleReads))
 		}
 	}
+}
+
+// reportLine renders the once-a-second console report from the
+// metrics registry — the same series /metrics serves, so the console
+// and the scrape endpoint cannot drift apart. staleViews and
+// staleReads come from the sample monitoring transaction, which is
+// per-tick state rather than a registered series.
+func reportLine(reg *obs.Registry, cfg serverConfig, fo *repl.Failover, staleViews float64, staleReads []string) string {
+	mv := func(name string) int64 {
+		v, _ := reg.Value(name)
+		return int64(v)
+	}
+	mf := func(name string) float64 {
+		v, _ := reg.Value(name)
+		return v
+	}
+	line := fmt.Sprintf("recv=%d installed=%d skipped=%d expired=%d queue=%d txns=%d stale-views=%.0f stale-reads=%v",
+		mv("strip_updates_received_total"), mv("strip_updates_installed_total"),
+		mv("strip_updates_skipped_total"), mv("strip_updates_expired_total"),
+		mv("strip_queue_len"), mv("strip_txns_committed_total"), staleViews, staleReads)
+	if cfg.replListen != "" {
+		line += fmt.Sprintf(" repl-seq=%d", mv("strip_replication_seq"))
+	}
+	if cfg.replicateFrom != "" {
+		line += fmt.Sprintf(" repl-lag=%.3fs/%du",
+			mf("strip_replica_lag_seconds"), mv("strip_replica_lag_updates"))
+	}
+	if fo != nil {
+		role, epoch := fo.Role()
+		line += fmt.Sprintf(" elect-state=%s elect-epoch=%d", role, epoch)
+		if role == repl.RoleReplica {
+			line += fmt.Sprintf(" repl-lag=%.3fs/%du",
+				mf("strip_replica_lag_seconds"), mv("strip_replica_lag_updates"))
+		}
+	}
+	if cfg.walPath != "" {
+		line += fmt.Sprintf(" wal-errors=%d", mv("strip_wal_errors_total"))
+		if mv("strip_degraded") != 0 {
+			line += " DEGRADED(commits failing; awaiting checkpoint)"
+		}
+	}
+	return line
+}
+
+// dumpMetrics writes one Prometheus-text snapshot of the registry.
+func dumpMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runFeed(addr string, views int, rate float64, duration time.Duration) error {

@@ -2,7 +2,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
@@ -150,6 +154,91 @@ func TestReplicationFlagsEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("server/replica failed: %v", err)
 		}
+	}
+}
+
+// TestMetricsFlagsEndToEnd runs a server with -metrics-listen and
+// -metrics-dump, feeds it, and checks that the scrape endpoint serves
+// the pipeline histograms and that the exit snapshot lands on disk.
+func TestMetricsFlagsEndToEnd(t *testing.T) {
+	feedAddr := freeAddr(t)
+	metricsAddr := freeAddr(t)
+	dump := filepath.Join(t.TempDir(), "metrics-snapshot.txt")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	serverErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		serverErr <- run([]string{
+			"-listen", feedAddr, "-metrics-listen", metricsAddr,
+			"-metrics-dump", dump, "-views", "10", "-duration", "1500ms",
+		})
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var conn net.Conn
+	var err error
+	for time.Now().Before(deadline) {
+		conn, err = net.Dial("tcp", feedAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if conn == nil {
+		t.Fatal("server did not come up")
+	}
+	conn.Close()
+	if err := run([]string{
+		"-feed", feedAddr, "-views", "10", "-rate", "200", "-duration", "600ms",
+	}); err != nil {
+		t.Fatalf("feed failed: %v", err)
+	}
+
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape failed: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read scrape: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"strip_updates_received_total",
+		"strip_pipeline_install_seconds_bucket",
+		"strip_staleness_seconds_bucket",
+		"strip_queue_len",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape output missing %q", want)
+		}
+	}
+
+	tr, err := http.Get("http://" + metricsAddr + "/debug/traces")
+	if err != nil {
+		t.Fatalf("traces fetch failed: %v", err)
+	}
+	trBody, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if !strings.Contains(string(trBody), "seq=") {
+		t.Errorf("traces output has no recorded spans: %q", trBody)
+	}
+
+	wg.Wait()
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server failed: %v", err)
+	}
+	snap, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatalf("metrics dump missing: %v", err)
+	}
+	if !strings.Contains(string(snap), "strip_updates_installed_total") {
+		t.Errorf("dump missing installed counter:\n%s", snap)
 	}
 }
 

@@ -362,3 +362,28 @@ func TestElectScopeCoverage(t *testing.T) {
 		t.Errorf("strip/elect joined DeterministicPkgs; the concurrency and wall-clock rules would flag its network shell")
 	}
 }
+
+// TestObsScopeCoverage pins the metrics package inside the lint
+// coverage its contracts rest on: byte-identical exposition forbids
+// map-order leaks, the registry's snapshot-under-lock discipline is
+// lock-checked, a scrape-time inversion against db.mu must surface
+// as a lock-order cycle, and Observe/Inc anchor alloc-in-hotpath
+// reports because they run on every installed update. It must NOT be
+// in DeterministicPkgs — the atomics that make Observe lock-free are
+// exactly what that scope forbids.
+func TestObsScopeCoverage(t *testing.T) {
+	const pkg = "repro/strip/obs"
+	for name, scope := range map[string]Scope{
+		"MapOrderPkgs":    MapOrderPkgs,
+		"LockCheckedPkgs": LockCheckedPkgs,
+		"LockOrderPkgs":   LockOrderPkgs,
+		"AllocReportPkgs": AllocReportPkgs,
+	} {
+		if !scope.Match(pkg) {
+			t.Errorf("%s no longer covers %s", name, pkg)
+		}
+	}
+	if DeterministicPkgs.Match(pkg) {
+		t.Errorf("strip/obs joined DeterministicPkgs; the wall-clock and concurrency rules would flag its atomics")
+	}
+}

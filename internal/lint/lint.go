@@ -367,6 +367,10 @@ var MapOrderPkgs = append(append(Scope{}, DeterministicPkgs...),
 	"strip/fault",
 	"strip/repl",
 	"strip/elect",
+	// The metrics registry promises byte-identical exposition for
+	// identical histories; a map-range over its series index would
+	// break that the first time two series swapped places.
+	"strip/obs",
 )
 
 // TaintPkgs is the scope of nondeterminism-taint: the deterministic
@@ -405,6 +409,10 @@ var LockCheckedPkgs = Scope{
 	"strip",
 	"strip/repl",
 	"strip/elect",
+	// The metrics registry is read by the scrape endpoint while every
+	// pipeline stage observes into it; its snapshot-under-lock,
+	// format-outside-lock split is load-bearing.
+	"strip/obs",
 }
 
 // LockOrderPkgs lists the packages whose functions may anchor a
@@ -418,6 +426,10 @@ var LockOrderPkgs = Scope{
 	"strip/repl",
 	"strip/fault",
 	"strip/elect",
+	// Gauge funcs registered into the obs registry take db.mu under
+	// the registry's own mutex during a scrape; an inversion against
+	// an Observe call from under db.mu would deadlock the scheduler.
+	"strip/obs",
 }
 
 // ErrCheckedPkgs lists the packages swept by err-drop: everywhere a
@@ -442,6 +454,9 @@ var AllocReportPkgs = Scope{
 	"strip",
 	"strip/repl",
 	"internal/uqueue",
+	// Histogram.Observe and Counter.Inc run on every update the
+	// pipeline installs; an allocation there taxes every install.
+	"strip/obs",
 }
 
 // HotPathRoots is the default hot-path root set: the per-update entry

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"repro/internal/model"
+)
+
+// MaxStaleness records the worst install-time age ever observed per
+// view object: how old (now minus generation time, seconds) each
+// object's value was at the moment it became visible. The paper's MA
+// criterion asks whether an object's age exceeds Delta *right now*;
+// this tracker keeps the complementary long-run figure — the worst
+// age each object ever served — which is what an operator tunes
+// policies against (a staleness histogram shows the distribution,
+// this shows the per-object tail).
+//
+// Like ReplicaLag it is not safe for concurrent use; the strip
+// database calls it under its registry lock. Objects are added on
+// first observation.
+type MaxStaleness struct {
+	perObject []float64 // worst observed age per object (seconds)
+	overall   float64   // max over perObject
+}
+
+// NewMaxStaleness returns an empty tracker.
+func NewMaxStaleness() *MaxStaleness { return &MaxStaleness{} }
+
+// Observe records one install of obj whose value was age seconds old
+// at visibility. Negative ages (clock steps) are treated as zero.
+func (m *MaxStaleness) Observe(obj model.ObjectID, age float64) {
+	if age < 0 {
+		age = 0
+	}
+	for len(m.perObject) <= int(obj) {
+		m.perObject = append(m.perObject, 0)
+	}
+	if age > m.perObject[obj] {
+		m.perObject[obj] = age
+	}
+	if age > m.overall {
+		m.overall = age
+	}
+}
+
+// Object returns the worst age observed for obj, zero when unknown.
+func (m *MaxStaleness) Object(obj model.ObjectID) float64 {
+	if int(obj) >= len(m.perObject) || int(obj) < 0 {
+		return 0
+	}
+	return m.perObject[obj]
+}
+
+// Max returns the worst age observed over all objects.
+func (m *MaxStaleness) Max() float64 { return m.overall }
+
+// Objects returns the number of objects the tracker has seen.
+func (m *MaxStaleness) Objects() int { return len(m.perObject) }

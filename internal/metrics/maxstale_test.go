@@ -1,0 +1,38 @@
+package metrics
+
+import "testing"
+
+func TestMaxStaleness(t *testing.T) {
+	m := NewMaxStaleness()
+	if m.Max() != 0 || m.Objects() != 0 {
+		t.Fatalf("empty tracker: Max=%v Objects=%d", m.Max(), m.Objects())
+	}
+	if m.Object(5) != 0 {
+		t.Fatal("unknown object should report zero")
+	}
+
+	m.Observe(2, 0.5)
+	m.Observe(0, 1.25)
+	m.Observe(2, 0.1) // smaller than the recorded max: no change
+	m.Observe(2, 2.0)
+	m.Observe(1, -3) // clock step clamps to zero
+
+	if got := m.Object(0); got != 1.25 {
+		t.Fatalf("Object(0) = %v, want 1.25", got)
+	}
+	if got := m.Object(1); got != 0 {
+		t.Fatalf("Object(1) = %v, want 0", got)
+	}
+	if got := m.Object(2); got != 2.0 {
+		t.Fatalf("Object(2) = %v, want 2", got)
+	}
+	if got := m.Max(); got != 2.0 {
+		t.Fatalf("Max = %v, want 2", got)
+	}
+	if got := m.Objects(); got != 3 {
+		t.Fatalf("Objects = %d, want 3", got)
+	}
+	if m.Object(-1) != 0 {
+		t.Fatal("negative id should report zero")
+	}
+}

@@ -50,7 +50,10 @@ type Update struct {
 	GenTime float64
 	// ArrivalTime is the simulated time at which the update arrived
 	// at the database system; ArrivalTime - GenTime is the network
-	// age of the update.
+	// age of the update. The strip library's observability layer also
+	// recovers nanosecond arrival stamps for queue-wait spans from
+	// this axis (the float64 mantissa keeps sub-nanosecond precision
+	// at realistic uptimes) rather than carrying a second field.
 	ArrivalTime float64
 	// Payload is the new value carried by the update. The simulator
 	// does not model values and leaves it zero; the strip library

@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/uqueue"
 	"repro/strip/fault"
+	"repro/strip/obs"
 )
 
 // DB is a soft real-time database instance. All methods are safe for
@@ -17,6 +18,10 @@ import (
 type DB struct {
 	cfg   Config
 	start time.Time
+	// startNanos caches start.UnixNano(): the base the observability
+	// layer adds monotonic elapsed readings and float-seconds arrival
+	// stamps to (see nowNanos and arrivalNanos).
+	startNanos int64
 
 	ingestCh chan *model.Update
 	txnCh    chan *txnReq
@@ -71,6 +76,12 @@ type DB struct {
 	replBarrier uint64              // guarded by mu
 	sink        func(ReplEvent)     // guarded by mu
 	lag         *metrics.ReplicaLag // guarded by mu
+
+	// obs is the observability surface (histograms, trace ring); its
+	// handle is immutable after Open, its scratch fields are written
+	// under mu. maxStale tracks the worst install-time age per object.
+	obs      *dbObs
+	maxStale *metrics.MaxStaleness // guarded by mu
 
 	// Scheduler-owned state. pending and highCount are written only
 	// by the scheduler but read under mu by Peek, so their mutations
@@ -149,20 +160,23 @@ func Open(cfg Config) (*DB, error) {
 		epoch = 1
 	}
 	db := &DB{
-		cfg:      cfg,
-		start:    start,
-		epoch:    epoch,
-		ingestCh: make(chan *model.Update, cfg.IngestBuffer),
-		txnCh:    make(chan *txnReq, 256),
-		stopCh:   make(chan struct{}),
-		done:     make(chan struct{}),
-		names:    make(map[string]model.ObjectID),
-		general:  general,
-		wal:      wal,
-		fs:       fsys,
-		dur:      metrics.NewDurability(),
-		lag:      metrics.NewReplicaLag(),
+		cfg:        cfg,
+		start:      start,
+		startNanos: start.UnixNano(),
+		epoch:      epoch,
+		ingestCh:   make(chan *model.Update, cfg.IngestBuffer),
+		txnCh:      make(chan *txnReq, 256),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
+		names:      make(map[string]model.ObjectID),
+		general:    general,
+		wal:        wal,
+		fs:         fsys,
+		dur:        metrics.NewDurability(),
+		lag:        metrics.NewReplicaLag(),
+		maxStale:   metrics.NewMaxStaleness(),
 	}
+	db.obs = newDBObs(db, cfg.Metrics, cfg.TraceDepth)
 	if cfg.Coalesce {
 		db.queue = uqueue.NewCoalescedQueue(cfg.QueueCapacity, 1)
 	} else {
@@ -291,6 +305,16 @@ func (db *DB) now() time.Time { return db.cfg.Clock() }
 // used by the internal queue structures.
 func (db *DB) secs(t time.Time) float64 { return t.Sub(db.start).Seconds() }
 
+// arrivalNanos recovers an update's arrival time in Unix nanoseconds
+// from the float-seconds axis the queue structures already carry. The
+// float64 mantissa keeps sub-nanosecond precision for months of
+// uptime, so the recovered reading is exact for span purposes while
+// the queued Update stays one allocator size class smaller than it
+// would be carrying a separate nanosecond field.
+func (db *DB) arrivalNanos(u *model.Update) int64 {
+	return db.startNanos + int64(u.ArrivalTime*float64(time.Second))
+}
+
 // lookup resolves a view name.
 func (db *DB) lookup(name string) (model.ObjectID, bool) {
 	db.mu.RLock()
@@ -327,13 +351,30 @@ func (db *DB) isStale(id model.ObjectID, now time.Time) bool {
 
 // install writes an update into its view if it is worthy (newer than
 // the installed generation), then fires triggers and derived-view
-// recomputation. It is called on the scheduler goroutine. The entry
-// write happens in installEntry so the lock can be released by defer;
-// triggers must fire outside db.mu (fireTriggers and notifyWatchers
-// re-acquire it).
-func (db *DB) install(u *model.Update, gen time.Time) {
-	if db.installEntry(u, gen) {
-		db.fireTriggers(u.Object)
+// recomputation. It is called on the scheduler goroutine. popNanos is
+// the clock reading taken when the update left the queue; the install
+// and trigger spans are measured from it. The entry write happens in
+// installEntry so the lock can be released by defer; triggers must
+// fire outside db.mu (fireTriggers and notifyWatchers re-acquire it).
+func (db *DB) install(u *model.Update, gen time.Time, popNanos int64) {
+	if !db.installEntry(u, gen, popNanos) {
+		return
+	}
+	o := db.obs
+	fired := db.fireTriggers(u.Object)
+	if o.ring != nil {
+		// The trigger span would cost a third clock reading on every
+		// install, so it is measured only while tracing is active
+		// (TraceDepth > 0, as in stripd) and only when a trigger,
+		// watcher or derived recompute actually ran — pure clock-read
+		// jitter on trigger-less installs would drown the signal.
+		if fired {
+			trig := db.nowNanos() - o.installEnd
+			o.stage[obs.StageTrigger].Observe(trig)
+			o.cur.Spans[obs.StageTrigger] = trig
+		}
+		// cur was assembled by installEntry under the lock.
+		o.ring.Record(o.cur)
 	}
 }
 
@@ -342,7 +383,7 @@ func (db *DB) install(u *model.Update, gen time.Time) {
 // worthy install is published to the replication sink — and takes its
 // place in the replication total order — inside the same critical
 // section that writes the entry.
-func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
+func (db *DB) installEntry(u *model.Update, gen time.Time, popNanos int64) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	// A replicated update admitted before the last ResetToSnapshot
@@ -391,7 +432,42 @@ func (db *DB) installEntry(u *model.Update, gen time.Time) bool {
 		// superseded are still being discarded.
 		db.lag.Refreshed(u.Object, u.GenTime)
 	}
+	o := db.obs
+	// The publish span reuses the clock reading the install span needs
+	// anyway, so a sink costs one extra read and its absence costs
+	// none.
+	published := db.sink != nil
+	var pubStart int64
+	if published {
+		pubStart = db.nowNanos()
+	}
 	db.emitInstallLocked(u, gen)
+	end := db.nowNanos()
+	o.installEnd = end
+	o.stage[obs.StageInstall].Observe(end - popNanos)
+	if published {
+		o.stage[obs.StageReplPublish].Observe(end - pubStart)
+	}
+	age := end - gen.UnixNano()
+	o.staleness.Observe(age)
+	db.maxStale.Observe(u.Object, float64(age)/1e9)
+	if u.Replicated {
+		o.replicaLag.Observe(age)
+	}
+	if o.ring != nil {
+		o.cur = obs.NewTrace()
+		o.cur.Seq = u.Seq
+		o.cur.Object = db.defs[u.Object].name
+		if u.ArrivalTime > 0 {
+			arr := db.arrivalNanos(u)
+			o.cur.ArrivalNanos = arr
+			o.cur.Spans[obs.StageQueueWait] = popNanos - arr
+		}
+		o.cur.Spans[obs.StageInstall] = end - popNanos
+		if published {
+			o.cur.Spans[obs.StageReplPublish] = end - pubStart
+		}
+	}
 	return true
 }
 

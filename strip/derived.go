@@ -113,9 +113,10 @@ func (db *DB) DefineDerived(name string, deps []string, compute func(values []fl
 }
 
 // fireTriggers runs install triggers and derived-view recomputation
-// for an installed object. Called on the scheduler goroutine, outside
-// db.mu.
-func (db *DB) fireTriggers(id model.ObjectID) {
+// for an installed object, reporting whether any trigger, watcher or
+// derived recompute actually ran (the trigger latency span is only
+// observed then). Called on the scheduler goroutine, outside db.mu.
+func (db *DB) fireTriggers(id model.ObjectID) bool {
 	db.mu.RLock()
 	name := db.defs[id].name
 	e := Entry{
@@ -140,10 +141,11 @@ func (db *DB) fireTriggers(id model.ObjectID) {
 	for _, fn := range fns {
 		fn(e)
 	}
-	db.notifyWatchers(id, e)
+	watched := db.notifyWatchers(id, e)
 	for _, def := range derived {
 		db.recomputeDerived(def)
 	}
+	return len(fns) > 0 || watched || len(derived) > 0
 }
 
 // recomputeDerived evaluates one derived view from its dependencies.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/strip/fault"
+	"repro/strip/obs"
 )
 
 // Config configures a Node.
@@ -55,6 +56,10 @@ type Config struct {
 	// one.
 	FS fault.FS
 
+	// Metrics, when set, registers the node's series (decided epoch,
+	// leadership, campaigns started) into the registry.
+	Metrics *obs.Registry
+
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -86,6 +91,10 @@ type Node struct {
 	sends  map[string]chan Msg // per-peer outbound queues (fixed at start)
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// campaigns counts explicit Campaign calls, whether or not a
+	// registry is attached.
+	campaigns *obs.Counter
 }
 
 // NewNode validates the configuration, builds the engine and starts
@@ -118,17 +127,40 @@ func NewNode(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		cfg:    cfg,
-		clock:  clock,
-		logf:   cfg.Logf,
-		core:   c,
-		store:  store,
-		events: make(chan Decision, 64),
-		sends:  make(map[string]chan Msg),
-		stop:   make(chan struct{}),
+		cfg:       cfg,
+		clock:     clock,
+		logf:      cfg.Logf,
+		core:      c,
+		store:     store,
+		events:    make(chan Decision, 64),
+		sends:     make(map[string]chan Msg),
+		stop:      make(chan struct{}),
+		campaigns: obs.NewCounter(),
 	}
 	if n.logf == nil {
 		n.logf = func(string, ...any) {}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("strip_elect_decided_epoch",
+			"epoch of the latest decided election (0 before any decision)",
+			func() float64 {
+				_, epoch, ok := n.Leader()
+				if !ok {
+					return 0
+				}
+				return float64(epoch)
+			})
+		reg.GaugeFunc("strip_elect_is_leader",
+			"1 while this node is the decided leader",
+			func() float64 {
+				leader, _, ok := n.Leader()
+				if ok && leader == cfg.Self {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("strip_elect_campaigns_total",
+			"explicit campaigns started on this node", n.campaigns.Value)
 	}
 	// Replay the restored decision to Observe so a failover manager
 	// re-adopts its follower role across the restart — unless this
@@ -182,6 +214,7 @@ func (n *Node) Observe() <-chan Decision { return n.events }
 // of waiting out the failure detector. The outcome — which may name
 // another node — arrives on Observe.
 func (n *Node) Campaign() {
+	n.campaigns.Inc()
 	now := n.clock()
 	n.mu.Lock()
 	envs, decs := n.core.StartCampaign(now)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/strip/obs"
 )
 
 // ApplyUpdate submits one update to the stream. It never blocks: when
@@ -22,9 +23,10 @@ func (db *DB) ApplyUpdate(u Update) error {
 		return err
 	}
 
+	now := db.now()
 	gen := u.Generated
 	if gen.IsZero() {
-		gen = db.now()
+		gen = now
 	}
 	db.mu.Lock()
 	db.arrival++
@@ -37,7 +39,7 @@ func (db *DB) ApplyUpdate(u Update) error {
 		Object:      id,
 		Class:       model.Importance(imp),
 		GenTime:     db.secs(gen),
-		ArrivalTime: db.secs(db.now()),
+		ArrivalTime: db.secs(now),
 		Payload:     u.Value,
 		WallGen:     gen.UnixNano(),
 	}
@@ -144,10 +146,12 @@ func (db *DB) serveConn(conn net.Conn) {
 		case strings.HasPrefix(line, "AGG "):
 			db.serveAggregate(w, strings.TrimPrefix(line, "AGG "))
 		default:
+			start := db.nowNanos()
 			u, err := ParseUpdateLine(line)
 			if err != nil {
 				continue // malformed lines are skipped, the stream goes on
 			}
+			db.obs.stage[obs.StageDecode].Observe(db.nowNanos() - start)
 			if db.ApplyUpdate(u) == ErrClosed {
 				return
 			}

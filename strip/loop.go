@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/strip/obs"
 )
 
 // loop is the scheduler goroutine: the paper's controller and CPU in
@@ -110,6 +111,10 @@ func (db *DB) enqueue(u *model.Update) {
 		}
 	}
 	db.mu.Unlock()
+	// How many unapplied updates this arrival queues behind: the UU
+	// criterion's distribution. The queue is scheduler-owned and
+	// enqueue runs on the scheduler goroutine, so Len needs no lock.
+	db.obs.uuBacklog.Observe(int64(db.queue.Len()))
 }
 
 // expireQueue drops queued updates older than MaxAge (MA only).
@@ -151,13 +156,17 @@ func (db *DB) installNext(class int) bool {
 	if u == nil {
 		return false
 	}
+	popNanos := db.nowNanos()
+	if u.ArrivalTime > 0 {
+		db.obs.stage[obs.StageQueueWait].Observe(popNanos - db.arrivalNanos(u))
+	}
 	db.mu.Lock()
 	db.pending[u.Object]--
 	if u.Class == model.High {
 		db.highCount--
 	}
 	db.mu.Unlock()
-	db.install(u, db.genTime(u))
+	db.install(u, db.genTime(u), popNanos)
 	return true
 }
 
@@ -226,6 +235,10 @@ func (db *DB) refreshOnDemand(id model.ObjectID) {
 	if newest == nil {
 		return
 	}
+	popNanos := db.nowNanos()
+	if newest.ArrivalTime > 0 {
+		db.obs.stage[obs.StageQueueWait].Observe(popNanos - db.arrivalNanos(newest))
+	}
 	db.mu.Lock()
 	db.pending[id] -= len(superseded) + 1
 	if newest.Class == model.High {
@@ -245,7 +258,7 @@ func (db *DB) refreshOnDemand(id model.ObjectID) {
 		db.stats.UpdatesSkipped++
 	}
 	db.mu.Unlock()
-	db.install(newest, db.genTime(newest))
+	db.install(newest, db.genTime(newest), popNanos)
 }
 
 // publishQueueLen exposes the queue length to Stats.
@@ -391,6 +404,9 @@ func (db *DB) finish(req *txnReq, res Result) {
 		db.stats.ValueCommitted += req.spec.Value
 		if res.ReadStale {
 			db.stats.TxnsCommittedStale++
+		}
+		if !res.Finished.IsZero() {
+			db.obs.commitLatency.Observe(res.Finished.Sub(req.enqueued).Nanoseconds())
 		}
 	case AbortedDeadline:
 		db.stats.TxnsAbortedDeadline++

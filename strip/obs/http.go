@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewMux returns an HTTP mux serving the registry:
+//
+//	/metrics       Prometheus-compatible text exposition
+//	/debug/traces  recent update traces, newest first (when traces != nil)
+//	/debug/pprof/  the standard pprof surface
+//
+// pprof routes are registered explicitly so the mux works without
+// importing the package for its DefaultServeMux side effect.
+func NewMux(reg *Registry, traces func() []Trace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	if traces != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTraces(w, traces())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeTraces renders one line per trace: seq, object, arrival stamp,
+// then visited stage=duration pairs in pipeline order.
+func writeTraces(w http.ResponseWriter, ts []Trace) {
+	for _, t := range ts {
+		fmt.Fprintf(w, "seq=%d object=%s arrival_ns=%d", t.Seq, t.Object, t.ArrivalNanos)
+		for i, span := range t.Spans {
+			if span < 0 {
+				continue
+			}
+			fmt.Fprintf(w, " %s=%sns", Stage(i), strconv.FormatInt(span, 10))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import "sync"
+
+// Stage identifies one hop in an update's life between feed arrival
+// and visibility. The enum order is pipeline order; NumStages sizes
+// the span arrays.
+type Stage int
+
+const (
+	// StageDecode: parsing one feed line into a model.Update.
+	StageDecode Stage = iota
+	// StageQueueWait: from arrival stamp to the scheduler popping the
+	// update off the uqueue (covers ingest-channel wait + queue wait +
+	// dispatch, the paper's UU interval).
+	StageQueueWait
+	// StageInstall: applying the update to the registry under the
+	// database write lock, including WAL append and repl publish.
+	StageInstall
+	// StageTrigger: firing triggers and recomputing derived objects
+	// after install.
+	StageTrigger
+	// StageWALAppend: encoding and buffering the WAL record.
+	StageWALAppend
+	// StageWALFsync: the group-commit fsync.
+	StageWALFsync
+	// StageReplPublish: handing the encoded event to the replication
+	// sink (ring append + subscriber wakeup).
+	StageReplPublish
+	// StageReplicaApply: on a replica, from frame decode to the update
+	// entering the local ingest queue.
+	StageReplicaApply
+
+	// NumStages is the number of pipeline stages.
+	NumStages int = iota
+)
+
+var stageNames = [NumStages]string{
+	"decode",
+	"queue_wait",
+	"install",
+	"trigger",
+	"wal_append",
+	"wal_fsync",
+	"repl_publish",
+	"replica_apply",
+}
+
+// String returns the snake_case stage name used in metric names.
+func (s Stage) String() string {
+	if s < 0 || int(s) >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Trace is one update's end-to-end record: which object, when it
+// arrived, and how long each stage took. Spans are nanoseconds; -1
+// means the stage was not visited (e.g. no replication sink, WAL
+// disabled, trace captured on a replica).
+type Trace struct {
+	Seq          uint64
+	Object       string
+	ArrivalNanos int64
+	Spans        [NumStages]int64
+}
+
+// NewTrace returns a Trace with every span marked unvisited.
+func NewTrace() Trace {
+	var t Trace
+	for i := range t.Spans {
+		t.Spans[i] = -1
+	}
+	return t
+}
+
+// TraceRing is a bounded ring of recent traces. Record overwrites the
+// oldest entry once full; Snapshot returns newest-first copies. All
+// methods are nil-safe so call sites don't branch on whether tracing
+// is enabled.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []Trace
+	next  int
+	full  bool
+}
+
+// NewTraceRing returns a ring holding up to depth traces, or nil when
+// depth <= 0 (tracing disabled).
+func NewTraceRing(depth int) *TraceRing {
+	if depth <= 0 {
+		return nil
+	}
+	return &TraceRing{slots: make([]Trace, depth)}
+}
+
+// Record stores one trace, overwriting the oldest when full. Trace is
+// a value type, so recording does not allocate.
+func (r *TraceRing) Record(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slots[r.next] = t
+	r.next++
+	if r.next == len(r.slots) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the recorded traces, newest first.
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.slots)
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.slots)
+		}
+		out = append(out, r.slots[idx])
+	}
+	return out
+}

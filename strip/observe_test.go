@@ -1,0 +1,157 @@
+package strip
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/strip/obs"
+)
+
+// TestMetricsSnapshotDeterministic pins the exposition contract end to
+// end: two databases fed the same scripted history under the same
+// injected clock must produce byte-identical /metrics snapshots. A
+// per-scheduler-pass observation, a map-order leak in the registry, or
+// a wall-clock read anywhere in the pipeline instrumentation shows up
+// here as a diff.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	runOnce := func() []byte {
+		clock := newFakeClock()
+		reg := obs.NewRegistry()
+		db := mustOpen(t, Config{
+			Policy:     UpdatesFirst,
+			MaxAge:     time.Second,
+			Clock:      clock.Now,
+			Metrics:    reg,
+			TraceDepth: 8,
+		})
+		db.DefineView("a", Low)
+		db.DefineView("b", High)
+		ch, cancel, err := db.Watch("", 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+		// Lockstep: wait for each install before the next arrival, so
+		// both runs observe identical queue lengths and stage spans.
+		for i := 0; i < 5; i++ {
+			db.ApplyUpdate(Update{Object: "a", Value: float64(i), Generated: clock.Now()})
+			<-ch
+			clock.Advance(10 * time.Millisecond)
+		}
+		db.ApplyUpdate(Update{Object: "b", Value: 42, Generated: clock.Now()})
+		<-ch
+		res := db.Exec(TxnSpec{
+			Name:     "t",
+			Value:    3,
+			Deadline: clock.Now().Add(time.Minute),
+			Func: func(tx *Tx) error {
+				_, err := tx.Read("a")
+				return err
+			},
+		})
+		if !res.Committed() {
+			t.Fatalf("txn state = %v (%v)", res.State, res.Err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := runOnce(), runOnce()
+	if !bytes.Equal(first, second) {
+		t.Errorf("metrics snapshots differ between identical runs:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestMaxStalenessPerObject pins the per-object staleness high-water
+// mark: an update installed well past its generation time must raise
+// the object's maximum, and other objects must be unaffected.
+func TestMaxStalenessPerObject(t *testing.T) {
+	clock := newFakeClock()
+	db := mustOpen(t, Config{
+		Policy: UpdatesFirst,
+		// Generous MaxAge: the 2s-old update must be stale-ish yet
+		// still young enough to install rather than expire.
+		MaxAge: 10 * time.Second,
+		Clock:  clock.Now,
+	})
+	db.DefineView("old", Low)
+	db.DefineView("fresh", Low)
+	ch, cancel, err := db.Watch("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	db.ApplyUpdate(Update{Object: "old", Value: 1, Generated: clock.Now().Add(-2 * time.Second)})
+	<-ch
+	db.ApplyUpdate(Update{Object: "fresh", Value: 1, Generated: clock.Now()})
+	<-ch
+
+	got, err := db.MaxStaleness("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.9 || got > 2.1 {
+		t.Errorf("MaxStaleness(old) = %v, want about 2s", got)
+	}
+	got, err = db.MaxStaleness("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.1 {
+		t.Errorf("MaxStaleness(fresh) = %v, want about 0", got)
+	}
+	if _, err := db.MaxStaleness("nosuch"); err == nil {
+		t.Error("MaxStaleness on an unknown object should fail")
+	}
+}
+
+// TestTraceRingCapturesPipeline pins the per-update trace: with
+// TraceDepth set, every installed update leaves a trace whose install
+// and trigger spans are stamped, newest first.
+func TestTraceRingCapturesPipeline(t *testing.T) {
+	clock := newFakeClock()
+	db := mustOpen(t, Config{
+		Policy:     UpdatesFirst,
+		MaxAge:     time.Second,
+		Clock:      clock.Now,
+		TraceDepth: 4,
+	})
+	db.DefineView("a", Low)
+	ch, cancel, err := db.Watch("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		// Each generation must be newer than the last or the install
+		// is skipped as superseded and never reaches the ring.
+		clock.Advance(time.Millisecond)
+		db.ApplyUpdate(Update{Object: "a", Value: float64(i), Generated: clock.Now()})
+		<-ch
+	}
+	traces := db.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("Traces() returned %d traces, want ring depth 4", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Object != "a" {
+			t.Errorf("trace %d object = %q", i, tr.Object)
+		}
+		if tr.Spans[obs.StageQueueWait] < 0 {
+			t.Errorf("trace %d missing queue-wait span", i)
+		}
+		if tr.Spans[obs.StageInstall] < 0 {
+			t.Errorf("trace %d missing install span", i)
+		}
+		if tr.Spans[obs.StageTrigger] < 0 {
+			t.Errorf("trace %d missing trigger span", i)
+		}
+		// No WAL or replication in this setup: those spans stay unset.
+		if tr.Spans[obs.StageWALFsync] >= 0 || tr.Spans[obs.StageReplPublish] >= 0 {
+			t.Errorf("trace %d has spans for stages that never ran: %v", i, tr.Spans)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/strip"
 	"repro/strip/elect"
+	"repro/strip/obs"
 )
 
 // FailoverRole is a node's current replication role under failover
@@ -49,6 +50,11 @@ type FailoverConfig struct {
 	// OnRole, when set, observes every role transition (tests and the
 	// stripd report hook in here).
 	OnRole func(role FailoverRole, epoch uint64)
+	// Metrics, when set, registers the manager's role and epoch gauges.
+	// The inner Primary/Replica do not register their own series here:
+	// a node can be promoted and demoted many times over one process
+	// lifetime, and each would try to re-register the same names.
+	Metrics *obs.Registry
 	// Logf receives diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -103,6 +109,21 @@ func StartFailover(db *strip.DB, cfg FailoverConfig) (*Failover, error) {
 	}
 	if f.logf == nil {
 		f.logf = func(string, ...any) {}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("strip_failover_is_primary",
+			"1 when this node is the elected primary, else 0", func() float64 {
+				role, _ := f.Role()
+				if role == RolePrimary {
+					return 1
+				}
+				return 0
+			})
+		reg.GaugeFunc("strip_failover_epoch",
+			"epoch of the last applied election decision (0 while idle)", func() float64 {
+				_, epoch := f.Role()
+				return float64(epoch)
+			})
 	}
 	go f.run()
 	return f, nil

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"repro/strip"
+	"repro/strip/obs"
 )
 
 // PrimaryConfig configures the publishing side.
@@ -19,6 +20,10 @@ type PrimaryConfig struct {
 	// further behind than this is re-bootstrapped with a snapshot.
 	// Default 4096.
 	RingFrames int
+	// Metrics, when set, registers the primary's series (events
+	// captured, snapshots served, live connections) into the registry —
+	// typically the same one the database registers into.
+	Metrics *obs.Registry
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +58,12 @@ type Primary struct {
 	logf func(string, ...any)
 	wg   sync.WaitGroup
 
+	// events counts captured replication events, snapshots the
+	// bootstrap payloads served; both count whether or not a registry
+	// is attached.
+	events    *obs.Counter
+	snapshots *obs.Counter
+
 	mu     sync.Mutex
 	ln     net.Listener          // guarded by mu
 	conns  map[net.Conn]struct{} // guarded by mu
@@ -64,12 +75,26 @@ type Primary struct {
 // detach.
 func NewPrimary(db *strip.DB, cfg PrimaryConfig) *Primary {
 	p := &Primary{
-		db:    db,
-		logf:  cfg.Logf,
-		conns: make(map[net.Conn]struct{}),
+		db:        db,
+		logf:      cfg.Logf,
+		conns:     make(map[net.Conn]struct{}),
+		events:    obs.NewCounter(),
+		snapshots: obs.NewCounter(),
 	}
 	if p.logf == nil {
 		p.logf = func(string, ...any) {}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("strip_repl_primary_events_total",
+			"replication events captured into the frame ring", p.events.Value)
+		reg.CounterFunc("strip_repl_primary_snapshots_total",
+			"bootstrap snapshots served to replicas", p.snapshots.Value)
+		reg.GaugeFunc("strip_repl_primary_connections",
+			"live replica connections", func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(len(p.conns))
+			})
 	}
 	p.ring = newRing(cfg.RingFrames, db.Sequence()+1)
 	db.SetReplicationSink(p.publish)
@@ -90,6 +115,7 @@ func (p *Primary) publish(ev strip.ReplEvent) {
 		return
 	}
 	p.ring.append(ev.Seq, payload)
+	p.events.Inc()
 }
 
 // Serve accepts replica connections on l until Close (returns nil) or
@@ -249,6 +275,7 @@ func (p *Primary) serveConn(conn net.Conn) {
 			if writeFrame(payload) != nil || w.Flush() != nil {
 				return
 			}
+			p.snapshots.Inc()
 			from = snap.Seq + 1
 		}
 		frames, err := p.ring.awaitFrom(from, gone.Load)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/strip"
+	"repro/strip/obs"
 )
 
 // ReplicaConfig configures the importing side.
@@ -40,6 +41,9 @@ type ReplicaConfig struct {
 	// OnFrame, when set, observes every applied frame in order (the
 	// resume tests record the sequence history through it).
 	OnFrame func(kind byte, seq uint64)
+	// Metrics, when set, registers the replica's series (sessions
+	// established, frames applied) into the registry.
+	Metrics *obs.Registry
 	// Logf receives connection-level diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +59,11 @@ type Replica struct {
 	db   *strip.DB
 	cfg  ReplicaConfig
 	logf func(string, ...any)
+
+	// connects counts established sessions, frames the messages
+	// applied; both count whether or not a registry is attached.
+	connects *obs.Counter
+	frames   *obs.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -77,14 +86,22 @@ func StartReplica(db *strip.DB, cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("repl: ReplicaConfig needs Addr or Dial")
 	}
 	r := &Replica{
-		db:   db,
-		cfg:  cfg,
-		logf: cfg.Logf,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		db:       db,
+		cfg:      cfg,
+		logf:     cfg.Logf,
+		connects: obs.NewCounter(),
+		frames:   obs.NewCounter(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if r.logf == nil {
 		r.logf = func(string, ...any) {}
+	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.CounterFunc("strip_repl_replica_connects_total",
+			"replication sessions established with a primary", r.connects.Value)
+		reg.CounterFunc("strip_repl_replica_frames_total",
+			"replication frames applied", r.frames.Value)
 	}
 	go r.run()
 	return r, nil
@@ -137,6 +154,7 @@ func (r *Replica) run() {
 		}
 		conn, err := r.dial()
 		if err == nil {
+			r.connects.Inc()
 			if r.stream(conn) > 0 {
 				bo.reset()
 			}
@@ -236,6 +254,7 @@ func (r *Replica) stream(conn net.Conn) int {
 			return applied
 		}
 		applied++
+		r.frames.Inc()
 	}
 }
 

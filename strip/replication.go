@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/strip/obs"
 )
 
 // Replication support: the primary side of strip/repl observes the
@@ -142,6 +143,10 @@ func (db *DB) AdoptReplicationEpoch(epoch uint64) error {
 // the sink when one is attached. Callers hold db.mu for writing;
 // emitting inside the critical section that applied the change is
 // what makes the sequence a total order and snapshots consistent.
+// The repl-publish span — the encode-and-retain cost every write pays
+// while a Primary is attached — is measured by the callers
+// (installEntry, applyWritesLocked), which already hold clock
+// readings this function would otherwise re-take.
 func (db *DB) emitLocked(ev ReplEvent) {
 	db.seq++
 	if db.sink == nil {
@@ -220,14 +225,23 @@ func (db *DB) applyWritesLocked(writes map[string]float64) error {
 		if db.dur.Degraded() {
 			return db.degradedErrLocked()
 		}
-		if err := db.wal.appendBatch(writes); err != nil {
+		start := db.nowNanos()
+		err := db.wal.appendBatch(writes)
+		db.obs.stage[obs.StageWALAppend].Observe(db.nowNanos() - start)
+		if err != nil {
 			return db.walFailedLocked(err)
 		}
 	}
 	for k, v := range writes {
 		db.general[k] = v
 	}
-	db.emitBatchLocked(writes)
+	if db.sink != nil {
+		start := db.nowNanos()
+		db.emitBatchLocked(writes)
+		db.obs.stage[obs.StageReplPublish].Observe(db.nowNanos() - start)
+	} else {
+		db.emitBatchLocked(writes)
+	}
 	return nil
 }
 
@@ -244,16 +258,18 @@ func (db *DB) ApplyReplicated(u Update, imp Importance) error {
 	if err != nil {
 		return err
 	}
+	now := db.now()
 	gen := u.Generated
 	if gen.IsZero() {
-		gen = db.now()
+		gen = now
 	}
+	arrival := now.UnixNano()
 	//striplint:ignore alloc-in-hotpath -- the update outlives ApplyReplicated by design: it escapes into the scheduler queue and is installed later
 	mu := &model.Update{
 		Object:      id,
 		Class:       model.Importance(imp),
 		GenTime:     db.secs(gen),
-		ArrivalTime: db.secs(db.now()),
+		ArrivalTime: db.secs(now),
 		Payload:     u.Value,
 		WallGen:     gen.UnixNano(),
 		Replicated:  true,
@@ -273,6 +289,10 @@ func (db *DB) ApplyReplicated(u Update, imp Importance) error {
 
 	select {
 	case db.ingestCh <- mu:
+		// The replica-apply span: from the frame reaching this database
+		// to the update entering the scheduler's ingest queue, including
+		// any backpressure wait on a full buffer.
+		db.obs.stage[obs.StageReplicaApply].Observe(db.nowNanos() - arrival)
 		return nil
 	case <-db.stopCh:
 		return ErrClosed

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/strip/fault"
+	"repro/strip/obs"
 )
 
 // Policy selects how the scheduler divides time between installing
@@ -218,6 +219,24 @@ type Config struct {
 	// from a snapshot instead of resuming into a stream its numbers do
 	// not describe. Zero derives an epoch from the Clock at Open.
 	ReplicationEpoch uint64
+	// Metrics, when set, is the registry the database registers its
+	// metric series into (see DB.Metrics); pass one shared registry to
+	// expose the database next to repl/elect series on one endpoint.
+	// Nil creates a private registry — the series always exist.
+	Metrics *obs.Registry
+	// TraceDepth, when positive, keeps a ring of that many recent
+	// end-to-end update traces, readable via DB.Traces. Zero disables
+	// tracing; per-stage latency histograms are unaffected (except the
+	// trigger span, which is only measured while tracing is active —
+	// see install).
+	TraceDepth int
+
+	// defaultedClock records that fill substituted time.Now for a nil
+	// Clock. The instrumentation then reads time through the monotonic
+	// clock (time.Since from Open) instead of a full time.Now, which
+	// costs roughly half as much per reading on the kernels this was
+	// measured on — and the hot path takes two readings per install.
+	defaultedClock bool
 }
 
 func (c *Config) fill() {
@@ -229,6 +248,7 @@ func (c *Config) fill() {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+		c.defaultedClock = true
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/strip/fault"
+	"repro/strip/obs"
 )
 
 // The write-ahead log makes general data durable: every committed
@@ -765,8 +766,11 @@ func (db *DB) Sync() error {
 	if db.dur.Degraded() {
 		return db.degradedErrLocked()
 	}
+	start := db.nowNanos()
 	//striplint:ignore block-under-lock -- Sync's contract is group durability: the fsync must exclude commits, so it holds db.mu by design
-	if err := db.wal.sync(); err != nil {
+	err := db.wal.sync()
+	db.obs.stage[obs.StageWALFsync].Observe(db.nowNanos() - start)
+	if err != nil {
 		return db.walFailedLocked(err)
 	}
 	return nil

@@ -88,7 +88,7 @@ func (w *watcher) deliver(e Entry) {
 
 // notifyWatchers delivers an installed entry to the object's and the
 // global subscribers. Runs on the scheduler goroutine.
-func (db *DB) notifyWatchers(id model.ObjectID, e Entry) {
+func (db *DB) notifyWatchers(id model.ObjectID, e Entry) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, w := range db.watchers {
@@ -97,6 +97,7 @@ func (db *DB) notifyWatchers(id model.ObjectID, e Entry) {
 	for _, w := range db.watchersByID[id] {
 		w.deliver(e)
 	}
+	return len(db.watchers)+len(db.watchersByID[id]) > 0
 }
 
 // closeWatchers shuts every subscription down (database Close).
