@@ -364,12 +364,26 @@ func runServer(cfg serverConfig) error {
 		ckptC = ckptTicker.C
 	}
 	rng := rand.New(rand.NewPCG(1, uint64(time.Now().UnixNano())))
+	// finalCheckpoint bounds the next start's recovery replay and, if
+	// the log is degraded, leaves it healed: the shutdown counterpart
+	// of the periodic checkpoint. The -metrics-dump snapshot is written
+	// by its deferred hook after this, while the database is still open.
+	finalCheckpoint := func() {
+		if cfg.walPath == "" {
+			return
+		}
+		if err := db.Checkpoint(); err != nil {
+			fmt.Printf("final checkpoint failed: %v\n", err)
+		}
+	}
 	for {
 		select {
 		case <-stop:
 			fmt.Println("\nshutting down")
+			finalCheckpoint()
 			return nil
 		case <-timeout:
+			finalCheckpoint()
 			return nil
 		case <-ckptC:
 			if err := db.Checkpoint(); err != nil {

@@ -44,6 +44,9 @@ func run(args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
 	replay := fs.String("replay", "", "replay a recorded update trace file instead of the synthetic stream")
 	record := fs.String("record", "", "write the synthetic update stream to this trace file and exit (no simulation)")
+	scenarioPath := fs.String("scenario", "", "run a declarative scenario file, or every *.yaml in a directory (see scenarios/)")
+	listScenarios := fs.Bool("list", false, "with -scenario: list the scenarios instead of running them")
+	transcriptDir := fs.String("transcript", "", "with -scenario: write each run's seeded transcript into this directory")
 
 	fs.Float64Var(&p.TxnRate, "txnrate", p.TxnRate, "transaction arrival rate lambda_t (1/s)")
 	fs.Float64Var(&p.UpdateRate, "updaterate", p.UpdateRate, "update arrival rate lambda_u (1/s)")
@@ -64,6 +67,18 @@ func run(args []string, out io.Writer) error {
 
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *scenarioPath != "" {
+		// The scenario file carries its own seed; -seed overrides it
+		// only when passed explicitly (the repro command line does).
+		var seedOverride uint64
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = *seed
+			}
+		})
+		return runScenarios(out, *scenarioPath, seedOverride, *listScenarios, *transcriptDir)
 	}
 
 	policy, err := sched.ParsePolicy(*policyName)

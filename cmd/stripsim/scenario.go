@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/strip/scenario"
+)
+
+// scenarioPaths resolves the -scenario argument: a file runs alone, a
+// directory runs every *.yaml inside it in name order.
+func scenarioPaths(path string) ([]string, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{path}, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(path, "*.yaml"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.yaml scenarios under %s", path)
+	}
+	return paths, nil
+}
+
+// runScenarios loads and executes scenario files. A non-zero
+// seedOverride reruns each with that seed (reproducing a failure); on
+// any failure the repro command line is printed and an error returned.
+func runScenarios(out io.Writer, path string, seedOverride uint64, list bool, transcriptDir string) error {
+	paths, err := scenarioPaths(path)
+	if err != nil {
+		return err
+	}
+	if list {
+		for _, p := range paths {
+			sc, err := scenario.Load(p)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-24s %s/%d nodes, %s, %d faults — %s\n",
+				sc.Name, sc.Topology.Mode, len(sc.Topology.Nodes),
+				sc.Workload.Updates.Shape, len(sc.Faults), sc.Description)
+		}
+		return nil
+	}
+	if transcriptDir != "" {
+		if err := os.MkdirAll(transcriptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, p := range paths {
+		sc, err := scenario.Load(p)
+		if err != nil {
+			return err
+		}
+		rep, err := scenario.Run(sc, scenario.Options{Seed: seedOverride})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		status := "PASS"
+		if !rep.Passed {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(out, "scenario %-24s seed=%-6d %s (%d faults injected)\n",
+			rep.Name, rep.Seed, status, rep.FaultsInjected)
+		for _, d := range rep.Details {
+			fmt.Fprintf(out, "    %s\n", d)
+		}
+		for _, f := range rep.Failures {
+			fmt.Fprintf(out, "    FAIL %s\n", f)
+		}
+		if !rep.Passed {
+			fmt.Fprintf(out, "    repro: %s\n", scenario.ReproCommand(p, rep.Seed))
+		}
+		if transcriptDir != "" {
+			name := filepath.Join(transcriptDir, rep.Name+".transcript")
+			if err := os.WriteFile(name, []byte(rep.Transcript), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(paths))
+	}
+	fmt.Fprintf(out, "%d scenarios passed\n", len(paths))
+	return nil
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// PhaseSpec is one constant-rate segment of a multi-period workload:
+// Poisson arrivals at Rate updates/second for Duration seconds. A
+// sequence of segments composes the temporal shapes the scenario
+// runner exposes (flash crowds, diurnal cycles, ramps) out of pieces
+// whose statistics are exact — the generator restarts the exponential
+// draw at each boundary, which memorylessness makes equivalent to
+// thinning a single stream.
+type PhaseSpec struct {
+	// Rate is the update arrival rate inside the segment (1/s). Zero
+	// is a silence: no arrivals for Duration seconds.
+	Rate float64
+	// Duration is the segment length in seconds; must be > 0.
+	Duration float64
+}
+
+// FlashCrowdPhases composes the classic flash-crowd shape: base rate,
+// then a spike of base*mult for spikeDur seconds starting at spikeAt,
+// then base again until total seconds have elapsed.
+func FlashCrowdPhases(base, mult, total, spikeAt, spikeDur float64) []PhaseSpec {
+	if spikeAt < 0 {
+		spikeAt = 0
+	}
+	if spikeAt+spikeDur > total {
+		spikeDur = total - spikeAt
+	}
+	var out []PhaseSpec
+	if spikeAt > 0 {
+		out = append(out, PhaseSpec{Rate: base, Duration: spikeAt})
+	}
+	if spikeDur > 0 {
+		out = append(out, PhaseSpec{Rate: base * mult, Duration: spikeDur})
+	}
+	if rest := total - spikeAt - spikeDur; rest > 0 {
+		out = append(out, PhaseSpec{Rate: base, Duration: rest})
+	}
+	return out
+}
+
+// DiurnalPhases approximates periods sinusoidal day/night cycles over
+// total seconds with steps piecewise-constant segments per period: the
+// rate swings between base and base*peak, spending equal time in each
+// step. steps < 2 is raised to 8.
+func DiurnalPhases(base, peak, total float64, periods, steps int) []PhaseSpec {
+	if periods < 1 {
+		periods = 1
+	}
+	if steps < 2 {
+		steps = 8
+	}
+	segDur := total / float64(periods*steps)
+	out := make([]PhaseSpec, 0, periods*steps)
+	for p := 0; p < periods; p++ {
+		for s := 0; s < steps; s++ {
+			// Sample the half-sine envelope at the segment midpoint:
+			// f in [0, 1], 0 at the trough, 1 at the peak.
+			mid := (float64(s) + 0.5) / float64(steps)
+			f := 0.5 - 0.5*math.Cos(2*math.Pi*mid)
+			out = append(out, PhaseSpec{Rate: base * (1 + (peak-1)*f), Duration: segDur})
+		}
+	}
+	return out
+}
+
+// PhasedUpdateGenerator produces a Poisson update stream whose rate
+// follows a piecewise-constant schedule of PhaseSpec segments. Object
+// selection, importance mix and network ages follow the paper's §5.1
+// model exactly as UpdateGenerator does; only the arrival intensity
+// is modulated. The stream ends (Next returns nil) when the schedule
+// is exhausted, so the total number of updates is a deterministic
+// function of the seed and the schedule.
+type PhasedUpdateGenerator struct {
+	params *model.Params
+	rng    *stats.RNG
+	phases []PhaseSpec
+	clock  float64
+	idx    int     // current segment
+	segEnd float64 // absolute end time of the current segment
+	seq    uint64
+}
+
+// NewPhasedUpdateGenerator returns a generator over the schedule. The
+// params supply the object partitions and age model; the schedule
+// supplies the rates.
+func NewPhasedUpdateGenerator(p *model.Params, rng *stats.RNG, phases []PhaseSpec) *PhasedUpdateGenerator {
+	g := &PhasedUpdateGenerator{params: p, rng: rng, phases: phases}
+	if len(phases) > 0 {
+		g.segEnd = phases[0].Duration
+	}
+	return g
+}
+
+// Next returns the next update in arrival order, or nil once the
+// schedule is exhausted.
+func (g *PhasedUpdateGenerator) Next() *model.Update {
+	p := g.params
+	for g.idx < len(g.phases) {
+		rate := g.phases[g.idx].Rate
+		if rate <= 0 {
+			// A silent segment: jump to its end.
+			g.clock = g.segEnd
+			g.advance()
+			continue
+		}
+		gap := g.rng.Exponential(1 / rate)
+		if g.clock+gap >= g.segEnd {
+			// The arrival would land past this segment; restart the
+			// draw in the next one (exact, by memorylessness).
+			g.clock = g.segEnd
+			g.advance()
+			continue
+		}
+		g.clock += gap
+		class := model.High
+		n := p.NHigh
+		base := p.NLow
+		if g.rng.Bernoulli(p.PUpdateLow) {
+			class = model.Low
+			n = p.NLow
+			base = 0
+		}
+		if n == 0 {
+			if class == model.Low {
+				class, n, base = model.High, p.NHigh, p.NLow
+			} else {
+				class, n, base = model.Low, p.NLow, 0
+			}
+		}
+		age := g.rng.Exponential(p.MeanUpdateAge)
+		g.seq++
+		return &model.Update{
+			Seq:         g.seq,
+			Object:      model.ObjectID(base + g.rng.IntN(n)),
+			Class:       class,
+			GenTime:     g.clock - age,
+			ArrivalTime: g.clock,
+		}
+	}
+	return nil
+}
+
+// advance moves to the next segment.
+func (g *PhasedUpdateGenerator) advance() {
+	g.idx++
+	if g.idx < len(g.phases) {
+		g.segEnd = g.clock + g.phases[g.idx].Duration
+	}
+}
+
+// TotalDuration sums a schedule's segments, as a time.Duration of
+// simulated seconds.
+func TotalDuration(phases []PhaseSpec) time.Duration {
+	var s float64
+	for _, ph := range phases {
+		s += ph.Duration
+	}
+	return time.Duration(s * float64(time.Second))
+}

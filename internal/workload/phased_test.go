@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func drainPhased(p *model.Params, seed uint64, phases []PhaseSpec) []model.Update {
+	rng := stats.NewRNG(seed, 0x9E3779B9)
+	g := NewPhasedUpdateGenerator(p, rng, phases)
+	var out []model.Update
+	for u := g.Next(); u != nil; u = g.Next() {
+		out = append(out, *u)
+	}
+	return out
+}
+
+// TestPhasedDeterminism: the full update stream is a pure function of
+// the seed and the schedule — the property scenario transcripts lean on.
+func TestPhasedDeterminism(t *testing.T) {
+	p := model.DefaultParams()
+	phases := FlashCrowdPhases(200, 5, 3, 1, 0.5)
+	a := drainPhased(&p, 7, phases)
+	b := drainPhased(&p, 7, phases)
+	if len(a) == 0 {
+		t.Fatal("generator produced nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, update %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := drainPhased(&p, 8, phases)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical streams")
+		}
+	}
+}
+
+// TestPhasedRateModulation: arrivals inside a spike segment must come
+// at roughly the multiplied rate, and the whole stream must respect
+// the schedule's total span and arrive in order.
+func TestPhasedRateModulation(t *testing.T) {
+	p := model.DefaultParams()
+	const base, mult, total, spikeAt, spikeDur = 100.0, 6.0, 9.0, 3.0, 3.0
+	phases := FlashCrowdPhases(base, mult, total, spikeAt, spikeDur)
+	ups := drainPhased(&p, 11, phases)
+
+	var before, spike, after int
+	last := 0.0
+	for _, u := range ups {
+		if u.ArrivalTime < last {
+			t.Fatalf("arrivals out of order at %v", u.ArrivalTime)
+		}
+		last = u.ArrivalTime
+		switch {
+		case u.ArrivalTime < spikeAt:
+			before++
+		case u.ArrivalTime < spikeAt+spikeDur:
+			spike++
+		default:
+			after++
+		}
+	}
+	if last > total {
+		t.Fatalf("arrival at %v past the schedule's %v end", last, total)
+	}
+	// Expect ~300 / ~1800 / ~300; Poisson noise stays far inside 3x.
+	if spike < 3*before || spike < 3*after {
+		t.Fatalf("spike segment not elevated: before=%d spike=%d after=%d", before, spike, after)
+	}
+}
+
+// TestPhasedSilentSegment: a zero-rate segment emits nothing and the
+// stream resumes after it.
+func TestPhasedSilentSegment(t *testing.T) {
+	p := model.DefaultParams()
+	phases := []PhaseSpec{
+		{Rate: 200, Duration: 1},
+		{Rate: 0, Duration: 2},
+		{Rate: 200, Duration: 1},
+	}
+	for _, u := range drainPhased(&p, 5, phases) {
+		if u.ArrivalTime >= 1 && u.ArrivalTime < 3 {
+			t.Fatalf("arrival at %v inside the silent segment", u.ArrivalTime)
+		}
+	}
+}
+
+// TestDiurnalPhases: the schedule covers the requested span, never
+// leaves the [base, base*peak] band, and actually reaches near both
+// ends of it.
+func TestDiurnalPhases(t *testing.T) {
+	const base, peak, total = 50.0, 4.0, 12.0
+	phases := DiurnalPhases(base, peak, total, 3, 8)
+	if len(phases) != 24 {
+		t.Fatalf("got %d segments, want 24", len(phases))
+	}
+	if d := TotalDuration(phases); d != 12*time.Second {
+		t.Fatalf("total duration %v, want 12s", d)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ph := range phases {
+		if ph.Rate < base-1e-9 || ph.Rate > base*peak+1e-9 {
+			t.Fatalf("rate %v outside [%v, %v]", ph.Rate, base, base*peak)
+		}
+		lo, hi = math.Min(lo, ph.Rate), math.Max(hi, ph.Rate)
+	}
+	if lo > base*1.2 || hi < base*peak*0.8 {
+		t.Fatalf("envelope barely swings: [%v, %v]", lo, hi)
+	}
+}
+
+// TestFlashCrowdPhasesClamped: a spike running past the end is clamped
+// to the total span instead of extending it.
+func TestFlashCrowdPhasesClamped(t *testing.T) {
+	phases := FlashCrowdPhases(100, 4, 2, 1.5, 5)
+	if d := TotalDuration(phases); d != 2*time.Second {
+		t.Fatalf("clamped schedule spans %v, want 2s", d)
+	}
+	if phases[len(phases)-1].Rate != 400 {
+		t.Fatalf("clamped spike should end the schedule, got rate %v", phases[len(phases)-1].Rate)
+	}
+}

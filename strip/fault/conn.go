@@ -35,6 +35,11 @@ type ConnChaos struct {
 	// OnFault, when set, observes every injected fault (for the
 	// seed-determinism tests). side is "read" or "write".
 	OnFault func(side, kind string, arg int)
+	// Gate, when set, is consulted before injection on each operation;
+	// returning false passes the operation through untouched and
+	// consumes no randomness, so a schedule can scope chaos to timed
+	// windows without perturbing the fault sequence inside them.
+	Gate func() bool
 }
 
 // ChaosConn wraps a net.Conn with seeded fault injection. Disable
@@ -95,7 +100,7 @@ func (c *ChaosConn) readDraws() (delay time.Duration, u float64) {
 }
 
 func (c *ChaosConn) Write(p []byte) (int, error) {
-	if c.disabled.Load() {
+	if c.disabled.Load() || (c.cfg.Gate != nil && !c.cfg.Gate()) {
 		return c.Conn.Write(p)
 	}
 	delay, u, aux := c.writeDraws()
@@ -125,7 +130,7 @@ func (c *ChaosConn) Write(p []byte) (int, error) {
 }
 
 func (c *ChaosConn) Read(p []byte) (int, error) {
-	if c.disabled.Load() {
+	if c.disabled.Load() || (c.cfg.Gate != nil && !c.cfg.Gate()) {
 		return c.Conn.Read(p)
 	}
 	delay, u := c.readDraws()

@@ -192,6 +192,14 @@ func newFailoverRig(t *testing.T, seed uint64) *failoverRig {
 			n.kill()
 		}
 	})
+	// A failed run prints its seed and the scenario-runner command for
+	// the same class of schedule, so the failure can be chased outside
+	// the test binary.
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("rig seed was %d; scenario repro of this class: go run ./cmd/stripsim -scenario scenarios/failover-kill.yaml -seed %d", seed, seed)
+		}
+	})
 	return rig
 }
 

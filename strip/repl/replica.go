@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/strip"
@@ -61,9 +62,14 @@ type Replica struct {
 	logf func(string, ...any)
 
 	// connects counts established sessions, frames the messages
-	// applied; both count whether or not a registry is attached.
-	connects *obs.Counter
-	frames   *obs.Counter
+	// applied, reconnects the dial attempts after the first (the
+	// link's flap count); all count whether or not a registry is
+	// attached. attempts is the current backoff streak: consecutive
+	// dial rounds without a single applied frame.
+	connects   *obs.Counter
+	frames     *obs.Counter
+	reconnects *obs.Counter
+	attempts   atomic.Int64
 
 	stop chan struct{}
 	done chan struct{}
@@ -86,13 +92,14 @@ func StartReplica(db *strip.DB, cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("repl: ReplicaConfig needs Addr or Dial")
 	}
 	r := &Replica{
-		db:       db,
-		cfg:      cfg,
-		logf:     cfg.Logf,
-		connects: obs.NewCounter(),
-		frames:   obs.NewCounter(),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		db:         db,
+		cfg:        cfg,
+		logf:       cfg.Logf,
+		connects:   obs.NewCounter(),
+		frames:     obs.NewCounter(),
+		reconnects: obs.NewCounter(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	if r.logf == nil {
 		r.logf = func(string, ...any) {}
@@ -102,6 +109,12 @@ func StartReplica(db *strip.DB, cfg ReplicaConfig) (*Replica, error) {
 			"replication sessions established with a primary", r.connects.Value)
 		reg.CounterFunc("strip_repl_replica_frames_total",
 			"replication frames applied", r.frames.Value)
+		reg.CounterFunc("strip_repl_reconnects_total",
+			"re-dial attempts after the first replication session (link flaps)",
+			r.reconnects.Value)
+		reg.GaugeFunc("strip_repl_backoff_attempts",
+			"consecutive dial rounds without an applied frame (current backoff streak)",
+			func() float64 { return float64(r.attempts.Load()) })
 	}
 	go r.run()
 	return r, nil
@@ -148,18 +161,29 @@ func (r *Replica) run() {
 		seed = 1
 	}
 	bo := newBackoff(r.cfg.BackoffBase, r.cfg.BackoffMax, r.cfg.BackoffJitter, seed)
+	first := true
 	for {
 		if r.isClosed() {
 			return
 		}
+		if !first {
+			r.reconnects.Inc()
+		}
+		first = false
+		progressed := false
 		conn, err := r.dial()
 		if err == nil {
 			r.connects.Inc()
 			if r.stream(conn) > 0 {
 				bo.reset()
+				r.attempts.Store(0)
+				progressed = true
 			}
 		} else {
 			r.logf("repl: dial failed: %v", err)
+		}
+		if !progressed {
+			r.attempts.Add(1)
 		}
 		if !r.sleep(bo.next()) {
 			return

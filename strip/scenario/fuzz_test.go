@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioDecode throws arbitrary bytes at the strict-subset YAML
+// decoder and the schema validator. The corpus is every golden fixture
+// (accepted and rejected) plus the shipped scenario library, so the
+// fuzzer starts from inputs that reach deep into the grammar. The
+// decoder must never panic, and any input it accepts must satisfy the
+// invariants the engine relies on.
+func FuzzScenarioDecode(f *testing.F) {
+	for _, dir := range []string{
+		filepath.Join("testdata", "accept"),
+		filepath.Join("testdata", "reject"),
+		filepath.Join("..", "..", "scenarios"),
+	} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.yaml"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(src)
+		}
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		sc, err := Decode(src)
+		if err != nil {
+			return
+		}
+		// Accepted documents must be runnable: the engine indexes nodes
+		// by name, plans from positive rates, and trusts the mode.
+		if sc.Name == "" {
+			t.Fatal("accepted a scenario with no name")
+		}
+		if sc.Topology.Mode != "static" && sc.Topology.Mode != "elect" {
+			t.Fatalf("accepted mode %q", sc.Topology.Mode)
+		}
+		if len(sc.Topology.Nodes) == 0 {
+			t.Fatal("accepted an empty topology")
+		}
+		if sc.Workload.Updates.Rate <= 0 || sc.Workload.Updates.Duration <= 0 {
+			t.Fatalf("accepted a non-positive update load: rate=%g duration=%g",
+				sc.Workload.Updates.Rate, sc.Workload.Updates.Duration)
+		}
+		if len(sc.Assertions) == 0 {
+			t.Fatal("accepted a scenario with no assertions")
+		}
+	})
+}

@@ -1,0 +1,440 @@
+// Package scenario is a declarative robustness harness: one YAML file
+// declares a topology (primary + replica tree or an elect peer set), a
+// workload (paper-model parameters plus temporal phases), a fault
+// schedule (chaos windows, partitions, WAL fault windows, kills,
+// restarts), and assertions (staleness bounds, convergence,
+// durability, election safety). The engine builds the fleet out of the
+// real strip, strip/repl, strip/elect and strip/fault pieces, runs the
+// schedule, and emits a seeded transcript where the planned portion is
+// byte-identical run to run.
+//
+// This file is the strict-subset YAML decoder. It is deliberately not
+// a YAML implementation: it accepts only the block-style fragment the
+// scenario grammar needs — nested mappings, sequences of scalars or
+// mappings, plain/quoted scalars, '#' comments — and rejects
+// everything else (tabs, flow style, anchors, aliases, tags, multiple
+// documents, duplicate keys) with line-numbered errors. Keeping the
+// accepted language small is what makes "the file you committed is the
+// file that ran" a checkable property.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// node is one parsed YAML value: exactly one of scalar, mapping (kvs,
+// ordered), or sequence (seq) is populated. Mappings preserve source
+// order so that walking a node never depends on Go map iteration.
+type node struct {
+	line     int // 1-based source line the value starts on
+	isScalar bool
+	scalar   string
+	isMap    bool
+	kvs      []keyval
+	isSeq    bool
+	seq      []*node
+}
+
+type keyval struct {
+	key  string
+	line int
+	val  *node
+}
+
+// get returns the value for key in a mapping node, or nil.
+func (n *node) get(key string) *node {
+	for i := range n.kvs {
+		if n.kvs[i].key == key {
+			return n.kvs[i].val
+		}
+	}
+	return nil
+}
+
+// parseError is a decode failure pinned to a source line.
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	return fmt.Sprintf("yaml line %d: %s", e.line, e.msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &parseError{line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// pline is one significant (non-blank, non-comment) source line.
+type pline struct {
+	num    int
+	indent int
+	text   string // content after indentation, comments stripped
+}
+
+// parseYAML decodes src into a root mapping node.
+func parseYAML(src []byte) (*node, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, errAt(1, "empty document")
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, errAt(l.num, "unexpected de-indent to column %d", l.indent)
+	}
+	if !root.isMap {
+		return nil, errAt(root.line, "document root must be a mapping")
+	}
+	return root, nil
+}
+
+// splitLines scans the raw bytes into significant lines, enforcing the
+// lexical subset: no tabs in indentation, no document markers, no
+// anchors/aliases/tags/flow introducers at the start of a value.
+func splitLines(src []byte) ([]pline, error) {
+	var out []pline
+	for num, raw := range strings.Split(string(src), "\n") {
+		line := strings.TrimRight(raw, " \r")
+		stripped := stripComment(line)
+		trimmed := strings.TrimLeft(stripped, " ")
+		if trimmed == "" {
+			continue
+		}
+		indent := len(stripped) - len(trimmed)
+		if strings.ContainsRune(raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))], '\t') {
+			return nil, errAt(num+1, "tab in indentation (use spaces)")
+		}
+		if trimmed == "---" || trimmed == "..." {
+			return nil, errAt(num+1, "multi-document markers are not supported")
+		}
+		out = append(out, pline{num: num + 1, indent: indent, text: trimmed})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '# ...' comment, respecting quoted
+// strings. A '#' only begins a comment at line start or after a space,
+// per YAML.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			// Handle \" inside double quotes.
+			if inDouble && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inDouble = !inDouble
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' {
+				return strings.TrimRight(s[:i], " ")
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []pline
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly indent `ind` (plus
+// their more-indented children) into a single node. The block is a
+// sequence if its first line starts with "- ", a mapping otherwise.
+func (p *parser) parseBlock(ind int) (*node, error) {
+	first := p.lines[p.pos]
+	if first.indent != ind {
+		return nil, errAt(first.num, "bad indentation: got %d spaces, expected %d", first.indent, ind)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(ind)
+	}
+	return p.parseMapping(ind)
+}
+
+func (p *parser) parseMapping(ind int) (*node, error) {
+	out := &node{line: p.lines[p.pos].num, isMap: true}
+	seen := map[string]int{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < ind {
+			break
+		}
+		if l.indent > ind {
+			return nil, errAt(l.num, "bad indentation: got %d spaces, expected %d", l.indent, ind)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, errAt(l.num, "sequence item inside a mapping")
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[key]; dup {
+			return nil, errAt(l.num, "duplicate key %q (first at line %d)", key, prev)
+		}
+		seen[key] = l.num
+		p.pos++
+		var val *node
+		if rest != "" {
+			val, err = scalarNode(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Value is the following more-indented block, if any;
+			// otherwise an empty scalar.
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > ind {
+				val, err = p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				val = &node{line: l.num, isScalar: true, scalar: ""}
+			}
+		}
+		out.kvs = append(out.kvs, keyval{key: key, line: l.num, val: val})
+	}
+	return out, nil
+}
+
+func (p *parser) parseSequence(ind int) (*node, error) {
+	out := &node{line: p.lines[p.pos].num, isSeq: true}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < ind {
+			break
+		}
+		if l.indent > ind {
+			return nil, errAt(l.num, "bad indentation: got %d spaces, expected %d", l.indent, ind)
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return nil, errAt(l.num, "expected sequence item %q", "- ...")
+		}
+		if l.text == "-" {
+			return nil, errAt(l.num, "empty sequence item")
+		}
+		rest := l.text[2:]
+		if rest == "" {
+			return nil, errAt(l.num, "empty sequence item")
+		}
+		// "- key: value" starts an inline mapping whose further keys
+		// sit at ind+2. Rewrite the item head as a mapping line at
+		// that depth and reparse.
+		if isMapHead(rest) {
+			p.lines[p.pos] = pline{num: l.num, indent: ind + 2, text: rest}
+			item, err := p.parseMapping(ind + 2)
+			if err != nil {
+				return nil, err
+			}
+			out.seq = append(out.seq, item)
+			continue
+		}
+		p.pos++
+		item, err := scalarNode(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		out.seq = append(out.seq, item)
+	}
+	return out, nil
+}
+
+// isMapHead reports whether a sequence item's text begins a mapping
+// ("key: value" or "key:"), as opposed to being a plain scalar.
+func isMapHead(s string) bool {
+	if strings.HasPrefix(s, "'") || strings.HasPrefix(s, "\"") {
+		return false
+	}
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false // e.g. "127.0.0.1:4000" is a scalar
+	}
+	return validKey(s[:i])
+}
+
+// splitKey splits "key: value" / "key:"; the key charset is restricted
+// so that anchors, tags and merge keys can never masquerade as keys.
+func splitKey(l pline) (key, rest string, err error) {
+	i := strings.Index(l.text, ":")
+	if i <= 0 {
+		return "", "", errAt(l.num, "expected %q", "key: value")
+	}
+	key = l.text[:i]
+	if !validKey(key) {
+		return "", "", errAt(l.num, "invalid key %q (allowed: letters, digits, _ . -)", key)
+	}
+	rest = l.text[i+1:]
+	if rest != "" {
+		if rest[0] != ' ' {
+			return "", "", errAt(l.num, "missing space after %q", key+":")
+		}
+		rest = strings.TrimLeft(rest, " ")
+	}
+	return key, rest, nil
+}
+
+func validKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == '.', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scalarNode parses an inline scalar value, rejecting flow collections
+// and the YAML features outside the subset.
+func scalarNode(s string, line int) (*node, error) {
+	switch s[0] {
+	case '{', '[':
+		return nil, errAt(line, "flow-style collections are not supported")
+	case '&', '*':
+		return nil, errAt(line, "anchors and aliases are not supported")
+	case '!':
+		return nil, errAt(line, "tags are not supported")
+	case '|', '>':
+		return nil, errAt(line, "block scalars are not supported")
+	case '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, errAt(line, "unterminated single-quoted scalar")
+		}
+		body := s[1 : len(s)-1]
+		if strings.Contains(strings.ReplaceAll(body, "''", ""), "'") {
+			return nil, errAt(line, "stray quote in single-quoted scalar")
+		}
+		return &node{line: line, isScalar: true, scalar: strings.ReplaceAll(body, "''", "'")}, nil
+	case '"':
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, errAt(line, "bad double-quoted scalar: %v", err)
+		}
+		return &node{line: line, isScalar: true, scalar: unq}, nil
+	}
+	if strings.Contains(s, ": ") || strings.HasSuffix(s, ":") {
+		return nil, errAt(line, "nested inline mapping in scalar %q", s)
+	}
+	return &node{line: line, isScalar: true, scalar: s}, nil
+}
+
+// Typed accessors used by the schema layer. Each enforces that the
+// node is a scalar of the right shape and reports errors with the
+// field path supplied by the caller.
+
+func (n *node) str(path string) (string, error) {
+	if n == nil || !n.isScalar {
+		line := 0
+		if n != nil {
+			line = n.line
+		}
+		return "", errAt(line, "%s: expected a scalar", path)
+	}
+	return n.scalar, nil
+}
+
+func (n *node) float(path string) (float64, error) {
+	s, err := n.str(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not a number", path, s)
+	}
+	return v, nil
+}
+
+func (n *node) integer(path string) (int, error) {
+	s, err := n.str(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not an integer", path, s)
+	}
+	return v, nil
+}
+
+func (n *node) uint64v(path string) (uint64, error) {
+	s, err := n.str(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, errAt(n.line, "%s: %q is not an unsigned integer", path, s)
+	}
+	return v, nil
+}
+
+func (n *node) boolean(path string) (bool, error) {
+	s, err := n.str(path)
+	if err != nil {
+		return false, err
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, errAt(n.line, "%s: %q is not a boolean (use true/false)", path, s)
+}
+
+// mapping asserts the node is a mapping and that every key is in
+// allowed, catching typos ("worklaod:") instead of silently ignoring
+// whole sections.
+func (n *node) mapping(path string, allowed ...string) error {
+	if n == nil || !n.isMap {
+		line := 0
+		if n != nil {
+			line = n.line
+		}
+		return errAt(line, "%s: expected a mapping", path)
+	}
+outer:
+	for _, kv := range n.kvs {
+		for _, a := range allowed {
+			if kv.key == a {
+				continue outer
+			}
+		}
+		return errAt(kv.line, "%s: unknown key %q (allowed: %s)", path, kv.key, strings.Join(allowed, ", "))
+	}
+	return nil
+}
+
+// sequence asserts the node is a sequence and returns its items.
+func (n *node) sequence(path string) ([]*node, error) {
+	if n == nil || !n.isSeq {
+		line := 0
+		if n != nil {
+			line = n.line
+		}
+		return nil, errAt(line, "%s: expected a sequence", path)
+	}
+	return n.seq, nil
+}

@@ -184,10 +184,16 @@ func TestTortureCrashEveryByte(t *testing.T) {
 // injected-fault log and the surviving disk bytes are identical: a
 // chaos run is exactly reproducible from its seed.
 func TestTortureSeededFaultDeterminism(t *testing.T) {
+	const seed = 99
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("schedule seed was %d; scenario repro of this class: go run ./cmd/stripsim -scenario scenarios/degraded-wal.yaml -seed %d", seed, seed)
+		}
+	})
 	run := func() ([]string, map[string]string) {
 		fs := fault.NewMemFS()
 		sched := fault.NewSchedule(fault.ScheduleConfig{
-			Seed:       99,
+			Seed:       seed,
 			Match:      "wal",
 			WriteErr:   0.08,
 			ShortWrite: 0.08,
